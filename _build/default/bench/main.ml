@@ -1,0 +1,947 @@
+(* Reproduction harness: one section per figure of the paper's §5, plus the
+   ablations called out in DESIGN.md. Running with no arguments executes
+   everything; passing section names (e.g. `fig6a fig12b ablation-kl`) runs a
+   subset. Output is a sequence of labelled ASCII tables whose series
+   correspond one-to-one with the paper's plots; EXPERIMENTS.md records the
+   paper-vs-measured comparison. *)
+
+module Range = Rangeset.Range
+module Config = P2prange.Config
+module Simulation = P2prange.Simulation
+module Scalability = P2prange.Scalability
+
+let seed = 42L
+let section_filter = List.tl (Array.to_list Sys.argv)
+
+let heading fmt =
+  Format.kasprintf
+    (fun s ->
+      Format.printf "@.=== %s ===@." s;
+      Format.printf "%s@." (String.make (String.length s + 8) '-'))
+    fmt
+
+let wanted name =
+  section_filter = [] || List.mem name section_filter
+
+let section name description f =
+  if wanted name then begin
+    heading "%s — %s" name description;
+    f ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: execution time of the hash-function families vs range size *)
+(* ------------------------------------------------------------------ *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* Mean wall-clock milliseconds to compute all l·k = 100 min-hashes of one
+   range, by direct evaluation (no domain cache) — the quantity the paper
+   plots. Repetitions adapt so fast families still get stable numbers. *)
+let hash_time_ms scheme range =
+  let once () = ignore (Lsh.Scheme.identifiers_of_range scheme range : int list) in
+  once () (* warm-up *);
+  let reps = ref 1 and elapsed = ref (time_once once) in
+  while !elapsed < 0.05 do
+    let n = !reps * 4 in
+    let t = time_once (fun () -> for _ = 1 to n do once () done) in
+    reps := !reps + n;
+    elapsed := !elapsed +. t
+  done;
+  !elapsed /. float_of_int !reps *. 1000.0
+
+let fig5_sizes = [ 10; 50; 100; 200; 400; 600; 800; 1000; 1200; 1500 ]
+
+let fig5 () =
+  (* Values up to 1500 need a universe beyond the quality domain. *)
+  let universe = 2048 in
+  let rng = Prng.Splitmix.create seed in
+  let schemes =
+    List.map
+      (fun kind -> (kind, Lsh.Scheme.create ~universe kind ~k:20 ~l:5 rng))
+      Lsh.Family.all_kinds
+  in
+  let table =
+    Stats.Table.create
+      ~columns:
+        (("range size", Stats.Table.Right)
+        :: List.map
+             (fun kind -> (Lsh.Family.kind_name kind ^ " (ms)", Stats.Table.Right))
+             Lsh.Family.all_kinds)
+  in
+  let measurements =
+    List.map
+      (fun size ->
+        let range = Range.make ~lo:0 ~hi:(size - 1) in
+        (size, List.map (fun (_, scheme) -> hash_time_ms scheme range) schemes))
+      fig5_sizes
+  in
+  List.iter
+    (fun (size, times) ->
+      Stats.Table.add_row table
+        (Printf.sprintf "%d" size :: List.map (Printf.sprintf "%.4f") times))
+    measurements;
+  Format.printf "%a" Stats.Table.pp table;
+  let series_for index label glyph =
+    {
+      Stats.Plot.label;
+      glyph;
+      points =
+        List.map
+          (fun (size, times) -> (float_of_int size, List.nth times index))
+          measurements;
+    }
+  in
+  Format.printf "@.%s"
+    (Stats.Plot.render ~y_scale:Stats.Plot.Log10 ~x_label:"range size"
+       ~y_label:"ms per range (log)"
+       [
+         series_for 0 "min-wise" 'm';
+         series_for 1 "approx-min-wise" 'a';
+         series_for 2 "linear" 'l';
+       ]);
+  (* Headline ratios at size 1000, as the paper reports ("linear ~1000x,
+     approx ~10x faster than min-wise"). *)
+  let at_1000 kind =
+    hash_time_ms (List.assoc kind schemes) (Range.make ~lo:0 ~hi:999)
+  in
+  let exact = at_1000 Lsh.Family.Exact_minwise in
+  let approx = at_1000 Lsh.Family.Approx_minwise in
+  let linear = at_1000 Lsh.Family.Linear in
+  Format.printf
+    "speedup vs min-wise at size 1000: approx %.1fx, linear %.1fx@."
+    (exact /. approx) (exact /. linear)
+
+(* Bechamel micro-benchmarks for the same operation (size 1000), giving
+   OLS-estimated per-call times with GC stabilization. *)
+let fig5_bechamel () =
+  let open Bechamel in
+  let universe = 2048 in
+  let rng = Prng.Splitmix.create seed in
+  let range = Range.make ~lo:0 ~hi:999 in
+  let tests =
+    List.map
+      (fun kind ->
+        let scheme = Lsh.Scheme.create ~universe kind ~k:20 ~l:5 rng in
+        Test.make
+          ~name:(Lsh.Family.kind_name kind)
+          (Staged.stage (fun () ->
+               ignore (Lsh.Scheme.identifiers_of_range scheme range : int list))))
+      Lsh.Family.all_kinds
+  in
+  let grouped = Test.make_grouped ~name:"hash-range-1000" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("benchmark", Stats.Table.Left); ("time/call (ms)", Stats.Table.Right);
+          ("r²", Stats.Table.Right) ]
+  in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.4f" (e /. 1e6)
+        | Some [] | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      Stats.Table.add_row table [ name; estimate; r2 ])
+    results;
+  Format.printf "%a" Stats.Table.pp table
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6–10: match quality of the protocol                          *)
+(* ------------------------------------------------------------------ *)
+
+let quality_run ?(config = Config.default) () =
+  Simulation.run ~config ~n_peers:100 ~n_queries:10_000 ~seed ()
+
+let print_similarity_histogram run =
+  let h = Simulation.similarity_histogram run in
+  Format.printf "%a" (Stats.Histogram.pp_ascii ~width:40) h;
+  Format.printf
+    "complete answers: %.1f%%   unmatched: %.1f%%   mean hops/lookup: %.2f@."
+    (100.0 *. Simulation.fraction_complete run)
+    (100.0 *. Simulation.fraction_unmatched run)
+    (Simulation.mean_hops run)
+
+let recall_thresholds = [ 1.0; 0.9; 0.8; 0.7; 0.6; 0.5; 0.4; 0.3; 0.2; 0.1; 0.0 ]
+
+let recall_table runs =
+  (* One column per labelled run: percentage of queries with recall >= x. *)
+  let table =
+    Stats.Table.create
+      ~columns:
+        (("recall >=", Stats.Table.Right)
+        :: List.map (fun (label, _) -> (label ^ " (%)", Stats.Table.Right)) runs)
+  in
+  let cdfs = List.map (fun (_, run) -> Simulation.recall_cdf run) runs in
+  List.iter
+    (fun x ->
+      Stats.Table.add_row table
+        (Printf.sprintf "%.1f" x
+        :: List.map
+             (fun cdf -> Printf.sprintf "%.1f" (Stats.Cdf.percent_at_least cdf x))
+             cdfs))
+    recall_thresholds;
+  Format.printf "%a" Stats.Table.pp table;
+  (* The paper plots these right-to-left: x = part of query answered,
+     y = % of queries with at least that recall. *)
+  let glyphs = [ '*'; 'o'; '+'; 'x' ] in
+  let plot_series =
+    List.mapi
+      (fun i ((label, _), cdf) ->
+        {
+          Stats.Plot.label;
+          glyph = List.nth glyphs (i mod List.length glyphs);
+          points =
+            List.map (fun x -> (x, Stats.Cdf.percent_at_least cdf x)) recall_thresholds;
+        })
+      (List.combine runs cdfs)
+  in
+  Format.printf "@.%s"
+    (Stats.Plot.render ~x_label:"part of query answered (recall >= x)"
+       ~y_label:"% of queries" plot_series)
+
+let family_run =
+  (* Memoized per family: figs 6a/6b/7/8 share these three runs. *)
+  let cache = Hashtbl.create 3 in
+  fun family ->
+    match Hashtbl.find_opt cache family with
+    | Some run -> run
+    | None ->
+      let run = quality_run ~config:(Config.paper_quality ~family) () in
+      Hashtbl.replace cache family run;
+      run
+
+let fig6a () = print_similarity_histogram (family_run Lsh.Family.Exact_minwise)
+let fig6b () = print_similarity_histogram (family_run Lsh.Family.Approx_minwise)
+let fig7 () = print_similarity_histogram (family_run Lsh.Family.Linear)
+
+let fig8 () =
+  recall_table
+    (List.map
+       (fun kind -> (Lsh.Family.kind_name kind, family_run kind))
+       Lsh.Family.all_kinds)
+
+let fig9 () =
+  let containment =
+    quality_run
+      ~config:{ Config.default with matching = Config.Containment_match }
+      ()
+  in
+  recall_table
+    [
+      ("containment", containment);
+      ("jaccard", family_run Lsh.Family.Approx_minwise);
+    ]
+
+let fig10 () =
+  let padded =
+    quality_run
+      ~config:
+        { Config.default with
+          matching = Config.Containment_match;
+          padding = Config.Fixed_padding 0.2;
+        }
+      ()
+  in
+  let unpadded =
+    quality_run
+      ~config:{ Config.default with matching = Config.Containment_match }
+      ()
+  in
+  recall_table [ ("20% padding", padded); ("no padding", unpadded) ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 11–12: scalability                                           *)
+(* ------------------------------------------------------------------ *)
+
+let node_counts = [ 100; 200; 500; 1000; 2000; 5000 ]
+
+(* Hashing the 24-bit-domain workload is the expensive step; build the
+   largest one lazily and share it (and its truncations) across figures. *)
+let big_workload =
+  let w = ref None in
+  fun () ->
+    match !w with
+    | Some workload -> workload
+    | None ->
+      let workload =
+        Scalability.make_workload ~unique_partitions:36_000 ~seed ()
+      in
+      w := Some workload;
+      workload
+
+let paper_workload () = Scalability.truncate (big_workload ()) 10_000
+
+let fig11a () =
+  let workload = paper_workload () in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("nodes", Stats.Table.Right); ("stored", Stats.Table.Right);
+          ("mean/node", Stats.Table.Right); ("p1", Stats.Table.Right);
+          ("p99", Stats.Table.Right); ("empty nodes", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun n_nodes ->
+      let p = Scalability.load_distribution workload ~n_nodes ~seed in
+      let s = p.Scalability.per_node in
+      Stats.Table.add_row table
+        [
+          string_of_int n_nodes;
+          string_of_int p.Scalability.n_partitions_stored;
+          Printf.sprintf "%.1f" (Stats.Summary.mean s);
+          Printf.sprintf "%.0f" (Stats.Summary.p1 s);
+          Printf.sprintf "%.0f" (Stats.Summary.p99 s);
+          string_of_int p.Scalability.empty_nodes;
+        ])
+    node_counts;
+  Format.printf "%a" Stats.Table.pp table
+
+let fig11b () =
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("stored (x1000)", Stats.Table.Right); ("mean/node", Stats.Table.Right);
+          ("p1", Stats.Table.Right); ("p99", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun total ->
+      let workload = Scalability.truncate (big_workload ()) (total / 5) in
+      let p = Scalability.load_distribution workload ~n_nodes:1000 ~seed in
+      let s = p.Scalability.per_node in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%d" (total / 1000);
+          Printf.sprintf "%.1f" (Stats.Summary.mean s);
+          Printf.sprintf "%.0f" (Stats.Summary.p1 s);
+          Printf.sprintf "%.0f" (Stats.Summary.p99 s);
+        ])
+    [ 35_000; 50_000; 75_000; 100_000; 140_000; 180_000 ];
+  Format.printf "%a" Stats.Table.pp table
+
+let fig12a () =
+  let workload = paper_workload () in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("nodes", Stats.Table.Right); ("mean hops", Stats.Table.Right);
+          ("p1", Stats.Table.Right); ("p99", Stats.Table.Right);
+          ("half log2 N", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun n_nodes ->
+      let p = Scalability.path_lengths workload ~n_nodes ~seed () in
+      let s = p.Scalability.hops in
+      Stats.Table.add_row table
+        [
+          string_of_int n_nodes;
+          Printf.sprintf "%.2f" (Stats.Summary.mean s);
+          Printf.sprintf "%.0f" (Stats.Summary.p1 s);
+          Printf.sprintf "%.0f" (Stats.Summary.p99 s);
+          Printf.sprintf "%.2f" (0.5 *. (log (float_of_int n_nodes) /. log 2.0));
+        ])
+    node_counts;
+  Format.printf "%a" Stats.Table.pp table
+
+let fig12b () =
+  let p = Scalability.path_lengths (paper_workload ()) ~n_nodes:1000 ~seed () in
+  Format.printf "PDF of lookup path length, 1000-node network:@.";
+  Format.printf "%a" (Stats.Histogram.pp_ascii ~width:40) p.Scalability.distribution
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Bucket-level mini-protocol, bypassing Chord: stream ranges, look up each
+   range's identifiers in a bucket table, record the best Jaccard match,
+   then cache. Used where the ablation only concerns the hashing layer. *)
+let bucket_protocol scheme ranges =
+  let buckets : (int, Range.t list) Hashtbl.t = Hashtbl.create 4096 in
+  let matched = ref 0 and total = ref 0 and similarity_sum = ref 0.0 in
+  List.iter
+    (fun range ->
+      incr total;
+      let ids = Lsh.Scheme.identifiers_of_range scheme range in
+      let candidates =
+        List.concat_map
+          (fun id -> Option.value (Hashtbl.find_opt buckets id) ~default:[])
+          ids
+      in
+      let best =
+        List.fold_left
+          (fun acc r -> Stdlib.max acc (Range.jaccard range r))
+          0.0 candidates
+      in
+      if best > 0.0 then begin
+        incr matched;
+        similarity_sum := !similarity_sum +. best
+      end;
+      if best < 1.0 then
+        List.iter
+          (fun id ->
+            let existing = Option.value (Hashtbl.find_opt buckets id) ~default:[] in
+            if not (List.exists (Range.equal range) existing) then
+              Hashtbl.replace buckets id (range :: existing))
+          ids)
+    ranges;
+  let matched_f = float_of_int !matched in
+  ( float_of_int !matched /. float_of_int !total,
+    if !matched = 0 then 0.0 else !similarity_sum /. matched_f )
+
+let ablation_combine () =
+  let domain = Config.default.Config.domain in
+  let workload =
+    Workload.Query_workload.create Workload.Query_workload.Uniform_pairs ~domain
+      ~seed:7L
+  in
+  let ranges = Workload.Query_workload.take workload 5000 in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("combining", Stats.Table.Left); ("match rate (%)", Stats.Table.Right);
+          ("mean match similarity", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun (label, combine) ->
+      let scheme =
+        Lsh.Scheme.create ~universe:1001 ~combine Lsh.Family.Approx_minwise
+          ~k:20 ~l:5 (Prng.Splitmix.create seed)
+      in
+      let rate, sim = bucket_protocol scheme ranges in
+      Stats.Table.add_row table
+        [ label; Printf.sprintf "%.1f" (100.0 *. rate); Printf.sprintf "%.3f" sim ])
+    [ ("xor (paper)", Lsh.Scheme.Xor); ("sum mod 2^32", Lsh.Scheme.Sum_mod) ];
+  Format.printf "%a" Stats.Table.pp table
+
+let ablation_kl () =
+  (* Collision-probability profile plus realized quality for several (k, l). *)
+  let profile =
+    Stats.Table.create
+      ~columns:
+        (("p (jaccard)", Stats.Table.Right)
+        :: List.map
+             (fun (k, l) -> (Printf.sprintf "k=%d,l=%d" k l, Stats.Table.Right))
+             [ (5, 3); (10, 5); (20, 5); (30, 7) ])
+  in
+  List.iter
+    (fun p ->
+      Stats.Table.add_row profile
+        (Printf.sprintf "%.2f" p
+        :: List.map
+             (fun (k, l) ->
+               Printf.sprintf "%.3f" (Lsh.Scheme.amplification ~k ~l p))
+             [ (5, 3); (10, 5); (20, 5); (30, 7) ]))
+    [ 0.5; 0.7; 0.8; 0.85; 0.9; 0.95; 0.99 ];
+  Format.printf "%a@." Stats.Table.pp profile;
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("(k, l)", Stats.Table.Left); ("complete (%)", Stats.Table.Right);
+          ("unmatched (%)", Stats.Table.Right);
+          ("mean recall", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun (k, l) ->
+      let config = { Config.default with k; l } in
+      let run = Simulation.run ~config ~n_peers:100 ~n_queries:3000 ~seed () in
+      let recalls = Simulation.recalls run in
+      let mean_recall =
+        List.fold_left ( +. ) 0.0 recalls /. float_of_int (List.length recalls)
+      in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "(%d, %d)" k l;
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_complete run);
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_unmatched run);
+          Printf.sprintf "%.3f" mean_recall;
+        ])
+    [ (5, 3); (10, 5); (20, 5); (30, 7) ];
+  Format.printf "%a" Stats.Table.pp table
+
+let ablation_padding () =
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("padding", Stats.Table.Left); ("complete (%)", Stats.Table.Right);
+          ("mean recall", Stats.Table.Right);
+          ("final fraction", Stats.Table.Right) ]
+  in
+  let cases =
+    [
+      ("none", Config.No_padding);
+      ("fixed 10%", Config.Fixed_padding 0.1);
+      ("fixed 20% (paper)", Config.Fixed_padding 0.2);
+      ("fixed 40%", Config.Fixed_padding 0.4);
+      ( "adaptive (target 0.95)",
+        Config.Adaptive_padding { initial = 0.0; step = 0.01; target_recall = 0.95 } );
+    ]
+  in
+  List.iter
+    (fun (label, padding) ->
+      let config =
+        { Config.default with padding; matching = Config.Containment_match }
+      in
+      let run = Simulation.run ~config ~n_peers:100 ~n_queries:5000 ~seed () in
+      let recalls = Simulation.recalls run in
+      let mean_recall =
+        List.fold_left ( +. ) 0.0 recalls /. float_of_int (List.length recalls)
+      in
+      (* Recover the final padding level by replaying the policy: simplest
+         honest proxy is re-running the padding controller is internal, so
+         report the configured fraction for static policies. *)
+      let final =
+        match padding with
+        | Config.No_padding -> "0.00"
+        | Config.Fixed_padding f -> Printf.sprintf "%.2f" f
+        | Config.Adaptive_padding _ -> "adaptive"
+      in
+      Stats.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_complete run);
+          Printf.sprintf "%.3f" mean_recall;
+          final;
+        ])
+    cases;
+  Format.printf "%a" Stats.Table.pp table
+
+let ablation_peer_index () =
+  (* §5.3's per-peer index: searching every bucket a peer owns instead of
+     only the looked-up one. Smaller query count: the linear scan over all
+     of a peer's entries is O(entries) per contact by design. *)
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("mode", Stats.Table.Left); ("complete (%)", Stats.Table.Right);
+          ("unmatched (%)", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun (label, peer_index) ->
+      let config =
+        { Config.default with peer_index; matching = Config.Containment_match }
+      in
+      let run = Simulation.run ~config ~n_peers:100 ~n_queries:2000 ~seed () in
+      Stats.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_complete run);
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_unmatched run);
+        ])
+    [ ("bucket only (paper default)", false); ("per-peer index (§5.3)", true) ];
+  Format.printf "%a" Stats.Table.pp table
+
+let ablation_eviction () =
+  (* Bounded per-peer caches: how much quality survives as capacity drops?
+     (The paper caches without bound; a deployment cannot.) *)
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("per-peer capacity", Stats.Table.Left);
+          ("complete (%)", Stats.Table.Right);
+          ("unmatched (%)", Stats.Table.Right);
+          ("evictions", Stats.Table.Right) ]
+  in
+  let cases =
+    [
+      ("unbounded (paper)", P2prange.Store.Unbounded);
+      ("LRU 500", P2prange.Store.Lru 500);
+      ("LRU 100", P2prange.Store.Lru 100);
+      ("LRU 25", P2prange.Store.Lru 25);
+      ("FIFO 100", P2prange.Store.Fifo 100);
+    ]
+  in
+  List.iter
+    (fun (label, store_policy) ->
+      let config =
+        { Config.default with
+          store_policy;
+          matching = Config.Containment_match;
+        }
+      in
+      let run = Simulation.run ~config ~n_peers:100 ~n_queries:5000 ~seed () in
+      (* Recover eviction counts by replaying on a fresh system is
+         unnecessary: the run's outcomes already embed the effect; report
+         quality only, with evictions from a probe system. *)
+      let evicted =
+        let system = P2prange.System.create ~config ~seed ~n_peers:100 () in
+        let rng = Prng.Splitmix.create 99L in
+        let stream =
+          Workload.Query_workload.create Workload.Query_workload.Uniform_pairs
+            ~domain:config.Config.domain ~seed:99L
+        in
+        for _ = 1 to 5000 do
+          let from = P2prange.System.random_peer system rng in
+          ignore
+            (P2prange.System.query system ~from
+               (Workload.Query_workload.next stream))
+        done;
+        P2prange.System.total_evictions system
+      in
+      Stats.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_complete run);
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_unmatched run);
+          string_of_int evicted;
+        ])
+    cases;
+  Format.printf "%a" Stats.Table.pp table
+
+let ablation_spread () =
+  (* Bijective identifier spreading (Mix32): match quality is provably
+     unchanged (collisions preserved), load balance transforms. *)
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("placement", Stats.Table.Left); ("complete (%)", Stats.Table.Right);
+          ("p99 load", Stats.Table.Right); ("max load", Stats.Table.Right);
+          ("empty peers", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun (label, spread_identifiers) ->
+      let config =
+        { Config.default with
+          spread_identifiers;
+          matching = Config.Containment_match;
+        }
+      in
+      let run = Simulation.run ~config ~n_peers:100 ~n_queries:5000 ~seed () in
+      (* Measure per-peer load on a replayed system with the same seed. *)
+      let system = P2prange.System.create ~config ~seed ~n_peers:100 () in
+      let rng = Prng.Splitmix.create 123L in
+      let stream =
+        Workload.Query_workload.create Workload.Query_workload.Uniform_pairs
+          ~domain:config.Config.domain ~seed:123L
+      in
+      for _ = 1 to 5000 do
+        let from = P2prange.System.random_peer system rng in
+        ignore
+          (P2prange.System.query system ~from (Workload.Query_workload.next stream))
+      done;
+      let loads = List.map P2prange.Peer.load (P2prange.System.peers system) in
+      let summary = Stats.Summary.of_int_list loads in
+      Stats.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_complete run);
+          Printf.sprintf "%.0f" (Stats.Summary.p99 summary);
+          Printf.sprintf "%.0f" (Stats.Summary.max summary);
+          string_of_int (List.length (List.filter (( = ) 0) loads));
+        ])
+    [ ("raw identifiers (paper)", false); ("mixed identifiers (Mix32)", true) ];
+  Format.printf "%a" Stats.Table.pp table
+
+let ablation_family () =
+  (* The three paper families against the exactly-min-wise-independent
+     tabulated baseline. *)
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("family", Stats.Table.Left); ("complete (%)", Stats.Table.Right);
+          ("unmatched (%)", Stats.Table.Right);
+          ("top-bucket sim (%)", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun family ->
+      let run =
+        Simulation.run
+          ~config:(Config.paper_quality ~family)
+          ~n_peers:100 ~n_queries:5000 ~seed ()
+      in
+      let pcts = Stats.Histogram.percentages (Simulation.similarity_histogram run) in
+      Stats.Table.add_row table
+        [
+          Lsh.Family.kind_name family;
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_complete run);
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_unmatched run);
+          Printf.sprintf "%.1f" pcts.(9);
+        ])
+    (Lsh.Family.all_kinds @ [ Lsh.Family.Random_tabulated ]);
+  Format.printf "%a" Stats.Table.pp table
+
+let ablation_latency () =
+  (* Discrete-event replay under Poisson load: the Figure-11 imbalance in
+     the time domain. Raw identifier placement funnels nearly every lookup
+     through a couple of peers; once those saturate, tail latency explodes.
+     The Mix32 bijection spreads the same work with identical match
+     results. *)
+  let n_queries = 3000 and n_peers = 100 in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("placement / load", Stats.Table.Left);
+          ("mean (ms)", Stats.Table.Right); ("p50", Stats.Table.Right);
+          ("p99", Stats.Table.Right); ("max util", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun (label, spread_identifiers, rate_per_s) ->
+      let config =
+        { Config.default with
+          spread_identifiers;
+          matching = Config.Containment_match;
+        }
+      in
+      let system = P2prange.System.create ~config ~seed ~n_peers () in
+      let timed = P2prange.Timed.create ~system ~seed () in
+      let rng = Prng.Splitmix.create seed in
+      let stream =
+        Workload.Query_workload.create Workload.Query_workload.Uniform_pairs
+          ~domain:config.Config.domain ~seed
+      in
+      let clock = ref 0.0 in
+      for _ = 1 to n_queries do
+        let u = 1.0 -. Prng.Splitmix.float rng in
+        clock := !clock +. (-.log u *. 1000.0 /. rate_per_s);
+        let from = P2prange.System.random_peer system rng in
+        P2prange.Timed.submit timed ~at:!clock ~from
+          (Workload.Query_workload.next stream)
+      done;
+      P2prange.Timed.run timed;
+      let horizon = !clock in
+      let latencies = List.map snd (P2prange.Timed.completed timed) in
+      let s = Stats.Summary.of_list latencies in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%s @ %.0f q/s" label rate_per_s;
+          Printf.sprintf "%.0f" (Stats.Summary.mean s);
+          Printf.sprintf "%.0f" (Stats.Summary.median s);
+          Printf.sprintf "%.0f" (Stats.Summary.p99 s);
+          Printf.sprintf "%.2f" (P2prange.Timed.utilization timed ~horizon_ms:horizon);
+        ])
+    [
+      ("raw", false, 20.0);
+      ("raw", false, 100.0);
+      ("mixed", true, 20.0);
+      ("mixed", true, 100.0);
+    ];
+  Format.printf "%a" Stats.Table.pp table
+
+(* ------------------------------------------------------------------ *)
+(* Baselines: the other architectures of §1/§3.1                        *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_can () =
+  (* CAN vs Chord as the DHT substrate: routing hops and per-node state at
+     N = 1000. Chord: O(log N) hops with 32 fingers; CAN: O((d/4)·N^(1/d))
+     hops with 2d-ish neighbours. *)
+  let n = 1000 and lookups = 2000 in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("substrate", Stats.Table.Left); ("mean hops", Stats.Table.Right);
+          ("theory", Stats.Table.Right);
+          ("avg routing entries", Stats.Table.Right) ]
+  in
+  (* Chord reference. *)
+  let rng = Prng.Splitmix.create seed in
+  let ring = Chord.Ring.random rng ~n in
+  let nodes = Chord.Ring.node_ids ring in
+  let total = ref 0 in
+  for _ = 1 to lookups do
+    let from = nodes.(Prng.Splitmix.int rng n) in
+    let key = Prng.Splitmix.int rng (1 lsl 32) in
+    let _, hops = Chord.Ring.lookup ring ~from ~key in
+    total := !total + hops
+  done;
+  Stats.Table.add_row table
+    [
+      "chord";
+      Printf.sprintf "%.2f" (float_of_int !total /. float_of_int lookups);
+      Printf.sprintf "%.2f (1/2 log2 N)" (0.5 *. (log (float_of_int n) /. log 2.0));
+      "32 fingers";
+    ];
+  List.iter
+    (fun dims ->
+      let net = Can.Network.create ~dims in
+      Can.Network.add_first net 0;
+      let rng = Prng.Splitmix.create seed in
+      for id = 1 to n - 1 do
+        Can.Network.join_random net id ~rng ~via:0
+      done;
+      let ids = Array.of_list (Can.Network.node_ids net) in
+      let total = ref 0 and neighbours = ref 0 in
+      Array.iter
+        (fun id -> neighbours := !neighbours + List.length (Can.Network.neighbours net id))
+        ids;
+      for _ = 1 to lookups do
+        let point = Array.init dims (fun _ -> Prng.Splitmix.float rng) in
+        let from = ids.(Prng.Splitmix.int rng n) in
+        match Can.Network.lookup net ~from ~point with
+        | Some (_, hops) -> total := !total + hops
+        | None -> ()
+      done;
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "can d=%d" dims;
+          Printf.sprintf "%.2f" (float_of_int !total /. float_of_int lookups);
+          Printf.sprintf "%.2f (d/4 N^1/d)"
+            (float_of_int dims /. 4.0
+            *. (float_of_int n ** (1.0 /. float_of_int dims)));
+          Printf.sprintf "%.1f neighbours"
+            (float_of_int !neighbours /. float_of_int n);
+        ])
+    [ 2; 3; 4; 6 ];
+  Format.printf "%a" Stats.Table.pp table
+
+let baseline_unstructured () =
+  (* Gnutella-style flooding with local caches vs the paper's LSH/DHT, on
+     the same query stream: match rate and overlay messages per query. *)
+  let n_peers = 100 and n_queries = 5000 in
+  let domain = Config.default.Config.domain in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("architecture", Stats.Table.Left);
+          ("matched (%)", Stats.Table.Right);
+          ("complete (%)", Stats.Table.Right);
+          ("mean msgs/query", Stats.Table.Right) ]
+  in
+  (* DHT rows. Jaccard matching mirrors the floods' scoring (fair quality
+     comparison); the containment row shows the paper's §5.2 configuration. *)
+  List.iter
+    (fun (label, matching) ->
+      let config = { Config.default with matching } in
+      let run = Simulation.run ~config ~n_peers ~n_queries ~seed () in
+      Stats.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f"
+            (100.0 *. (1.0 -. Simulation.fraction_unmatched run));
+          Printf.sprintf "%.1f" (100.0 *. Simulation.fraction_complete run);
+          Printf.sprintf "%.1f" (Simulation.mean_messages run);
+        ])
+    [
+      ("LSH + Chord, jaccard", Config.Jaccard_match);
+      ("LSH + Chord, containment", Config.Containment_match);
+    ];
+  (* Flooding rows: the requester caches every queried range locally. *)
+  List.iter
+    (fun ttl ->
+      let overlay = Flood.Overlay.create ~n:n_peers ~degree:6 ~seed in
+      let rng = Prng.Splitmix.create seed in
+      let stream =
+        Workload.Query_workload.create Workload.Query_workload.Uniform_pairs
+          ~domain ~seed
+      in
+      let warmup = n_queries / 5 in
+      let matched = ref 0 and complete = ref 0 and messages = ref 0 in
+      let measured = ref 0 in
+      for i = 1 to n_queries do
+        let from = Prng.Splitmix.int rng n_peers in
+        let range = Workload.Query_workload.next stream in
+        let reply = Flood.Overlay.flood_query overlay ~from ~ttl range in
+        if i > warmup then begin
+          incr measured;
+          messages := !messages + reply.Flood.Overlay.messages;
+          match reply.Flood.Overlay.best with
+          | Some (found, _) ->
+            incr matched;
+            if Rangeset.Range.containment ~query:range ~answer:found >= 1.0 then
+              incr complete
+          | None -> ()
+        end;
+        Flood.Overlay.store overlay ~peer:from range
+      done;
+      let pct x = 100.0 *. float_of_int x /. float_of_int !measured in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "flooding ttl=%d" ttl;
+          Printf.sprintf "%.1f" (pct !matched);
+          Printf.sprintf "%.1f" (pct !complete);
+          Printf.sprintf "%.1f"
+            (float_of_int !messages /. float_of_int !measured);
+        ])
+    [ 1; 2; 3 ];
+  (* Superpeer rows: each superpeer indexes its 10-leaf cluster. *)
+  List.iter
+    (fun ttl ->
+      let overlay =
+        Flood.Superpeer.create ~n_peers ~n_superpeers:10 ~degree:4 ~seed
+      in
+      let rng = Prng.Splitmix.create seed in
+      let stream =
+        Workload.Query_workload.create Workload.Query_workload.Uniform_pairs
+          ~domain ~seed
+      in
+      let warmup = n_queries / 5 in
+      let matched = ref 0 and complete = ref 0 and messages = ref 0 in
+      let measured = ref 0 in
+      for i = 1 to n_queries do
+        let from = Prng.Splitmix.int rng n_peers in
+        let range = Workload.Query_workload.next stream in
+        let reply = Flood.Superpeer.query overlay ~from ~ttl range in
+        if i > warmup then begin
+          incr measured;
+          messages := !messages + reply.Flood.Superpeer.messages;
+          match reply.Flood.Superpeer.best with
+          | Some (found, _) ->
+            incr matched;
+            if Rangeset.Range.containment ~query:range ~answer:found >= 1.0 then
+              incr complete
+          | None -> ()
+        end;
+        Flood.Superpeer.store overlay ~peer:from range
+      done;
+      let pct x = 100.0 *. float_of_int x /. float_of_int !measured in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "superpeers (10) ttl=%d" ttl;
+          Printf.sprintf "%.1f" (pct !matched);
+          Printf.sprintf "%.1f" (pct !complete);
+          Printf.sprintf "%.1f"
+            (float_of_int !messages /. float_of_int !measured);
+        ])
+    [ 1; 2 ];
+  Format.printf "%a" Stats.Table.pp table
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  section "fig5" "hash family execution time vs range size (Figure 5)" fig5;
+  section "fig5-bechamel" "Bechamel OLS estimates for hashing a 1000-wide range"
+    fig5_bechamel;
+  section "fig6a" "match-similarity histogram, exact min-wise (Figure 6a)" fig6a;
+  section "fig6b" "match-similarity histogram, approx min-wise (Figure 6b)" fig6b;
+  section "fig7" "match-similarity histogram, linear permutations (Figure 7)" fig7;
+  section "fig8" "recall by hash family (Figure 8)" fig8;
+  section "fig9" "recall: containment vs jaccard matching (Figure 9)" fig9;
+  section "fig10" "recall with 20% query padding (Figure 10)" fig10;
+  section "fig11a" "load distribution vs number of nodes (Figure 11a)" fig11a;
+  section "fig11b" "load distribution vs stored partitions (Figure 11b)" fig11b;
+  section "fig12a" "lookup path length vs number of nodes (Figure 12a)" fig12a;
+  section "fig12b" "path-length PDF in a 1000-node network (Figure 12b)" fig12b;
+  section "ablation-combine" "group combining: XOR vs sum (DESIGN.md #1)"
+    ablation_combine;
+  section "ablation-kl" "amplification parameters (k, l) (DESIGN.md #2)"
+    ablation_kl;
+  section "ablation-padding" "padding policies incl. adaptive (DESIGN.md #4)"
+    ablation_padding;
+  section "ablation-peer-index" "per-peer index of §5.3 (DESIGN.md #5)"
+    ablation_peer_index;
+  section "ablation-eviction" "bounded per-peer caches (LRU/FIFO)"
+    ablation_eviction;
+  section "ablation-spread" "bijective identifier spreading (Mix32)"
+    ablation_spread;
+  section "ablation-latency" "query latency under load (event simulation)"
+    ablation_latency;
+  section "ablation-family" "paper families vs ideal min-wise baseline"
+    ablation_family;
+  section "baseline-can" "CAN vs Chord as the DHT substrate (§3.1)"
+    baseline_can;
+  section "baseline-unstructured" "flooding overlay vs the LSH/DHT (§1)"
+    baseline_unstructured;
+  Format.printf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+examples/broad_queries.ml: Format P2prange Stats Workload

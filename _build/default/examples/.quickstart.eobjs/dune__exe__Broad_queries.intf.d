@@ -1,0 +1,1 @@
+examples/broad_queries.mli:

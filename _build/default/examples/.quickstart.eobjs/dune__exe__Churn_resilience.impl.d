@@ -1,0 +1,1 @@
+examples/churn_resilience.ml: Array Chord Format List Prng Stdlib

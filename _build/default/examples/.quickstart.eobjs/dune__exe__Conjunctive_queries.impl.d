@@ -1,0 +1,1 @@
+examples/conjunctive_queries.ml: Format P2prange Printf Prng Rangeset

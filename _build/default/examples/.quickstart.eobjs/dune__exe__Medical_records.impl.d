@@ -1,0 +1,1 @@
+examples/medical_records.ml: Array Format List P2prange Printf Prng Rangeset Relational String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chord Format List P2prange Rangeset String

@@ -1,0 +1,76 @@
+(* Churn resilience of the Chord substrate.
+
+   The paper assumes a converged overlay; this example exercises the
+   dynamic protocol underneath it: nodes join through a bootstrap peer,
+   stabilize, suffer a wave of abrupt failures, and repair. Throughout, we
+   issue lookups and report how many reach the correct owner and at what
+   hop cost.
+
+   Run with:  dune exec examples/churn_resilience.exe *)
+
+module Network = Chord.Network
+
+let rng = Prng.Splitmix.create 777L
+
+let random_id () = Prng.Splitmix.int rng Chord.Id.modulus
+
+let lookup_health net ~label =
+  let nodes = Array.of_list (Network.node_ids net) in
+  let ring = Network.to_ring net in
+  let total = 500 and ok = ref 0 and correct = ref 0 and hops_sum = ref 0 in
+  for _ = 1 to total do
+    let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+    let key = random_id () in
+    match Network.find_successor net ~from ~key with
+    | Some (owner, hops) ->
+      incr ok;
+      hops_sum := !hops_sum + hops;
+      if owner = Chord.Ring.owner ring key then incr correct
+    | None -> ()
+  done;
+  Format.printf
+    "%-32s nodes=%-4d routed %3d/%d  correct owner %3d/%d  mean hops %.2f@."
+    label (Network.size net) !ok total !correct total
+    (float_of_int !hops_sum /. float_of_int (Stdlib.max 1 !ok))
+
+let () =
+  let net = Network.create ~successor_list_length:8 () in
+  let bootstrap = random_id () in
+  Network.add_first net bootstrap;
+
+  (* 60 nodes join through the bootstrap node, stabilizing as they come. *)
+  let ids = ref [ bootstrap ] in
+  for _ = 1 to 60 do
+    let id = random_id () in
+    if not (List.mem id !ids) then begin
+      Network.join net id ~via:bootstrap;
+      ids := id :: !ids;
+      Network.stabilize net ~rounds:2
+    end
+  done;
+  Network.stabilize net ~rounds:8;
+  Format.printf "converged after joins: %b@.@." (Network.is_converged net);
+  lookup_health net ~label:"after 61 joins + stabilization";
+
+  (* A quarter of the network fails abruptly — no goodbyes. *)
+  let victims =
+    List.filteri (fun i id -> i mod 4 = 0 && id <> bootstrap) !ids
+  in
+  List.iter (Network.fail net) victims;
+  Format.printf "@.killed %d nodes abruptly@." (List.length victims);
+  lookup_health net ~label:"immediately after failures";
+
+  (* Stabilization repairs successors, predecessors and fingers. *)
+  Network.stabilize net ~rounds:12;
+  Format.printf "@.re-converged after repair: %b@." (Network.is_converged net);
+  lookup_health net ~label:"after 12 stabilization rounds";
+
+  (* Fresh nodes can still join the repaired network. *)
+  for _ = 1 to 10 do
+    let id = random_id () in
+    if not (Network.alive net id) then Network.join net id ~via:bootstrap;
+    Network.stabilize net ~rounds:2
+  done;
+  Network.stabilize net ~rounds:8;
+  Format.printf "@.after 10 more joins, converged: %b@." (Network.is_converged net);
+  lookup_health net ~label:"after post-repair joins"

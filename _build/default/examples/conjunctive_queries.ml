@@ -1,0 +1,94 @@
+(* Multi-attribute selections — the paper's first future-work item (§6).
+
+   A conjunctive range query like
+
+     30 <= age <= 50  AND  70 <= weight <= 110
+
+   is located one attribute at a time over per-attribute DHTs; a tuple must
+   satisfy every conjunct, so the answer coverage is bounded by the weakest
+   conjunct. This example seeds caches unevenly (age queries are popular,
+   weight queries rare) and shows how the combined recall follows the
+   starved attribute — and how padding closes the gap.
+
+   Run with:  dune exec examples/conjunctive_queries.exe *)
+
+module Range = Rangeset.Range
+module MA = P2prange.Multi_attr
+
+let rng = Prng.Splitmix.create 44L
+
+let random_range ~domain ~max_width =
+  let lo =
+    Prng.Splitmix.int_in_range rng ~lo:(Range.lo domain)
+      ~hi:(Range.hi domain - max_width)
+  in
+  let width = Prng.Splitmix.int_in_range rng ~lo:10 ~hi:max_width in
+  Range.make ~lo ~hi:(lo + width - 1)
+
+let age_domain = Range.make ~lo:0 ~hi:120
+let weight_domain = Range.make ~lo:0 ~hi:300
+
+let run_experiment ~label ~config =
+  let t =
+    MA.create ~config ~seed:77L ~n_peers:32
+      ~attributes:[ ("age", age_domain); ("weight", weight_domain) ]
+      ()
+  in
+  (* Seed: 400 historical age queries but only 40 weight queries. *)
+  let seed_attr attr domain count =
+    let system = MA.system_for t attr in
+    for i = 0 to count - 1 do
+      let from =
+        P2prange.System.peer_by_name system (Printf.sprintf "peer-%d" (i mod 32))
+      in
+      ignore (P2prange.System.publish system ~from (random_range ~domain ~max_width:40))
+    done
+  in
+  seed_attr "age" age_domain 400;
+  seed_attr "weight" weight_domain 40;
+  (* Issue 300 conjunctive queries and aggregate recall per conjunct. *)
+  let n = 300 in
+  let age_recall = ref 0.0 and weight_recall = ref 0.0 and combined = ref 0.0 in
+  let complete = ref 0 in
+  for i = 0 to n - 1 do
+    let result =
+      MA.query t
+        ~from_name:(Printf.sprintf "peer-%d" (i mod 32))
+        [
+          { MA.attribute = "age"; range = random_range ~domain:age_domain ~max_width:40 };
+          { MA.attribute = "weight";
+            range = random_range ~domain:weight_domain ~max_width:40 };
+        ]
+    in
+    (match result.MA.conjuncts with
+    | [ (_, age); (_, weight) ] ->
+      age_recall := !age_recall +. age.P2prange.System.recall;
+      weight_recall := !weight_recall +. weight.P2prange.System.recall
+    | _ -> assert false);
+    combined := !combined +. result.MA.combined_recall;
+    if result.MA.combined_recall >= 1.0 then incr complete
+  done;
+  let f x = x /. float_of_int n in
+  Format.printf
+    "%-24s mean recall: age %.2f | weight %.2f | combined %.2f | fully answered %d/%d@."
+    label (f !age_recall) (f !weight_recall) (f !combined) !complete n
+
+let () =
+  Format.printf
+    "conjunctive queries over two attributes (age: warm cache, weight: cold)@.@.";
+  run_experiment ~label:"containment matching"
+    ~config:
+      { P2prange.Config.default with matching = P2prange.Config.Containment_match };
+  run_experiment ~label:"  + 20% padding"
+    ~config:
+      { P2prange.Config.default with
+        matching = P2prange.Config.Containment_match;
+        padding = P2prange.Config.Fixed_padding 0.2;
+      };
+  Format.printf
+    "@.The combined recall tracks the starved (weight) attribute — the@.";
+  Format.printf
+    "minimum rule of Multi_attr. Padding lifts exactly that weak conjunct@.";
+  Format.printf
+    "(broader cached ranges cover more queries), so it pays off most where@.";
+  Format.printf "the cache is coldest.@."

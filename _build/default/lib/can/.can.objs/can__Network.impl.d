@@ -1,0 +1,1 @@
+lib/can/network.ml: Array Float Hashtbl Int List P2p_digest Printf Prng Set Zone

@@ -1,0 +1,1 @@
+lib/can/network.mli: Prng Zone

@@ -1,0 +1,1 @@
+lib/can/zone.ml: Array Float Format List Printf String

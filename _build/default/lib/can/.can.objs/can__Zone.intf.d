@@ -1,0 +1,1 @@
+lib/can/zone.mli: Format

@@ -1,0 +1,86 @@
+type point = float array
+
+type t = { lo : float array; hi : float array }
+
+let dimensions t = Array.length t.lo
+
+let full ~dims =
+  if dims < 1 then invalid_arg "Zone.full: dims must be at least 1";
+  { lo = Array.make dims 0.0; hi = Array.make dims 1.0 }
+
+let lo t i = t.lo.(i)
+let hi t i = t.hi.(i)
+
+let volume t =
+  let v = ref 1.0 in
+  for i = 0 to dimensions t - 1 do
+    v := !v *. (t.hi.(i) -. t.lo.(i))
+  done;
+  !v
+
+let contains t p =
+  if Array.length p <> dimensions t then
+    invalid_arg "Zone.contains: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to dimensions t - 1 do
+    if not (t.lo.(i) <= p.(i) && p.(i) < t.hi.(i)) then ok := false
+  done;
+  !ok
+
+let split t =
+  (* Longest side, lowest dimension on ties. Midpoints of dyadic intervals
+     stay dyadic, so all arithmetic is exact. *)
+  let best = ref 0 in
+  for i = 1 to dimensions t - 1 do
+    if t.hi.(i) -. t.lo.(i) > t.hi.(!best) -. t.lo.(!best) then best := i
+  done;
+  let mid = (t.lo.(!best) +. t.hi.(!best)) /. 2.0 in
+  let lower = { lo = Array.copy t.lo; hi = Array.copy t.hi } in
+  let upper = { lo = Array.copy t.lo; hi = Array.copy t.hi } in
+  lower.hi.(!best) <- mid;
+  upper.lo.(!best) <- mid;
+  (lower, upper)
+
+(* Interval relations along one dimension, on the unit torus. Zones never
+   wrap (they are halves of [0,1) boxes), so plain interval tests suffice,
+   with the wrap only able to make two intervals abut at 1/0. *)
+let overlap_1d alo ahi blo bhi = Float.max alo blo < Float.min ahi bhi
+
+let abut_1d alo ahi blo bhi =
+  ahi = blo || bhi = alo || (ahi = 1.0 && blo = 0.0) || (bhi = 1.0 && alo = 0.0)
+
+let adjacent a b =
+  if dimensions a <> dimensions b then
+    invalid_arg "Zone.adjacent: dimension mismatch";
+  let abuts = ref 0 and overlaps = ref 0 in
+  for i = 0 to dimensions a - 1 do
+    if overlap_1d a.lo.(i) a.hi.(i) b.lo.(i) b.hi.(i) then incr overlaps
+    else if abut_1d a.lo.(i) a.hi.(i) b.lo.(i) b.hi.(i) then incr abuts
+  done;
+  !abuts = 1 && !overlaps = dimensions a - 1
+
+let torus_gap a b =
+  let d = Float.abs (a -. b) in
+  Float.min d (1.0 -. d)
+
+let distance_to_point t p =
+  if Array.length p <> dimensions t then
+    invalid_arg "Zone.distance_to_point: dimension mismatch";
+  let sum = ref 0.0 in
+  for i = 0 to dimensions t - 1 do
+    let d =
+      if t.lo.(i) <= p.(i) && p.(i) < t.hi.(i) then 0.0
+      else Float.min (torus_gap p.(i) t.lo.(i)) (torus_gap p.(i) t.hi.(i))
+    in
+    sum := !sum +. (d *. d)
+  done;
+  sqrt !sum
+
+let centre t =
+  Array.init (dimensions t) (fun i -> (t.lo.(i) +. t.hi.(i)) /. 2.0)
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (List.init (dimensions t) (fun i ->
+            Printf.sprintf "%g,%g" t.lo.(i) t.hi.(i))))

@@ -1,0 +1,45 @@
+(** Zones of a CAN coordinate space: axis-aligned boxes in the d-torus
+    [\[0, 1)^d].
+
+    Every node of a CAN owns one zone; the zones partition the space. Zones
+    are produced only by halving along one dimension, so all coordinates
+    are dyadic rationals and float arithmetic on them is exact. *)
+
+type point = float array
+(** A point of the torus; every coordinate in [\[0, 1)]. *)
+
+type t
+
+val dimensions : t -> int
+
+val full : dims:int -> t
+(** The whole space [\[0, 1)^d] — the first node's zone.
+    @raise Invalid_argument if [dims < 1]. *)
+
+val lo : t -> int -> float
+val hi : t -> int -> float
+(** Bounds along one dimension: the zone spans [\[lo, hi)]. *)
+
+val volume : t -> float
+
+val contains : t -> point -> bool
+(** Membership, treating each side as half-open [\[lo, hi)].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val split : t -> t * t
+(** Halves the zone along its longest side (lowest dimension on ties);
+    returns (lower half, upper half). Their union is the input, volumes are
+    equal. *)
+
+val adjacent : t -> t -> bool
+(** CAN neighbourship on the torus: the zones abut along exactly one
+    dimension (possibly across the wrap) and their extents overlap in every
+    other dimension. A zone is not adjacent to itself. *)
+
+val distance_to_point : t -> point -> float
+(** Euclidean torus distance from [p] to the nearest point of the zone
+    (0 when the zone contains [p]) — the greedy-routing metric. *)
+
+val centre : t -> point
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/chord/id.ml: Format P2p_digest

@@ -1,0 +1,1 @@
+lib/chord/network.ml: Array Hashtbl Id Int List Ring

@@ -1,0 +1,1 @@
+lib/chord/network.mli: Id Ring

@@ -1,0 +1,1 @@
+lib/chord/ring.ml: Array Id Int List Prng Set

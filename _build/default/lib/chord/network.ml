@@ -1,0 +1,206 @@
+type node = {
+  id : int;
+  mutable successor : int;
+  mutable successors : int list; (* backup successor list, nearest first *)
+  mutable predecessor : int option;
+  fingers : int array; (* fingers.(i) routes toward id + 2^i; 0 = unset *)
+  mutable dead : bool;
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t;
+  successor_list_length : int;
+}
+
+let create ?(successor_list_length = 8) () =
+  if successor_list_length < 1 then
+    invalid_arg "Network.create: successor list must hold at least one entry";
+  { nodes = Hashtbl.create 64; successor_list_length }
+
+let node_opt t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n when not n.dead -> Some n
+  | Some _ | None -> None
+
+let node_exn t id =
+  match node_opt t id with
+  | Some n -> n
+  | None -> invalid_arg "Network: unknown or dead node"
+
+let alive t id = node_opt t id <> None
+
+let size t =
+  Hashtbl.fold (fun _ n acc -> if n.dead then acc else acc + 1) t.nodes 0
+
+let node_ids t =
+  Hashtbl.fold (fun id n acc -> if n.dead then acc else id :: acc) t.nodes []
+  |> List.sort Int.compare
+
+let fresh_node id ~successor =
+  {
+    id;
+    successor;
+    successors = [ successor ];
+    predecessor = None;
+    fingers = Array.make Id.bits 0;
+    dead = false;
+  }
+
+let add_first t id =
+  if not (Id.is_valid id) then invalid_arg "Network.add_first: invalid id";
+  if Hashtbl.length t.nodes <> 0 then
+    invalid_arg "Network.add_first: network already has nodes";
+  let n = fresh_node id ~successor:id in
+  n.predecessor <- Some id;
+  Array.fill n.fingers 0 Id.bits id;
+  Hashtbl.replace t.nodes id n
+
+(* First live entry of a node's successor chain; falls back to itself. *)
+let live_successor t n =
+  let rec first = function
+    | [] -> n.id
+    | s :: rest -> if alive t s then s else first rest
+  in
+  let s = if alive t n.successor then n.successor else first n.successors in
+  if s <> n.successor then n.successor <- s;
+  s
+
+let closest_preceding t n key =
+  let best = ref n.id in
+  for i = Id.bits - 1 downto 0 do
+    let f = n.fingers.(i) in
+    if
+      !best = n.id && f <> 0 && alive t f
+      && Id.in_interval_oo f ~lo:n.id ~hi:key
+    then best := f
+  done;
+  !best
+
+let max_route_hops = 256
+
+let find_successor t ~from ~key =
+  match node_opt t from with
+  | None -> None
+  | Some start ->
+    let rec route n hops =
+      if hops > max_route_hops then None
+      else begin
+        let succ = live_successor t n in
+        if Id.in_interval_oc key ~lo:n.id ~hi:succ then
+          if succ = n.id then Some (n.id, hops) else Some (succ, hops + 1)
+        else begin
+          let next = closest_preceding t n key in
+          let next = if next = n.id then succ else next in
+          match node_opt t next with
+          | None -> None
+          | Some next_node ->
+            if next = n.id then None (* isolated: no live way forward *)
+            else route next_node (hops + 1)
+        end
+      end
+    in
+    (* A node owning the key answers locally with zero hops. *)
+    (match start.predecessor with
+    | Some p when alive t p && Id.in_interval_oc key ~lo:p ~hi:start.id ->
+      Some (start.id, 0)
+    | Some _ | None -> route start 0)
+
+let join t id ~via =
+  if not (Id.is_valid id) then invalid_arg "Network.join: invalid id";
+  if Hashtbl.mem t.nodes id && alive t id then
+    invalid_arg "Network.join: identifier already taken";
+  let _ = node_exn t via in
+  match find_successor t ~from:via ~key:id with
+  | None -> invalid_arg "Network.join: bootstrap routing failed"
+  | Some (succ, _) -> Hashtbl.replace t.nodes id (fresh_node id ~successor:succ)
+
+let fail t id =
+  let n = node_exn t id in
+  n.dead <- true
+
+let notify t target candidate =
+  match node_opt t target with
+  | None -> ()
+  | Some n ->
+    let should_adopt =
+      match n.predecessor with
+      | Some p when alive t p -> Id.in_interval_oo candidate ~lo:p ~hi:n.id
+      | Some _ | None -> true
+    in
+    if should_adopt && (candidate <> n.id || size t = 1) then
+      n.predecessor <- Some candidate
+
+let stabilize_node t n =
+  let succ = live_successor t n in
+  (* Adopt the successor's predecessor if it sits between us. *)
+  (match node_opt t succ with
+  | Some sn -> (
+    match sn.predecessor with
+    | Some x when alive t x && Id.in_interval_oo x ~lo:n.id ~hi:succ ->
+      n.successor <- x
+    | Some _ | None -> ())
+  | None -> ());
+  let succ = live_successor t n in
+  notify t succ n.id;
+  (* Refresh the backup list from the (new) successor's list. *)
+  (match node_opt t succ with
+  | Some sn ->
+    let chain = succ :: List.filter (alive t) sn.successors in
+    let rec take k = function
+      | [] -> []
+      | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+    in
+    n.successors <- take t.successor_list_length chain
+  | None -> ());
+  (* Drop a dead predecessor so a live one can be notified in. *)
+  match n.predecessor with
+  | Some p when not (alive t p) -> n.predecessor <- None
+  | Some _ | None -> ()
+
+let fix_fingers_node t n =
+  for i = 0 to Id.bits - 1 do
+    let target = Id.add_pow2 n.id i in
+    match find_successor t ~from:n.id ~key:target with
+    | Some (owner, _) -> n.fingers.(i) <- owner
+    | None -> ()
+  done
+
+let live_nodes t =
+  Hashtbl.fold (fun _ n acc -> if n.dead then acc else n :: acc) t.nodes []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let stabilize_round t =
+  let nodes = live_nodes t in
+  List.iter (stabilize_node t) nodes;
+  List.iter (fix_fingers_node t) nodes
+
+let stabilize t ~rounds =
+  for _ = 1 to rounds do
+    stabilize_round t
+  done
+
+let successor t id = live_successor t (node_exn t id)
+
+let predecessor t id =
+  match (node_exn t id).predecessor with
+  | Some p when alive t p -> Some p
+  | Some _ | None -> None
+
+let is_converged t =
+  match node_ids t with
+  | [] -> true
+  | ids ->
+    let arr = Array.of_list ids in
+    let n = Array.length arr in
+    List.for_all
+      (fun id ->
+        let i =
+          let rec find j = if arr.(j) = id then j else find (j + 1) in
+          find 0
+        in
+        let ideal_succ = arr.((i + 1) mod n) in
+        let ideal_pred = arr.((i + n - 1) mod n) in
+        successor t id = ideal_succ && predecessor t id = Some ideal_pred)
+      ids
+
+let to_ring t = Ring.create ~ids:(node_ids t)

@@ -1,0 +1,95 @@
+type t = {
+  sorted : int array; (* node ids, ascending, distinct *)
+  fingers : int array array; (* fingers.(idx).(i) = owner of sorted.(idx) + 2^i *)
+}
+
+(* Index of the owner of [key]: first node at or clockwise after key. *)
+let owner_index sorted key =
+  let n = Array.length sorted in
+  (* First index with sorted.(i) >= key, else wrap to 0. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if sorted.(mid) < key then search (mid + 1) hi else search lo mid
+  in
+  let i = search 0 n in
+  if i = n then 0 else i
+
+let node_index sorted id =
+  let i = owner_index sorted id in
+  if sorted.(i) = id then i else raise Not_found
+
+let create ~ids =
+  if ids = [] then invalid_arg "Ring.create: no nodes";
+  List.iter
+    (fun id -> if not (Id.is_valid id) then invalid_arg "Ring.create: invalid id")
+    ids;
+  let sorted = Array.of_list (List.sort_uniq Int.compare ids) in
+  if Array.length sorted <> List.length ids then
+    invalid_arg "Ring.create: duplicate node identifiers";
+  let fingers =
+    Array.map
+      (fun id ->
+        Array.init Id.bits (fun i ->
+            sorted.(owner_index sorted (Id.add_pow2 id i))))
+      sorted
+  in
+  { sorted; fingers }
+
+let of_names names = create ~ids:(List.map Id.of_name names)
+
+let random rng ~n =
+  if n <= 0 then invalid_arg "Ring.random: need at least one node";
+  let module ISet = Set.Make (Int) in
+  let rec draw set =
+    if ISet.cardinal set = n then ISet.elements set
+    else draw (ISet.add (Prng.Splitmix.int rng Id.modulus) set)
+  in
+  create ~ids:(draw ISet.empty)
+
+let size t = Array.length t.sorted
+let node_ids t = Array.copy t.sorted
+let contains t id = try ignore (node_index t.sorted id : int); true with Not_found -> false
+
+let owner t key = t.sorted.(owner_index t.sorted key)
+
+let successor t id =
+  let i = node_index t.sorted id in
+  t.sorted.((i + 1) mod size t)
+
+let predecessor t id =
+  let i = node_index t.sorted id in
+  t.sorted.((i + size t - 1) mod size t)
+
+let finger t id i =
+  if i < 0 || i >= Id.bits then invalid_arg "Ring.finger: index out of range";
+  t.fingers.(node_index t.sorted id).(i)
+
+(* Highest finger of [n] strictly inside (n, key); [n] itself if none. *)
+let closest_preceding_finger t n key =
+  let row = t.fingers.(node_index t.sorted n) in
+  let rec scan i =
+    if i < 0 then n
+    else
+      let f = row.(i) in
+      if Id.in_interval_oo f ~lo:n ~hi:key then f else scan (i - 1)
+  in
+  scan (Id.bits - 1)
+
+let lookup t ~from ~key =
+  if not (contains t from) then invalid_arg "Ring.lookup: unknown source node";
+  let target = owner t key in
+  if target = from then (from, 0)
+  else begin
+    let rec route n hops =
+      let succ = successor t n in
+      if Id.in_interval_oc key ~lo:n ~hi:succ then (succ, hops + 1)
+      else begin
+        let next = closest_preceding_finger t n key in
+        let next = if next = n then succ else next in
+        route next (hops + 1)
+      end
+    in
+    route from 0
+  end

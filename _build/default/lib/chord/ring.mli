@@ -1,0 +1,45 @@
+(** A static Chord ring with exact finger tables.
+
+    This models a converged network (every node's successor and fingers are
+    correct), which is the setting of the paper's scalability experiments
+    (§5.3): build a ring of N peers, map 50,000 partition identifiers onto
+    it, and measure per-node load and lookup path lengths. The dynamic
+    protocol (joins, failures, stabilization) lives in {!Network}. *)
+
+type t
+
+val create : ids:Id.t list -> t
+(** Builds the ring for the given node identifiers.
+    @raise Invalid_argument on an empty list, duplicates, or invalid ids. *)
+
+val of_names : string list -> t
+(** Places one node per name at [Id.of_name name] — the paper's SHA-1
+    placement. @raise Invalid_argument on hash collisions (regenerate with
+    different names; collisions are ~N²/2³³, negligible for N ≤ 10⁵). *)
+
+val random : Prng.Splitmix.t -> n:int -> t
+(** [n] nodes at distinct uniform identifiers. *)
+
+val size : t -> int
+val node_ids : t -> Id.t array
+(** Sorted copy of all node identifiers. *)
+
+val contains : t -> Id.t -> bool
+
+val owner : t -> Id.t -> Id.t
+(** [owner t key] is the node that stores [key]: the first node clockwise at
+    or after [key] (Chord's [successor(key)]). *)
+
+val successor : t -> Id.t -> Id.t
+(** Ring successor of a *node*. @raise Not_found if the id is not a node. *)
+
+val predecessor : t -> Id.t -> Id.t
+
+val finger : t -> Id.t -> int -> Id.t
+(** [finger t n i] = [owner t (n + 2{^i})], for [i] in [\[0, 31]]. *)
+
+val lookup : t -> from:Id.t -> key:Id.t -> Id.t * int
+(** Routes a query from node [from] to the owner of [key] using
+    closest-preceding-finger forwarding; returns the owner and the number of
+    overlay hops traversed (0 when [from] is the owner). Mean hops in a
+    converged N-node ring is ≈ ½·log₂ N. *)

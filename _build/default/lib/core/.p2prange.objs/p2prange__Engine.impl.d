@@ -1,0 +1,1 @@
+lib/core/engine.ml: Chord Config Hashtbl List Matching Peer Printf Prng Rangeset Relational Stdlib Store System

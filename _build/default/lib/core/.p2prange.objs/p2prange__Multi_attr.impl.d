@@ -1,0 +1,1 @@
+lib/core/multi_attr.ml: Config List Prng Rangeset Stdlib String System

@@ -1,0 +1,1 @@
+lib/core/multi_attr.mli: Config Rangeset System

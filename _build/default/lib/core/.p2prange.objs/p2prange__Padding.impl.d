@@ -1,0 +1,1 @@
+lib/core/padding.ml: Config Rangeset Stdlib

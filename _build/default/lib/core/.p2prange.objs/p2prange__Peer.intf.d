@@ -1,0 +1,1 @@
+lib/core/peer.mli: Chord Store

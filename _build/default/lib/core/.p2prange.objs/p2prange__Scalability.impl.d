@@ -1,0 +1,1 @@
+lib/core/scalability.ml: Array Chord Config Hashtbl List Lsh Option Prng Rangeset Set Stats Stdlib

@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Config List Prng Stats Stdlib System Workload

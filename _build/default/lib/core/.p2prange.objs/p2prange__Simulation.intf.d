@@ -1,0 +1,1 @@
+lib/core/simulation.mli: Config Stats System Workload

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Chord Config Hashtbl List Lsh Matching Padding Peer Printf Prng Rangeset Store

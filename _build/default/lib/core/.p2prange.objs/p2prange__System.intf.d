@@ -1,0 +1,1 @@
+lib/core/system.mli: Chord Config Matching Peer Prng Rangeset Relational

@@ -1,0 +1,1 @@
+lib/core/timed.ml: Float Hashtbl List Option Peer Prng Simnet System

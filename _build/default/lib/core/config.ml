@@ -1,0 +1,54 @@
+type matching = Jaccard_match | Containment_match
+
+type padding =
+  | No_padding
+  | Fixed_padding of float
+  | Adaptive_padding of { initial : float; step : float; target_recall : float }
+
+type t = {
+  family : Lsh.Family.kind;
+  k : int;
+  l : int;
+  domain : Rangeset.Range.t;
+  matching : matching;
+  padding : padding;
+  peer_index : bool;
+  cache_on_inexact : bool;
+  use_domain_cache : bool;
+  store_policy : Store.policy;
+  spread_identifiers : bool;
+}
+
+let default =
+  {
+    family = Lsh.Family.Approx_minwise;
+    k = 20;
+    l = 5;
+    domain = Rangeset.Range.make ~lo:0 ~hi:1000;
+    matching = Jaccard_match;
+    padding = No_padding;
+    peer_index = false;
+    cache_on_inexact = true;
+    use_domain_cache = true;
+    store_policy = Store.Unbounded;
+    spread_identifiers = false;
+  }
+
+let paper_quality ~family = { default with family }
+
+let validate t =
+  if t.k < 1 then invalid_arg "Config: k must be >= 1";
+  if t.l < 1 then invalid_arg "Config: l must be >= 1";
+  (match t.store_policy with
+  | Store.Unbounded -> ()
+  | Store.Lru n | Store.Fifo n ->
+    if n < 1 then invalid_arg "Config: store capacity must be >= 1");
+  if Rangeset.Range.lo t.domain < 0 then
+    invalid_arg "Config: domain must be non-negative (values are hashed raw)";
+  (match t.padding with
+  | No_padding -> ()
+  | Fixed_padding f ->
+    if f < 0.0 then invalid_arg "Config: negative padding fraction"
+  | Adaptive_padding { initial; step; target_recall } ->
+    if initial < 0.0 || step <= 0.0 || target_recall < 0.0 || target_recall > 1.0
+    then invalid_arg "Config: bad adaptive padding parameters")

@@ -1,0 +1,58 @@
+(** System-wide parameters of the range-selection engine.
+
+    The defaults reproduce the paper's experimental setting: approximate
+    min-wise hashing with [(k, l) = (20, 5)] over the attribute domain
+    [\[0, 1000\]], Jaccard bucket matching, no padding, cache-on-inexact. *)
+
+type matching =
+  | Jaccard_match
+      (** rank bucket candidates by Jaccard similarity to the query (§5.1) *)
+  | Containment_match
+      (** rank by the fraction of the query they cover (§5.2, Fig. 9) *)
+
+type padding =
+  | No_padding
+  | Fixed_padding of float
+      (** expand the query range by this fraction per edge before hashing,
+          matching and caching (§5.2, Fig. 10; the paper uses 0.2) *)
+  | Adaptive_padding of { initial : float; step : float; target_recall : float }
+      (** the paper's future-work idea: per-system padding level nudged up
+          when recent recall falls below [target_recall], down otherwise *)
+
+type t = {
+  family : Lsh.Family.kind;
+  k : int;  (** hash functions per group *)
+  l : int;  (** groups, hence identifiers per range *)
+  domain : Rangeset.Range.t;  (** attribute domain being queried *)
+  matching : matching;
+  padding : padding;
+  peer_index : bool;
+      (** §5.3: when true, a contacted peer searches {e all} buckets it owns
+          rather than only the looked-up identifier's bucket *)
+  cache_on_inexact : bool;
+      (** store the queried range at the [l] owners when no exact match was
+          found — the paper's protocol; off = read-only lookups *)
+  use_domain_cache : bool;
+      (** precompute RMQ tables over [domain] (identical identifiers, much
+          faster); disable to measure raw hashing cost *)
+  store_policy : Store.policy;
+      (** per-peer cache capacity policy (default [Unbounded], the paper's
+          setting; see [ablation-eviction]) *)
+  spread_identifiers : bool;
+      (** post-process every LSH identifier with the bijective
+          {!Lsh.Mix32} finalizer. Collisions — hence match quality — are
+          provably unchanged, but placement spreads near-uniformly over the
+          ring instead of clustering (see [ablation-spread]). Default
+          [false], the paper's raw placement. *)
+}
+
+val default : t
+(** The paper's §5 setting (approx min-wise, k=20, l=5, domain [0,1000],
+    Jaccard matching, no padding, cache-on-inexact, domain cache on). *)
+
+val paper_quality : family:Lsh.Family.kind -> t
+(** [default] with the given hash family — the §5.1 comparisons. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical settings (k, l < 1; negative
+    padding; empty domain). *)

@@ -1,0 +1,34 @@
+module Range = Rangeset.Range
+
+type scored = {
+  entry : Store.entry;
+  score : float;
+  jaccard : float;
+  recall : float;
+}
+
+let score matching ~query entry =
+  let jaccard = Range.jaccard query entry.Store.range in
+  let recall = Range.containment ~query ~answer:entry.Store.range in
+  let score =
+    match matching with
+    | Config.Jaccard_match -> jaccard
+    | Config.Containment_match -> recall
+  in
+  { entry; score; jaccard; recall }
+
+let better a b =
+  if a.score > b.score then a
+  else if b.score > a.score then b
+  else if
+    Range.cardinal a.entry.Store.range <= Range.cardinal b.entry.Store.range
+  then a
+  else b
+
+let best matching ~query entries =
+  let scored = List.map (score matching ~query) entries in
+  match List.filter (fun s -> s.score > 0.0) scored with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left better first rest)
+
+let is_exact ~query scored = Range.equal scored.entry.Store.range query

@@ -1,0 +1,53 @@
+type conjunct = { attribute : string; range : Rangeset.Range.t }
+
+type t = { systems : (string * System.t) list }
+
+let create ?(config = Config.default) ~seed ~n_peers ~attributes () =
+  if attributes = [] then invalid_arg "Multi_attr.create: no attributes";
+  let names = List.map fst attributes in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Multi_attr.create: duplicate attribute names";
+  let rng = Prng.Splitmix.create seed in
+  let systems =
+    List.map
+      (fun (attr, domain) ->
+        let seed = Prng.Splitmix.next_int64 rng in
+        ( attr,
+          System.create
+            ~config:{ config with Config.domain }
+            ~seed ~n_peers () ))
+      attributes
+  in
+  { systems }
+
+let attributes t = List.map fst t.systems
+
+let system_for t attr = List.assoc attr t.systems
+
+type result = {
+  conjuncts : (conjunct * System.query_result) list;
+  combined_recall : float;
+  total_messages : int;
+}
+
+let query t ~from_name conjuncts =
+  if conjuncts = [] then invalid_arg "Multi_attr.query: no conjuncts";
+  let answered =
+    List.map
+      (fun c ->
+        let system = system_for t c.attribute in
+        let from = System.peer_by_name system from_name in
+        (c, System.query system ~from c.range))
+      conjuncts
+  in
+  let combined_recall =
+    List.fold_left
+      (fun acc (_, r) -> Stdlib.min acc r.System.recall)
+      1.0 answered
+  in
+  let total_messages =
+    List.fold_left
+      (fun acc (_, r) -> acc + r.System.stats.System.messages)
+      0 answered
+  in
+  { conjuncts = answered; combined_recall; total_messages }

@@ -1,0 +1,39 @@
+type state =
+  | Static of float
+  | Adaptive of {
+      mutable fraction : float;
+      step : float;
+      target : float;
+      mutable ewma : float;
+    }
+
+type t = state
+
+(* Smoothing constant for the adaptive recall average: recent queries
+   dominate after a few tens of observations. *)
+let alpha = 0.05
+
+let max_fraction = 1.0
+
+let create = function
+  | Config.No_padding -> Static 0.0
+  | Config.Fixed_padding f -> Static f
+  | Config.Adaptive_padding { initial; step; target_recall } ->
+    Adaptive { fraction = initial; step; target = target_recall; ewma = 1.0 }
+
+let current_fraction = function
+  | Static f -> f
+  | Adaptive a -> a.fraction
+
+let apply t range ~domain =
+  let f = current_fraction t in
+  if f = 0.0 then range else Rangeset.Range.pad range ~fraction:f ~domain
+
+let observe t ~recall =
+  match t with
+  | Static _ -> ()
+  | Adaptive a ->
+    a.ewma <- ((1.0 -. alpha) *. a.ewma) +. (alpha *. recall);
+    if a.ewma < a.target then
+      a.fraction <- Stdlib.min max_fraction (a.fraction +. a.step)
+    else a.fraction <- Stdlib.max 0.0 (a.fraction -. a.step)

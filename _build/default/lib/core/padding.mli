@@ -1,0 +1,23 @@
+(** Query padding policies (§5.2 and the paper's future work).
+
+    Padding expands a query range before it is hashed, matched and cached,
+    trading extra data transfer for a higher chance that some cached
+    partition *contains* the query. [Fixed_padding 0.2] is the paper's
+    Figure 10 configuration; [Adaptive_padding] implements the dynamic
+    adjustment the paper leaves to future work, nudging the padding level
+    against an exponentially-weighted recall average. *)
+
+type t
+(** Mutable policy state (adaptive padding learns from observed recall). *)
+
+val create : Config.padding -> t
+
+val current_fraction : t -> float
+(** The padding fraction the next query will receive. *)
+
+val apply : t -> Rangeset.Range.t -> domain:Rangeset.Range.t -> Rangeset.Range.t
+(** The effective (expanded, domain-clamped) query range. *)
+
+val observe : t -> recall:float -> unit
+(** Feed back the recall achieved by the last query. No-op for the static
+    policies. *)

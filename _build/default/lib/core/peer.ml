@@ -1,0 +1,9 @@
+type t = { id : Chord.Id.t; name : string; store : Store.t }
+
+let create ?policy ~name () =
+  { id = Chord.Id.of_name name; name; store = Store.create ?policy () }
+
+let id t = t.id
+let name t = t.name
+let store t = t.store
+let load t = Store.entry_count t.store

@@ -1,0 +1,174 @@
+module Range = Rangeset.Range
+
+type t = {
+  config : Config.t;
+  scheme : Lsh.Scheme.t;
+  cache : Lsh.Domain_cache.t option;
+  ring : Chord.Ring.t;
+  peers : (int, Peer.t) Hashtbl.t; (* keyed by ring id *)
+  by_name : (string, Peer.t) Hashtbl.t;
+  peer_list : Peer.t array;
+  padding : Padding.t;
+}
+
+let create_with_peers ?(config = Config.default) ~seed names =
+  Config.validate config;
+  if names = [] then invalid_arg "System: need at least one peer";
+  let rng = Prng.Splitmix.create seed in
+  let scheme =
+    Lsh.Scheme.create
+      ~universe:(Range.hi config.Config.domain + 1)
+      config.Config.family ~k:config.Config.k ~l:config.Config.l rng
+  in
+  let cache =
+    if config.Config.use_domain_cache then
+      Some (Lsh.Domain_cache.build scheme ~domain:config.Config.domain)
+    else None
+  in
+  let peer_list =
+    Array.of_list
+      (List.map
+         (fun name -> Peer.create ~policy:config.Config.store_policy ~name ())
+         names)
+  in
+  let peers = Hashtbl.create (Array.length peer_list) in
+  let by_name = Hashtbl.create (Array.length peer_list) in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem peers (Peer.id p) then
+        invalid_arg "System: peer identifier collision (rename a peer)";
+      Hashtbl.replace peers (Peer.id p) p;
+      Hashtbl.replace by_name (Peer.name p) p)
+    peer_list;
+  let ring = Chord.Ring.create ~ids:(Array.to_list (Array.map Peer.id peer_list)) in
+  { config; scheme; cache; ring; peers; by_name; peer_list; padding = Padding.create config.Config.padding }
+
+let create ?config ~seed ~n_peers () =
+  if n_peers <= 0 then invalid_arg "System.create: n_peers must be positive";
+  create_with_peers ?config ~seed
+    (List.init n_peers (Printf.sprintf "peer-%d"))
+
+let config t = t.config
+let ring t = t.ring
+let peers t = Array.to_list t.peer_list
+let peer_count t = Array.length t.peer_list
+
+let peer_by_id t id = Hashtbl.find t.peers id
+let peer_by_name t name = Hashtbl.find t.by_name name
+
+let random_peer t rng =
+  t.peer_list.(Prng.Splitmix.int rng (Array.length t.peer_list))
+
+let owner_of_identifier t identifier =
+  peer_by_id t (Chord.Ring.owner t.ring identifier)
+
+let identifiers t range =
+  let raw =
+    match t.cache with
+    | Some cache
+      when Range.contains ~outer:(Lsh.Domain_cache.domain cache) ~inner:range ->
+      Lsh.Domain_cache.identifiers cache range
+    | Some _ | None -> Lsh.Scheme.identifiers_of_range t.scheme range
+  in
+  if t.config.Config.spread_identifiers then List.map Lsh.Mix32.mix raw
+  else raw
+
+let padding_fraction t = Padding.current_fraction t.padding
+
+type lookup_stats = {
+  identifiers : Chord.Id.t list;
+  hops : int list;
+  messages : int;
+}
+
+type query_result = {
+  query : Range.t;
+  effective : Range.t;
+  matched : Matching.scored option;
+  similarity : float;
+  recall : float;
+  stats : lookup_stats;
+  cached : bool;
+}
+
+(* Route each identifier from the requesting peer; return owners with hop
+   counts. Owners may repeat when consecutive identifiers share a segment. *)
+let route_all t ~from ids =
+  List.map
+    (fun identifier ->
+      let owner, hops = Chord.Ring.lookup t.ring ~from:(Peer.id from) ~key:identifier in
+      (identifier, peer_by_id t owner, hops))
+    ids
+
+let stats_of_routes ids routes =
+  let hops = List.map (fun (_, _, h) -> h) routes in
+  {
+    identifiers = ids;
+    hops;
+    messages = List.fold_left (fun acc h -> acc + h + 1) 0 hops;
+  }
+
+let store_at_owners routes ~range ~partition =
+  List.iter
+    (fun (identifier, owner, _) ->
+      Store.insert (Peer.store owner) ~identifier { Store.range; partition })
+    routes
+
+let publish t ~from ?partition range =
+  let ids = identifiers t range in
+  let routes = route_all t ~from ids in
+  store_at_owners routes ~range ~partition;
+  stats_of_routes ids routes
+
+let query t ~from range =
+  let effective = Padding.apply t.padding range ~domain:t.config.Config.domain in
+  let ids = identifiers t effective in
+  let routes = route_all t ~from ids in
+  (* Each owner replies with its best local candidate. *)
+  let replies =
+    List.filter_map
+      (fun (identifier, owner, _) ->
+        let candidates =
+          if t.config.Config.peer_index then Store.all_entries (Peer.store owner)
+          else Store.bucket (Peer.store owner) ~identifier
+        in
+        Matching.best t.config.Config.matching ~query:effective candidates)
+      routes
+  in
+  let matched =
+    match replies with
+    | [] -> None
+    | first :: rest -> Some (List.fold_left Matching.better first rest)
+  in
+  let similarity, recall =
+    match matched with
+    | None -> (0.0, 0.0)
+    | Some m ->
+      ( Range.jaccard range m.Matching.entry.Store.range,
+        Range.containment ~query:range ~answer:m.Matching.entry.Store.range )
+  in
+  let exact =
+    match matched with
+    | Some m -> Matching.is_exact ~query:effective m
+    | None -> false
+  in
+  let cached = t.config.Config.cache_on_inexact && not exact in
+  if cached then store_at_owners routes ~range:effective ~partition:None;
+  Padding.observe t.padding ~recall;
+  {
+    query = range;
+    effective;
+    matched;
+    similarity;
+    recall;
+    stats = stats_of_routes ids routes;
+    cached;
+  }
+
+let total_entries t =
+  Array.fold_left (fun acc p -> acc + Peer.load p) 0 t.peer_list
+
+let total_evictions t =
+  Array.fold_left
+    (fun acc p -> acc + Store.evictions (Peer.store p))
+    0 t.peer_list

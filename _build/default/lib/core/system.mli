@@ -1,0 +1,88 @@
+(** The assembled P2P range-selection system (§4).
+
+    A system is a converged Chord ring of peers, an LSH scheme shared by all
+    of them, and the query/publish protocol of the paper's pseudocode:
+
+    + hash the (possibly padded) query range to [l] 32-bit identifiers;
+    + route each identifier to its owner peer over Chord, counting hops;
+    + each owner returns the best match from the identifier's bucket (or
+      from its whole store in per-peer-index mode);
+    + the querying peer keeps the best reply; if no reply matches the range
+      exactly, the queried range is cached at all [l] owners.
+
+    Everything is deterministic given the seed. *)
+
+type t
+
+val create : ?config:Config.t -> seed:int64 -> n_peers:int -> unit -> t
+(** Builds a system of [n_peers] peers named ["peer-0" …] (ring positions
+    from SHA-1 of the names). @raise Invalid_argument on a bad config or
+    [n_peers <= 0]. *)
+
+val create_with_peers : ?config:Config.t -> seed:int64 -> string list -> t
+(** Same with explicit peer names. *)
+
+val config : t -> Config.t
+val ring : t -> Chord.Ring.t
+val peers : t -> Peer.t list
+val peer_count : t -> int
+
+val peer_by_id : t -> Chord.Id.t -> Peer.t
+(** @raise Not_found for identifiers that are not peers. *)
+
+val peer_by_name : t -> string -> Peer.t
+(** @raise Not_found for unknown names. *)
+
+val random_peer : t -> Prng.Splitmix.t -> Peer.t
+
+val owner_of_identifier : t -> Chord.Id.t -> Peer.t
+(** The peer whose ring segment covers an identifier. *)
+
+val identifiers : t -> Rangeset.Range.t -> Chord.Id.t list
+(** The [l] group identifiers of a range under this system's scheme (via
+    the precomputed domain cache when enabled and applicable). *)
+
+val padding_fraction : t -> float
+(** Current padding level (moves under adaptive padding). *)
+
+type lookup_stats = {
+  identifiers : Chord.Id.t list;  (** the [l] identifiers contacted *)
+  hops : int list;  (** overlay hops per identifier lookup *)
+  messages : int;
+      (** total overlay messages: each lookup costs its hops in forwarded
+          requests plus one direct reply from the owner *)
+}
+
+type query_result = {
+  query : Rangeset.Range.t;  (** the range the user asked for *)
+  effective : Rangeset.Range.t;  (** after padding *)
+  matched : Matching.scored option;
+      (** best reply across the [l] owners, scored against [effective] *)
+  similarity : float;
+      (** Jaccard between [query] and the match; 0 when unmatched (Fig. 6–7) *)
+  recall : float;
+      (** fraction of [query] covered by the match; 0 when unmatched
+          (Fig. 8–10) *)
+  stats : lookup_stats;
+  cached : bool;  (** whether this query's range was stored at the owners *)
+}
+
+val publish :
+  t ->
+  from:Peer.t ->
+  ?partition:Relational.Partition.t ->
+  Rangeset.Range.t ->
+  lookup_stats
+(** Stores a range partition under its [l] identifiers, routing each from
+    [from]. Used to seed a system with previously-computed partitions. *)
+
+val query : t -> from:Peer.t -> Rangeset.Range.t -> query_result
+(** Executes the full protocol for one range selection, including the
+    cache-on-inexact store and adaptive-padding feedback. *)
+
+val total_entries : t -> int
+(** Sum of all peers' stored entries. *)
+
+val total_evictions : t -> int
+(** Sum of entries dropped by capacity enforcement across peers (always 0
+    under the default unbounded policy). *)

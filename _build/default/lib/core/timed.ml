@@ -1,0 +1,88 @@
+type latency_model = { hop_ms : float; jitter_ms : float; service_ms : float }
+
+let default_latency = { hop_ms = 10.0; jitter_ms = 5.0; service_ms = 2.0 }
+
+type t = {
+  system : System.t;
+  latency : latency_model;
+  rng : Prng.Splitmix.t;
+  engine : Simnet.Engine.t;
+  (* FIFO servers: when each peer becomes free, keyed by peer id. *)
+  busy_until : (int, float) Hashtbl.t;
+  service_total : (int, float) Hashtbl.t;
+  mutable completed : (float * float) list; (* reversed *)
+}
+
+let create ?(latency = default_latency) ~system ~seed () =
+  {
+    system;
+    latency;
+    rng = Prng.Splitmix.create seed;
+    engine = Simnet.Engine.create ();
+    busy_until = Hashtbl.create 64;
+    service_total = Hashtbl.create 64;
+    completed = [];
+  }
+
+let message_delay t =
+  t.latency.hop_ms +. (Prng.Splitmix.float t.rng *. t.latency.jitter_ms)
+
+(* Travel time of a request routed over [hops] overlay links. A 0-hop
+   lookup (the requester owns the identifier) costs nothing on the wire. *)
+let route_delay t hops =
+  let sum = ref 0.0 in
+  for _ = 1 to hops do
+    sum := !sum +. message_delay t
+  done;
+  !sum
+
+let submit t ~at ~from range =
+  (* Match and cache instantly — identical outcomes to the untimed
+     protocol — then replay the lookups on the simulated clock. *)
+  let result = System.query t.system ~from range in
+  let lookups =
+    List.combine result.System.stats.System.identifiers
+      result.System.stats.System.hops
+  in
+  let outstanding = ref (List.length lookups) in
+  let finish_at = ref at in
+  List.iter
+    (fun (identifier, hops) ->
+      let owner = System.owner_of_identifier t.system identifier in
+      let owner_id = Peer.id owner in
+      let arrival = at +. route_delay t hops in
+      Simnet.Engine.schedule t.engine ~at:arrival (fun engine ->
+          (* FIFO service at the owner. *)
+          let free =
+            Option.value (Hashtbl.find_opt t.busy_until owner_id) ~default:0.0
+          in
+          let start = Float.max free (Simnet.Engine.now engine) in
+          let done_at = start +. t.latency.service_ms in
+          Hashtbl.replace t.busy_until owner_id done_at;
+          Hashtbl.replace t.service_total owner_id
+            (t.latency.service_ms
+            +. Option.value (Hashtbl.find_opt t.service_total owner_id) ~default:0.0);
+          (* Direct reply to the requester. *)
+          let reply_at = done_at +. message_delay t in
+          Simnet.Engine.schedule engine ~at:reply_at (fun _ ->
+              if reply_at > !finish_at then finish_at := reply_at;
+              decr outstanding;
+              if !outstanding = 0 then
+                t.completed <- (at, !finish_at -. at) :: t.completed)))
+    lookups
+
+let run ?until t = Simnet.Engine.run ?until t.engine
+
+let completed t = List.rev t.completed
+
+let busiest_peer t =
+  Hashtbl.fold
+    (fun id total acc ->
+      match acc with
+      | Some (_, best) when best >= total -> acc
+      | Some _ | None -> Some (Peer.name (System.peer_by_id t.system id), total))
+    t.service_total None
+
+let utilization t ~horizon_ms =
+  if horizon_ms <= 0.0 then invalid_arg "Timed.utilization: bad horizon";
+  Hashtbl.fold (fun _ total acc -> Float.max acc (total /. horizon_ms)) t.service_total 0.0

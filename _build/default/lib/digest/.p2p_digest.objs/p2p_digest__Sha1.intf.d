@@ -1,0 +1,1 @@
+lib/digest/sha1.mli:

@@ -1,0 +1,1 @@
+lib/flood/overlay.ml: Array Hashtbl Int List Prng Rangeset Set

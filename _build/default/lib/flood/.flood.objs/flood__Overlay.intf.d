@@ -1,0 +1,1 @@
+lib/flood/overlay.mli: Rangeset

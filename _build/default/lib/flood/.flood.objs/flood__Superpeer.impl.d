@@ -1,0 +1,1 @@
+lib/flood/superpeer.ml: Array Hashtbl Int List Prng Rangeset Set

@@ -1,0 +1,1 @@
+lib/flood/superpeer.mli: Rangeset

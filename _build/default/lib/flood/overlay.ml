@@ -1,0 +1,110 @@
+module Range = Rangeset.Range
+module ISet = Set.Make (Int)
+
+type t = {
+  n : int;
+  adjacency : ISet.t array;
+  caches : Range.t list array;
+  mutable stored : int;
+}
+
+let create ~n ~degree ~seed =
+  if n < 2 then invalid_arg "Flood.Overlay.create: need at least two peers";
+  if degree < 2 then invalid_arg "Flood.Overlay.create: degree must be >= 2";
+  let adjacency = Array.make n ISet.empty in
+  let connect a b =
+    if a <> b then begin
+      adjacency.(a) <- ISet.add b adjacency.(a);
+      adjacency.(b) <- ISet.add a adjacency.(b)
+    end
+  in
+  (* Ring backbone guarantees connectivity. *)
+  for i = 0 to n - 1 do
+    connect i ((i + 1) mod n)
+  done;
+  (* Random chords until the average degree target is met. *)
+  let rng = Prng.Splitmix.create seed in
+  let target_edges = degree * n / 2 in
+  let edges = ref n in
+  let attempts = ref 0 in
+  while !edges < target_edges && !attempts < 100 * target_edges do
+    incr attempts;
+    let a = Prng.Splitmix.int rng n and b = Prng.Splitmix.int rng n in
+    if a <> b && not (ISet.mem b adjacency.(a)) then begin
+      connect a b;
+      incr edges
+    end
+  done;
+  { n; adjacency; caches = Array.make n []; stored = 0 }
+
+let size t = t.n
+
+let check_peer t peer =
+  if peer < 0 || peer >= t.n then invalid_arg "Flood.Overlay: unknown peer"
+
+let neighbours t peer =
+  check_peer t peer;
+  ISet.elements t.adjacency.(peer)
+
+let store t ~peer range =
+  check_peer t peer;
+  if not (List.exists (Range.equal range) t.caches.(peer)) then begin
+    t.caches.(peer) <- range :: t.caches.(peer);
+    t.stored <- t.stored + 1
+  end
+
+let stored_count t = t.stored
+
+type reply = {
+  best : (Range.t * float) option;
+  peers_reached : int;
+  messages : int;
+}
+
+let best_local t peer query =
+  List.fold_left
+    (fun acc r ->
+      let j = Range.jaccard query r in
+      if j <= 0.0 then acc
+      else
+        match acc with
+        | Some (_, bj) when bj >= j -> acc
+        | Some _ | None -> Some (r, j))
+    None t.caches.(peer)
+
+let flood_query t ~from ~ttl query =
+  check_peer t from;
+  if ttl < 0 then invalid_arg "Flood.Overlay.flood_query: negative ttl";
+  (* Breadth-first expansion: every peer forwards to all neighbours, and a
+     transmission is counted per edge traversal toward a peer, whether or
+     not that peer already saw the query (as in real flooding, where
+     duplicate suppression happens at the receiver). *)
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen from ();
+  let messages = ref 0 in
+  let best = ref (best_local t from query) in
+  let frontier = ref [ from ] in
+  let depth = ref 0 in
+  while !frontier <> [] && !depth < ttl do
+    incr depth;
+    let next = ref [] in
+    List.iter
+      (fun peer ->
+        ISet.iter
+          (fun neighbour ->
+            incr messages;
+            if not (Hashtbl.mem seen neighbour) then begin
+              Hashtbl.replace seen neighbour ();
+              (match best_local t neighbour query with
+              | Some (r, j) -> (
+                match !best with
+                | Some (_, bj) when bj >= j -> ()
+                | Some _ | None -> best := Some (r, j))
+              | None -> ());
+              next := neighbour :: !next
+            end)
+          t.adjacency.(peer))
+      !frontier;
+    frontier := !next
+  done;
+  { best = !best; peers_reached = Hashtbl.length seen; messages = !messages }

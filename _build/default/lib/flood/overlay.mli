@@ -1,0 +1,41 @@
+(** An unstructured, Gnutella-style overlay — the baseline architecture the
+    paper's introduction argues against.
+
+    Peers form a random graph and keep purely local caches; a query is
+    flooded to every peer within a TTL radius, each contacted peer reports
+    its best local match, and the requester keeps the best reply. Flooding
+    finds whatever similar partition exists within the horizon — at a
+    message cost that grows with the whole neighbourhood, versus the DHT's
+    O(l·log N) targeted lookups. The bench's [baseline-unstructured]
+    section quantifies the trade-off on the paper's workload. *)
+
+type t
+
+val create : n:int -> degree:int -> seed:int64 -> t
+(** A connected random graph over peers [0 … n-1]: a ring backbone (to
+    guarantee connectivity) plus random extra edges until the average
+    degree reaches [degree]. @raise Invalid_argument if [n < 2] or
+    [degree < 2]. *)
+
+val size : t -> int
+val neighbours : t -> int -> int list
+(** @raise Invalid_argument for unknown peers. *)
+
+val store : t -> peer:int -> Rangeset.Range.t -> unit
+(** Caches a range partition at one peer (local caching: peers keep what
+    they themselves fetched). Idempotent per (peer, range). *)
+
+val stored_count : t -> int
+
+type reply = {
+  best : (Rangeset.Range.t * float) option;
+      (** best match within the horizon and its Jaccard similarity *)
+  peers_reached : int;  (** peers that saw the query (incl. the source) *)
+  messages : int;
+      (** query transmissions: one per edge traversal during the flood *)
+}
+
+val flood_query : t -> from:int -> ttl:int -> Rangeset.Range.t -> reply
+(** Breadth-first flood to all peers within [ttl] hops; every reached peer
+    reports its best-Jaccard local candidate.
+    @raise Invalid_argument for unknown peers or [ttl < 0]. *)

@@ -1,0 +1,109 @@
+module Range = Rangeset.Range
+module ISet = Set.Make (Int)
+
+type t = {
+  n_peers : int;
+  n_superpeers : int;
+  adjacency : ISet.t array; (* superpeer graph *)
+  indexes : Range.t list array; (* per-superpeer partition index *)
+  mutable indexed : int;
+}
+
+let create ~n_peers ~n_superpeers ~degree ~seed =
+  if n_superpeers < 2 then
+    invalid_arg "Superpeer.create: need at least two superpeers";
+  if n_peers < n_superpeers then
+    invalid_arg "Superpeer.create: fewer peers than superpeers";
+  if degree < 2 then invalid_arg "Superpeer.create: degree must be >= 2";
+  let adjacency = Array.make n_superpeers ISet.empty in
+  let connect a b =
+    if a <> b then begin
+      adjacency.(a) <- ISet.add b adjacency.(a);
+      adjacency.(b) <- ISet.add a adjacency.(b)
+    end
+  in
+  for i = 0 to n_superpeers - 1 do
+    connect i ((i + 1) mod n_superpeers)
+  done;
+  let rng = Prng.Splitmix.create seed in
+  let target_edges = degree * n_superpeers / 2 in
+  let edges = ref n_superpeers and attempts = ref 0 in
+  while !edges < target_edges && !attempts < 100 * target_edges do
+    incr attempts;
+    let a = Prng.Splitmix.int rng n_superpeers in
+    let b = Prng.Splitmix.int rng n_superpeers in
+    if a <> b && not (ISet.mem b adjacency.(a)) then begin
+      connect a b;
+      incr edges
+    end
+  done;
+  {
+    n_peers;
+    n_superpeers;
+    adjacency;
+    indexes = Array.make n_superpeers [];
+    indexed = 0;
+  }
+
+let size t = t.n_peers
+let superpeer_count t = t.n_superpeers
+
+let superpeer_of t peer =
+  if peer < 0 || peer >= t.n_peers then
+    invalid_arg "Superpeer: unknown leaf peer";
+  peer mod t.n_superpeers
+
+let store t ~peer range =
+  let sp = superpeer_of t peer in
+  if not (List.exists (Range.equal range) t.indexes.(sp)) then begin
+    t.indexes.(sp) <- range :: t.indexes.(sp);
+    t.indexed <- t.indexed + 1
+  end
+
+let indexed_count t = t.indexed
+
+type reply = {
+  best : (Range.t * float) option;
+  superpeers_reached : int;
+  messages : int;
+}
+
+let best_of t sp query acc =
+  List.fold_left
+    (fun acc r ->
+      let j = Range.jaccard query r in
+      if j <= 0.0 then acc
+      else
+        match acc with
+        | Some (_, bj) when bj >= j -> acc
+        | Some _ | None -> Some (r, j))
+    acc t.indexes.(sp)
+
+let query t ~from ~ttl range =
+  if ttl < 0 then invalid_arg "Superpeer.query: negative ttl";
+  let home = superpeer_of t from in
+  (* One message leaf -> superpeer, then a BFS flood over superpeers. *)
+  let messages = ref 1 in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen home ();
+  let best = ref (best_of t home range None) in
+  let frontier = ref [ home ] in
+  let depth = ref 0 in
+  while !frontier <> [] && !depth < ttl do
+    incr depth;
+    let next = ref [] in
+    List.iter
+      (fun sp ->
+        ISet.iter
+          (fun neighbour ->
+            incr messages;
+            if not (Hashtbl.mem seen neighbour) then begin
+              Hashtbl.replace seen neighbour ();
+              best := best_of t neighbour range !best;
+              next := neighbour :: !next
+            end)
+          t.adjacency.(sp))
+      !frontier;
+    frontier := !next
+  done;
+  { best = !best; superpeers_reached = Hashtbl.length seen; messages = !messages }

@@ -1,0 +1,45 @@
+(** A two-tier superpeer overlay (KaZaA-style) — the middle point of the
+    paper's §1 design space between Napster's central index and Gnutella's
+    flat flooding.
+
+    Leaf peers register their cached partitions with their superpeer; a
+    query travels leaf → superpeer (one message), is answered from the
+    superpeer's index, and floods onward only through the {e superpeer}
+    graph within a TTL. Compared with flat flooding, each hop covers a
+    whole cluster of leaves, so the reach/message ratio improves by the
+    cluster size — but the superpeers remain a scalability and failure
+    bottleneck, which is the paper's argument for DHTs. *)
+
+type t
+
+val create :
+  n_peers:int -> n_superpeers:int -> degree:int -> seed:int64 -> t
+(** Leaves [0 … n_peers-1] are assigned round-robin to superpeers
+    [0 … n_superpeers-1]; superpeers form a connected random graph of the
+    given average [degree]. @raise Invalid_argument if
+    [n_superpeers < 2], [n_peers < n_superpeers] or [degree < 2]. *)
+
+val size : t -> int
+val superpeer_count : t -> int
+
+val superpeer_of : t -> int -> int
+(** The superpeer a leaf registers with. @raise Invalid_argument for
+    unknown leaves. *)
+
+val store : t -> peer:int -> Rangeset.Range.t -> unit
+(** Registers a cached partition in the leaf's superpeer index.
+    Idempotent per (superpeer, range). *)
+
+val indexed_count : t -> int
+
+type reply = {
+  best : (Rangeset.Range.t * float) option;
+  superpeers_reached : int;
+  messages : int;
+      (** leaf→superpeer request plus one message per superpeer-graph edge
+          traversal during the flood *)
+}
+
+val query : t -> from:int -> ttl:int -> Rangeset.Range.t -> reply
+(** [ttl] bounds the flood depth over the superpeer graph (0 = only the
+    leaf's own superpeer). Matching is best-Jaccard, as in {!Overlay}. *)

@@ -1,0 +1,1 @@
+lib/lsh/bit_perm.ml: Array List Prng

@@ -1,0 +1,1 @@
+lib/lsh/bit_perm.mli: Prng

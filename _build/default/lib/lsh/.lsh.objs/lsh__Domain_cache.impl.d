@@ -1,0 +1,1 @@
+lib/lsh/domain_cache.ml: Array Family Rangeset Scheme Stdlib

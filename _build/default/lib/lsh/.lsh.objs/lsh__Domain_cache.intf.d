@@ -1,0 +1,1 @@
+lib/lsh/domain_cache.mli: Rangeset Scheme

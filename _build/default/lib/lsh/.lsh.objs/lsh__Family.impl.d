@@ -1,0 +1,1 @@
+lib/lsh/family.ml: Array Bit_perm Format Linear_perm List Option Printf Prng Rangeset String

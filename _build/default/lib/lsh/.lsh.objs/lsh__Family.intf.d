@@ -1,0 +1,1 @@
+lib/lsh/family.mli: Prng Rangeset

@@ -1,0 +1,1 @@
+lib/lsh/linear_perm.ml: Prng

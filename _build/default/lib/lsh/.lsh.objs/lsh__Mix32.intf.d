@@ -1,0 +1,1 @@
+lib/lsh/mix32.mli:

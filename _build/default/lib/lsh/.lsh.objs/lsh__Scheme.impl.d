@@ -1,0 +1,1 @@
+lib/lsh/scheme.ml: Array Family Format List Printf String

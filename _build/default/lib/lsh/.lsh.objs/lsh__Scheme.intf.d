@@ -1,0 +1,1 @@
+lib/lsh/scheme.mli: Family Prng Rangeset

@@ -1,0 +1,86 @@
+type t = {
+  bits : int;
+  levels : int;
+  keys : int array; (* keys.(i) drives level i; width bits lsr i *)
+}
+
+let bits t = t.bits
+let levels t = t.levels
+let keys t = Array.copy t.keys
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let max_levels bits =
+  (* Shuffling stops once blocks are 2 bits wide: widths bits, bits/2, …, 2. *)
+  let rec go w acc = if w <= 1 then acc else go (w / 2) (acc + 1) in
+  go bits 0
+
+let check_bits bits =
+  if bits < 2 || bits > 62 || bits land (bits - 1) <> 0 then
+    invalid_arg "Bit_perm: bits must be a power of two in [2, 62]"
+
+let random ?(bits = 32) ?levels rng =
+  check_bits bits;
+  let full = max_levels bits in
+  let levels = match levels with None -> full | Some l -> l in
+  if levels < 1 || levels > full then invalid_arg "Bit_perm.random: bad levels";
+  let key_of_width width =
+    let ones = Prng.Splitmix.sample_distinct rng (width / 2) ~lo:0 ~hi:(width - 1) in
+    List.fold_left (fun k pos -> k lor (1 lsl pos)) 0 ones
+  in
+  let keys = Array.init levels (fun i -> key_of_width (bits lsr i)) in
+  { bits; levels; keys }
+
+let of_keys ~bits keys =
+  check_bits bits;
+  let levels = Array.length keys in
+  if levels < 1 || levels > max_levels bits then
+    invalid_arg "Bit_perm.of_keys: wrong number of keys";
+  Array.iteri
+    (fun i key ->
+      let width = bits lsr i in
+      if key < 0 || key lsr width <> 0 then
+        invalid_arg "Bit_perm.of_keys: key exceeds its level width";
+      if popcount key <> width / 2 then
+        invalid_arg "Bit_perm.of_keys: key must have exactly half its bits set")
+    keys;
+  { bits; levels; keys = Array.copy keys }
+
+(* Rearranges one [width]-bit block: bits at the key's one-positions move in
+   order to the upper half, the rest in order to the lower half. *)
+let shuffle_block block key width =
+  let half = width / 2 in
+  let hi = ref 0 and lo = ref 0 and nhi = ref 0 and nlo = ref 0 in
+  for pos = 0 to width - 1 do
+    let bit = (block lsr pos) land 1 in
+    if (key lsr pos) land 1 = 1 then begin
+      hi := !hi lor (bit lsl !nhi);
+      incr nhi
+    end
+    else begin
+      lo := !lo lor (bit lsl !nlo);
+      incr nlo
+    end
+  done;
+  (!hi lsl half) lor !lo
+
+let apply t x =
+  if x < 0 || (t.bits < 62 && x lsr t.bits <> 0) then
+    invalid_arg "Bit_perm.apply: value outside the permuted domain";
+  let y = ref x in
+  for level = 0 to t.levels - 1 do
+    let width = t.bits lsr level in
+    let key = t.keys.(level) in
+    let mask = (1 lsl width) - 1 in
+    let blocks = t.bits / width in
+    let next = ref 0 in
+    for b = 0 to blocks - 1 do
+      let shift = b * width in
+      let block = (!y lsr shift) land mask in
+      next := !next lor (shuffle_block block key width lsl shift)
+    done;
+    y := !next
+  done;
+  !y

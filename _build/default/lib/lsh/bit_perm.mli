@@ -1,0 +1,41 @@
+(** Min-wise independent permutations built from the recursive bit-shuffle
+    network of the paper's Figure 3.
+
+    A permutation of [w]-bit integers is described by one key per level:
+    level 0 holds a [w]-bit key with exactly [w/2] one-bits, level 1 a
+    [w/2]-bit key with [w/4] one-bits, and so on down to 2-bit blocks. At
+    each level every block of the current width is rearranged by its key:
+    the bits of the block sitting at the key's one-positions move (in order)
+    to the block's upper half, the remaining bits (in order) to the lower
+    half. Composing all [log2 w - 1] levels yields a permutation of
+    [{0, …, 2{^w} - 1}].
+
+    The paper uses [w = 32]; the full network is its "min-wise independent
+    permutations", and the level-0-only variant is its computationally
+    cheaper "approximate min-wise independent permutations". *)
+
+type t
+
+val bits : t -> int
+(** Word width [w] of the permuted domain. *)
+
+val levels : t -> int
+(** Number of shuffle levels actually applied. *)
+
+val random : ?bits:int -> ?levels:int -> Prng.Splitmix.t -> t
+(** [random rng] draws the per-level keys uniformly among keys with exactly
+    half their bits set. [bits] defaults to 32 and must be a power of two in
+    [{2, 4, …, 64}]. [levels] caps how many levels are applied: the default
+    [log2 bits - 1] gives the full network; [levels = 1] gives the paper's
+    approximate variant. @raise Invalid_argument on bad arguments. *)
+
+val apply : t -> int -> int
+(** [apply t x] permutes [x]; [x] must be in [\[0, 2{^bits})]. *)
+
+val keys : t -> int array
+(** The per-level keys (level 0 first) — exposed for serialization and
+    tests; the paper notes the whole key material fits two machine words. *)
+
+val of_keys : bits:int -> int array -> t
+(** Rebuilds a permutation from stored keys.
+    @raise Invalid_argument if a key has the wrong popcount or width. *)

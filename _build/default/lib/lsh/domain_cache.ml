@@ -1,0 +1,63 @@
+module Range = Rangeset.Range
+
+(* One sparse table per hash function: table.(j).(i) is the minimum permuted
+   value over domain positions [i, i + 2^j). *)
+type rmq = int array array
+
+type t = {
+  scheme : Scheme.t;
+  domain : Range.t;
+  tables : rmq array array; (* mirrors Scheme.functions: l rows of k *)
+}
+
+let floor_log2 n =
+  let rec go n acc = if n <= 1 then acc else go (n / 2) (acc + 1) in
+  go n 0
+
+let build_rmq fn domain =
+  let d = Range.cardinal domain in
+  let base = Array.init d (fun i -> Family.apply fn (Range.lo domain + i)) in
+  let levels = floor_log2 d + 1 in
+  let tables = Array.make levels base in
+  for j = 1 to levels - 1 do
+    let span = 1 lsl j in
+    let prev = tables.(j - 1) in
+    let width = d - span + 1 in
+    if width <= 0 then tables.(j) <- [||]
+    else
+      tables.(j) <-
+        Array.init width (fun i -> Stdlib.min prev.(i) prev.(i + (span / 2)))
+  done;
+  tables
+
+let build scheme ~domain =
+  let tables =
+    Array.map (Array.map (fun fn -> build_rmq fn domain)) (Scheme.functions scheme)
+  in
+  { scheme; domain; tables }
+
+let scheme t = t.scheme
+let domain t = t.domain
+
+let range_min (rmq : rmq) ~pos ~len =
+  if len = 1 then rmq.(0).(pos)
+  else begin
+    let j = floor_log2 len in
+    let a = rmq.(j).(pos) and b = rmq.(j).(pos + len - (1 lsl j)) in
+    Stdlib.min a b
+  end
+
+let identifiers t range =
+  if not (Range.contains ~outer:t.domain ~inner:range) then
+    invalid_arg "Domain_cache.identifiers: range outside the cached domain";
+  let pos = Range.lo range - Range.lo t.domain in
+  let len = Range.cardinal range in
+  let fold =
+    match Scheme.combining t.scheme with
+    | Scheme.Xor -> fun acc rmq -> acc lxor range_min rmq ~pos ~len
+    | Scheme.Sum_mod -> fun acc rmq -> acc + range_min rmq ~pos ~len
+  in
+  Array.to_list
+    (Array.map
+       (fun row -> Array.fold_left fold 0 row land 0xFFFFFFFF)
+       t.tables)

@@ -1,0 +1,40 @@
+let mask = 0xFFFFFFFF
+
+let check id =
+  if id < 0 || id > mask then invalid_arg "Mix32: identifier outside 32 bits"
+
+(* MurmurHash3 fmix32. Each step — xor with a right shift, or multiply by
+   an odd constant mod 2^32 — is individually invertible, so the chain is a
+   bijection of [0, 2^32). *)
+let mix id =
+  check id;
+  let x = id in
+  let x = x lxor (x lsr 16) in
+  let x = x * 0x85EBCA6B land mask in
+  let x = x lxor (x lsr 13) in
+  let x = x * 0xC2B2AE35 land mask in
+  x lxor (x lsr 16)
+
+(* Inverses: the modular inverses of the multipliers, and the standard
+   unwind of x ^= x >> s (apply repeatedly until all bits recovered). *)
+let inv_85ebca6b = 0xA5CB9243 (* 0x85EBCA6B * 0xA5CB9243 ≡ 1 (mod 2^32) *)
+let inv_c2b2ae35 = 0x7ED1B41D (* 0xC2B2AE35 * 0x7ED1B41D ≡ 1 (mod 2^32) *)
+
+(* Invert y = x ^ (x >> s): the top s bits of y are already x's; each pass
+   y := input ^ (y >> s) recovers the next s bits, until all 32 are back. *)
+let unshift_right input s =
+  let y = ref input in
+  let recovered = ref s in
+  while !recovered < 32 do
+    y := input lxor (!y lsr s);
+    recovered := !recovered + s
+  done;
+  !y land mask
+
+let unmix id =
+  check id;
+  let x = unshift_right id 16 in
+  let x = x * inv_c2b2ae35 land mask in
+  let x = unshift_right x 13 in
+  let x = x * inv_85ebca6b land mask in
+  unshift_right x 16

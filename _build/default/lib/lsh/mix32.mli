@@ -1,0 +1,24 @@
+(** A bijective finalizer over 32-bit identifiers.
+
+    XOR'd min-hash identifiers are far from uniform on the ring: each
+    min-hash has structurally-fixed zero bit positions, so identifiers
+    cluster and a few peers own most buckets (visible in Figure 11's wide
+    percentile band, and fatal for capacity-bounded caches — see
+    [ablation-eviction]).
+
+    Because bucket matching only ever tests identifier {e equality}, any
+    {e bijection} of the identifier space preserves every collision — and
+    therefore every match-quality result — while freely rearranging
+    placement. This module provides the MurmurHash3 32-bit finalizer (an
+    invertible xor-shift/multiply chain) and its exact inverse; applying it
+    spreads identifiers near-uniformly over the ring.
+
+    Enabled per system with [Config.spread_identifiers]; off by default to
+    stay faithful to the paper. *)
+
+val mix : int -> int
+(** [mix id] for [id] in [\[0, 2{^32})]; a bijection of that space.
+    @raise Invalid_argument outside the range. *)
+
+val unmix : int -> int
+(** Exact inverse: [unmix (mix id) = id] for all valid [id]. *)

@@ -1,0 +1,1 @@
+lib/prng/distribution.ml: Array Float Splitmix Stdlib

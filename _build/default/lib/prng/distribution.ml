@@ -1,0 +1,59 @@
+type zipf_table = { cumulative : float array }
+
+let zipf_table ~n ~s =
+  if n <= 0 then invalid_arg "Distribution.zipf_table: n must be positive";
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 1 to n do
+    total := !total +. (1.0 /. Float.pow (float_of_int r) s);
+    cumulative.(r - 1) <- !total
+  done;
+  for i = 0 to n - 1 do
+    cumulative.(i) <- cumulative.(i) /. !total
+  done;
+  { cumulative }
+
+let sample_zipf { cumulative } rng =
+  let u = Splitmix.float rng in
+  (* Smallest index whose cumulative weight covers u. *)
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if cumulative.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length cumulative - 1)
+
+type t =
+  | Uniform of { lo : int; hi : int }
+  | Zipf of { n : int; s : float }
+  | Normal_clamped of { mean : float; stddev : float; lo : int; hi : int }
+
+let box_muller rng =
+  let rec nonzero () =
+    let u = Splitmix.float rng in
+    if u = 0.0 then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = Splitmix.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let sample t rng =
+  match t with
+  | Uniform { lo; hi } -> Splitmix.int_in_range rng ~lo ~hi
+  | Zipf { n; s } -> sample_zipf (zipf_table ~n ~s) rng
+  | Normal_clamped { mean; stddev; lo; hi } ->
+    let z = box_muller rng in
+    let v = int_of_float (Float.round (mean +. (stddev *. z))) in
+    Stdlib.max lo (Stdlib.min hi v)
+
+let mean = function
+  | Uniform { lo; hi } -> float_of_int (lo + hi) /. 2.0
+  | Zipf { n; s } ->
+    let num = ref 0.0 and den = ref 0.0 in
+    for r = 1 to n do
+      let w = 1.0 /. Float.pow (float_of_int r) s in
+      num := !num +. (float_of_int r *. w);
+      den := !den +. w
+    done;
+    !num /. !den
+  | Normal_clamped { mean; _ } -> mean

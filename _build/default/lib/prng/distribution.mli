@@ -1,0 +1,30 @@
+(** Sampling from common discrete distributions, driven by {!Splitmix}.
+
+    The workload generators of the experiments draw query-range endpoints and
+    widths from these distributions. The paper's §5 workload is uniform; Zipf
+    and normal variants are provided for the extension experiments (skewed
+    query popularity is the norm in real P2P traces). *)
+
+type t =
+  | Uniform of { lo : int; hi : int }
+      (** Uniform over the inclusive range [\[lo, hi\]]. *)
+  | Zipf of { n : int; s : float }
+      (** Zipf over ranks [\[1, n\]] with exponent [s]; rank r has probability
+          proportional to [1 / r{^s}]. Sampled by inverted-CDF binary search
+          over precomputed cumulative weights. *)
+  | Normal_clamped of { mean : float; stddev : float; lo : int; hi : int }
+      (** Gaussian (Box–Muller) rounded to the nearest integer and clamped
+          into [\[lo, hi\]]. *)
+
+val sample : t -> Splitmix.t -> int
+(** [sample dist rng] draws one value. For [Zipf] the value is the rank in
+    [\[1, n\]]. *)
+
+val mean : t -> float
+(** The exact mean of the distribution ([Normal_clamped] ignores clamping). *)
+
+type zipf_table
+(** Precomputed cumulative table for repeated Zipf sampling in O(log n). *)
+
+val zipf_table : n:int -> s:float -> zipf_table
+val sample_zipf : zipf_table -> Splitmix.t -> int

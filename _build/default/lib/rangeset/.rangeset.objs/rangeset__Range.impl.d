@@ -1,0 +1,1 @@
+lib/rangeset/range.ml: Format Int List Stdlib

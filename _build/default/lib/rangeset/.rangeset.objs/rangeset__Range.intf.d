@@ -1,0 +1,1 @@
+lib/rangeset/range.mli: Format

@@ -1,0 +1,1 @@
+lib/rangeset/range_set.ml: Format List Range Stdlib

@@ -1,0 +1,1 @@
+lib/rangeset/range_set.mli: Format Range

@@ -1,0 +1,113 @@
+(* Invariant: the list holds disjoint, non-adjacent ranges in increasing
+   order, i.e. for consecutive runs a, b: Range.hi a + 1 < Range.lo b. *)
+type t = Range.t list
+
+let empty = []
+let is_empty t = t = []
+
+let of_range r = [ r ]
+
+(* Coalesce a sorted-by-lo list of ranges into the normal form. *)
+let normalize sorted =
+  let merge acc r =
+    match acc with
+    | [] -> [ r ]
+    | prev :: rest ->
+      if Range.lo r <= Range.hi prev + 1 then
+        Range.make ~lo:(Range.lo prev) ~hi:(Stdlib.max (Range.hi prev) (Range.hi r)) :: rest
+      else r :: acc
+  in
+  List.rev (List.fold_left merge [] sorted)
+
+let of_ranges rs = normalize (List.sort Range.compare rs)
+
+let of_values vs = of_ranges (List.map Range.point vs)
+
+let ranges t = t
+
+let cardinal t = List.fold_left (fun acc r -> acc + Range.cardinal r) 0 t
+
+let mem v t = List.exists (Range.mem v) t
+
+let min_elt = function [] -> None | r :: _ -> Some (Range.lo r)
+
+let max_elt t =
+  match List.rev t with [] -> None | r :: _ -> Some (Range.hi r)
+
+let union a b = of_ranges (a @ b)
+
+let add_range r t = union [ r ] t
+
+let inter a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | ra :: resta, rb :: restb -> (
+      let acc =
+        match Range.intersect ra rb with
+        | Some r -> r :: acc
+        | None -> acc
+      in
+      (* Advance whichever run ends first. *)
+      if Range.hi ra < Range.hi rb then go resta b acc else go a restb acc)
+  in
+  go a b []
+
+let diff a b =
+  (* Subtract each run of b from the runs of a, walking both lists once. *)
+  let rec go a b acc =
+    match a with
+    | [] -> List.rev acc
+    | ra :: resta -> (
+      match b with
+      | [] -> List.rev_append acc a
+      | rb :: restb ->
+        if Range.hi rb < Range.lo ra then go a restb acc
+        else if Range.hi ra < Range.lo rb then go resta b (ra :: acc)
+        else begin
+          (* Overlap: keep the part of ra before rb, continue with the part
+             after rb (which may still meet later runs of b). *)
+          let acc =
+            if Range.lo ra < Range.lo rb then
+              Range.make ~lo:(Range.lo ra) ~hi:(Range.lo rb - 1) :: acc
+            else acc
+          in
+          if Range.hi ra > Range.hi rb then
+            go (Range.make ~lo:(Range.hi rb + 1) ~hi:(Range.hi ra) :: resta) restb acc
+          else go resta b acc
+        end)
+  in
+  go a b []
+
+let equal a b = List.equal Range.equal a b
+
+let subset a b = is_empty (diff a b)
+
+let jaccard a b =
+  if is_empty a && is_empty b then 1.0
+  else begin
+    let i = cardinal (inter a b) in
+    let u = cardinal a + cardinal b - i in
+    float_of_int i /. float_of_int u
+  end
+
+let containment ~query ~answer =
+  if is_empty query then 1.0
+  else
+    float_of_int (cardinal (inter query answer)) /. float_of_int (cardinal query)
+
+let iter f t = List.iter (Range.iter_values f) t
+
+let fold f init t = List.fold_left (fun acc r -> Range.fold_values f acc r) init t
+
+let to_values t = List.concat_map Range.to_values t
+
+let pp ppf t =
+  match t with
+  | [] -> Format.pp_print_string ppf "{}"
+  | rs ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∪ ")
+         Range.pp)
+      rs

@@ -1,0 +1,52 @@
+(** Finite sets of integers represented as disjoint, sorted, non-adjacent
+    inclusive ranges.
+
+    The LSH machinery hashes *value sets*; for the single-attribute queries
+    of the paper these are contiguous ranges, but the generalized operations
+    (union of partitions cached at a peer, multi-attribute extensions,
+    set-difference diagnostics in tests) need proper set algebra, which this
+    module provides in time linear in the number of runs. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val of_range : Range.t -> t
+val of_ranges : Range.t list -> t
+(** Normalizes: overlapping or adjacent input ranges are coalesced. *)
+
+val of_values : int list -> t
+(** Builds from arbitrary (possibly duplicated, unsorted) values. *)
+
+val ranges : t -> Range.t list
+(** The normalized runs in increasing order. *)
+
+val cardinal : t -> int
+val mem : int -> t -> bool
+val min_elt : t -> int option
+val max_elt : t -> int option
+
+val add_range : Range.t -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] — is every element of [a] in [b]? *)
+
+val jaccard : t -> t -> float
+(** [|A ∩ B| / |A ∪ B|]; 1.0 when both sets are empty. *)
+
+val containment : query:t -> answer:t -> float
+(** [|Q ∩ R| / |Q|]; 1.0 when the query is empty. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Visits every element in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val to_values : t -> int list
+
+val pp : Format.formatter -> t -> unit
+(** Renders e.g. ["{[1, 4] ∪ [9, 9]}"]. *)

@@ -1,0 +1,1 @@
+lib/relational/column_stats.ml: Array Float Format Hashtbl List Option Predicate Relation Schema Stdlib String Value

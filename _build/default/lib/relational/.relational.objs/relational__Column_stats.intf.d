@@ -1,0 +1,1 @@
+lib/relational/column_stats.mli: Format Predicate Relation

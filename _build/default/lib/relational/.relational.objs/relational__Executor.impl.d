@@ -1,0 +1,1 @@
+lib/relational/executor.ml: Array Hashtbl List Predicate Query Relation Schema Stdlib

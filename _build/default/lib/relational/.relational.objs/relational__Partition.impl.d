@@ -1,0 +1,1 @@
+lib/relational/partition.ml: Format List Rangeset Relation Value

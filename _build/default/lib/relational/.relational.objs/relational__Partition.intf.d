@@ -1,0 +1,1 @@
+lib/relational/partition.mli: Format Rangeset Relation

@@ -1,0 +1,1 @@
+lib/relational/planner.ml: List Predicate Query Schema

@@ -1,0 +1,1 @@
+lib/relational/planner.mli: Predicate Query Schema

@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Format Rangeset Relation Stdlib Value

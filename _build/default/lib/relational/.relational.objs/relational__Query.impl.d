@@ -1,0 +1,1 @@
+lib/relational/query.ml: Format List Predicate Schema String

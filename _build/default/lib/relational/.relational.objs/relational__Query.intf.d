@@ -1,0 +1,1 @@
+lib/relational/query.mli: Format Predicate Schema

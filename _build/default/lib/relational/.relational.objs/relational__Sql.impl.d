@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Column_stats Format Hashtbl List Predicate Query Schema Sql_ast Sql_parser String Value

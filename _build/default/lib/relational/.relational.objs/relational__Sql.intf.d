@@ -1,0 +1,1 @@
+lib/relational/sql.mli: Column_stats Query Schema Sql_ast

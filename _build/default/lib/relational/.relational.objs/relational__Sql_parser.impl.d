@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Format List Sql_ast Sql_lexer Sql_token Value

@@ -1,0 +1,1 @@
+lib/relational/sql_token.ml: Float Format Int Printf String

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Float Format Int Printf String

@@ -1,0 +1,162 @@
+type shape =
+  | Histogram of {
+      lo : int; (* min rank *)
+      hi : int; (* max rank *)
+      counts : int array; (* rows per equi-width bucket *)
+      distinct : int array; (* distinct ranks per bucket *)
+    }
+  | Frequencies of (Value.t, int) Hashtbl.t
+
+type t = { rows : int; shape : shape }
+
+let bucket_of ~lo ~hi ~bins rank =
+  if hi = lo then 0
+  else begin
+    let f = float_of_int (rank - lo) /. float_of_int (hi - lo + 1) in
+    Stdlib.min (bins - 1) (int_of_float (f *. float_of_int bins))
+  end
+
+let of_relation ?(bins = 20) relation ~column =
+  let values = Relation.column_values relation column in
+  let rows = List.length values in
+  let ranks = List.map Value.to_rank values in
+  let shape =
+    match ranks with
+    | Some _ :: _ when List.for_all Option.is_some ranks ->
+      let ranks = List.map Option.get ranks in
+      let lo = List.fold_left Stdlib.min max_int ranks in
+      let hi = List.fold_left Stdlib.max min_int ranks in
+      let counts = Array.make bins 0 in
+      let per_bucket = Array.init bins (fun _ -> Hashtbl.create 8) in
+      List.iter
+        (fun r ->
+          let b = bucket_of ~lo ~hi ~bins r in
+          counts.(b) <- counts.(b) + 1;
+          Hashtbl.replace per_bucket.(b) r ())
+        ranks;
+      Histogram { lo; hi; counts; distinct = Array.map Hashtbl.length per_bucket }
+    | _ ->
+      let freq = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          Hashtbl.replace freq v (1 + Option.value (Hashtbl.find_opt freq v) ~default:0))
+        values;
+      Frequencies freq
+  in
+  { rows; shape }
+
+let row_count t = t.rows
+
+let distinct_estimate t =
+  match t.shape with
+  | Histogram { distinct; _ } -> Array.fold_left ( + ) 0 distinct
+  | Frequencies freq -> Hashtbl.length freq
+
+(* Estimated rows with rank in [qlo, qhi], by bucket overlap with intra-
+   bucket uniformity. *)
+let rows_in_range ~lo ~hi ~counts qlo qhi =
+  if qhi < qlo || hi < qlo || qhi < lo then 0.0
+  else begin
+    let bins = Array.length counts in
+    let width = float_of_int (hi - lo + 1) /. float_of_int bins in
+    let sum = ref 0.0 in
+    for b = 0 to bins - 1 do
+      let b_lo = float_of_int lo +. (float_of_int b *. width) in
+      let b_hi = b_lo +. width in
+      let o_lo = Float.max b_lo (float_of_int qlo) in
+      let o_hi = Float.min b_hi (float_of_int qhi +. 1.0) in
+      if o_hi > o_lo then
+        sum := !sum +. (float_of_int counts.(b) *. ((o_hi -. o_lo) /. width))
+    done;
+    !sum
+  end
+
+let selectivity t comparison =
+  if t.rows = 0 then 0.0
+  else begin
+    let rows = float_of_int t.rows in
+    let fraction =
+      match (t.shape, comparison) with
+      | Histogram { lo; hi; counts; _ }, Predicate.Between (a, b) -> (
+        match (Value.to_rank a, Value.to_rank b) with
+        | Some qlo, Some qhi -> rows_in_range ~lo ~hi ~counts qlo qhi /. rows
+        | _ -> 0.0)
+      | Histogram { lo; hi; counts; _ }, Predicate.At_most v -> (
+        match Value.to_rank v with
+        | Some r -> rows_in_range ~lo ~hi ~counts lo r /. rows
+        | None -> 0.0)
+      | Histogram { lo; hi; counts; _ }, Predicate.At_least v -> (
+        match Value.to_rank v with
+        | Some r -> rows_in_range ~lo ~hi ~counts r hi /. rows
+        | None -> 0.0)
+      | Histogram _, Predicate.Eq v -> (
+        match Value.to_rank v with
+        | Some _ ->
+          let d = Stdlib.max 1 (distinct_estimate t) in
+          1.0 /. float_of_int d
+        | None -> 0.0)
+      | Frequencies freq, Predicate.Eq v ->
+        float_of_int (Option.value (Hashtbl.find_opt freq v) ~default:0) /. rows
+      | Frequencies freq, Predicate.At_most v ->
+        let matched = ref 0 in
+        Hashtbl.iter
+          (fun value count ->
+            match Value.compare value v with
+            | c when c <= 0 -> matched := !matched + count
+            | _ | (exception Invalid_argument _) -> ())
+          freq;
+        float_of_int !matched /. rows
+      | Frequencies freq, Predicate.At_least v ->
+        let matched = ref 0 in
+        Hashtbl.iter
+          (fun value count ->
+            match Value.compare value v with
+            | c when c >= 0 -> matched := !matched + count
+            | _ | (exception Invalid_argument _) -> ())
+          freq;
+        float_of_int !matched /. rows
+      | Frequencies freq, Predicate.Between (a, b) ->
+        let matched = ref 0 in
+        Hashtbl.iter
+          (fun value count ->
+            match (Value.compare a value, Value.compare value b) with
+            | x, y when x <= 0 && y <= 0 -> matched := !matched + count
+            | _ | (exception Invalid_argument _) -> ())
+          freq;
+        float_of_int !matched /. rows
+    in
+    Float.max 0.0 (Float.min 1.0 fraction)
+  end
+
+type table = { total_rows : int; columns : (string * t) list }
+
+let table_of_relation ?bins relation =
+  let schema = Relation.schema relation in
+  {
+    total_rows = Relation.cardinality relation;
+    columns =
+      List.map
+        (fun (name, _) -> (name, of_relation ?bins relation ~column:name))
+        (Schema.columns schema);
+  }
+
+let table_rows t = t.total_rows
+
+let estimate_rows t predicates =
+  List.fold_left
+    (fun acc pred ->
+      match List.assoc_opt pred.Predicate.attribute t.columns with
+      | Some stats -> acc *. selectivity stats pred.Predicate.comparison
+      | None -> acc)
+    (float_of_int t.total_rows)
+    predicates
+
+let pp ppf t =
+  match t.shape with
+  | Histogram { lo; hi; counts; _ } ->
+    Format.fprintf ppf "histogram rows=%d range=[%d,%d] buckets=%s" t.rows lo hi
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int counts)))
+  | Frequencies freq ->
+    Format.fprintf ppf "frequencies rows=%d distinct=%d" t.rows
+      (Hashtbl.length freq)

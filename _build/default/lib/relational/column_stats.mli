@@ -1,0 +1,36 @@
+(** Column statistics for query planning — the paper's §6 closes with "the
+    problem of planning a query in a peer-to-peer system based on available
+    statistics … is worth exploring"; this is the classical substrate for
+    it.
+
+    Rankable columns (int, date) get an equi-width histogram with
+    per-bucket row and distinct counts; other columns get an exact
+    value-frequency table. Estimates are the textbook ones: range
+    predicates by bucket overlap (uniformity within buckets), equality by
+    frequency or 1/distinct. *)
+
+type t
+(** Statistics for one column. *)
+
+val of_relation : ?bins:int -> Relation.t -> column:string -> t
+(** Builds statistics from the data (default 20 bins).
+    @raise Not_found if the column is absent. *)
+
+val row_count : t -> int
+val distinct_estimate : t -> int
+
+val selectivity : t -> Predicate.comparison -> float
+(** Estimated fraction of rows satisfying the comparison, in [\[0, 1\]].
+    Comparisons whose literal type mismatches the column return 0. *)
+
+type table
+(** Statistics for a whole relation: row count plus per-column stats. *)
+
+val table_of_relation : ?bins:int -> Relation.t -> table
+val table_rows : table -> int
+
+val estimate_rows : table -> Predicate.t list -> float
+(** Expected rows after applying all predicates (independence assumption —
+    selectivities multiply). Predicates on unknown columns are ignored. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type catalog = string -> Relation.t
+
+let of_relations rels =
+  let table = Hashtbl.create (List.length rels) in
+  List.iter (fun r -> Hashtbl.replace table (Relation.name r) r) rels;
+  fun name ->
+    match Hashtbl.find_opt table name with
+    | Some r -> r
+    | None -> raise Not_found
+
+(* Hash join: build a table on the smaller input, probe with the larger,
+   emitting left-tuple ++ right-tuple in schema-concat order. *)
+let hash_join left right ~left_col ~right_col =
+  let ls = Relation.schema left and rs = Relation.schema right in
+  let li = Schema.index_of ls left_col and ri = Schema.index_of rs right_col in
+  let out_schema = Schema.concat ls rs in
+  let build_left = Relation.cardinality left <= Relation.cardinality right in
+  let build, probe, build_idx, probe_idx =
+    if build_left then (left, right, li, ri) else (right, left, ri, li)
+  in
+  let table = Hashtbl.create (Stdlib.max 16 (Relation.cardinality build)) in
+  List.iter
+    (fun tuple -> Hashtbl.add table tuple.(build_idx) tuple)
+    (Relation.tuples build);
+  let emit probe_tuple build_tuple =
+    if build_left then Array.append build_tuple probe_tuple
+    else Array.append probe_tuple build_tuple
+  in
+  let rows =
+    List.concat_map
+      (fun tuple ->
+        List.map (emit tuple) (Hashtbl.find_all table tuple.(probe_idx)))
+      (Relation.tuples probe)
+  in
+  Relation.create
+    ~name:(Relation.name left ^ "⋈" ^ Relation.name right)
+    ~schema:out_schema rows
+
+let run_with_stats query ~catalog =
+  let work = ref 0 in
+  let count r =
+    work := !work + Relation.cardinality r;
+    r
+  in
+  let rec eval = function
+    | Query.Scan name -> count (catalog name)
+    | Query.Select (p, q) ->
+      let r = eval q in
+      count (Relation.filter r (Predicate.matches p (Relation.schema r)))
+    | Query.Project (cols, q) -> count (Relation.project (eval q) cols)
+    | Query.Join { left; right; left_col; right_col } ->
+      count (hash_join (eval left) (eval right) ~left_col ~right_col)
+  in
+  let result = eval query in
+  (result, !work)
+
+let run query ~catalog = fst (run_with_stats query ~catalog)

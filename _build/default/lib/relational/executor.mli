@@ -1,0 +1,21 @@
+(** Local evaluation of query trees against a catalog of relations.
+
+    The requesting peer runs this once the P2P layer has fetched (exactly or
+    approximately) the leaf partitions: joins and projections are always
+    computed locally (§2). The catalog is a plain lookup so callers can
+    splice cached partitions in place of base relations. *)
+
+type catalog = string -> Relation.t
+(** Resolves a relation name. Should raise [Not_found] for unknown names. *)
+
+val of_relations : Relation.t list -> catalog
+(** A catalog over a fixed list, keyed by {!Relation.name}. *)
+
+val run : Query.t -> catalog:catalog -> Relation.t
+(** Evaluates the tree. Equi-joins use an in-memory hash join (build on the
+    smaller side). @raise Not_found on unknown relations/columns;
+    @raise Invalid_argument on type mismatches in predicates. *)
+
+val run_with_stats : Query.t -> catalog:catalog -> Relation.t * int
+(** Like {!run}; also returns the number of intermediate tuples produced
+    (a simple work measure used by the examples). *)

@@ -1,0 +1,53 @@
+module Range = Rangeset.Range
+
+type t = {
+  relation : string;
+  attribute : string;
+  range : Range.t;
+  data : Relation.t;
+}
+
+let rank_of relation attribute tuple =
+  match Value.to_rank (Relation.get tuple (Relation.schema relation) attribute) with
+  | Some r -> r
+  | None -> invalid_arg "Partition: attribute has no integer rank"
+
+let make ~relation ~attribute ~range data =
+  List.iter
+    (fun tuple ->
+      if not (Range.mem (rank_of data attribute tuple) range) then
+        invalid_arg "Partition.make: tuple outside the declared range")
+    (Relation.tuples data);
+  { relation; attribute; range; data }
+
+let of_relation rel ~attribute ~range =
+  let data =
+    Relation.filter rel (fun tuple -> Range.mem (rank_of rel attribute tuple) range)
+  in
+  { relation = Relation.name rel; attribute; range; data }
+
+let relation_name t = t.relation
+let attribute t = t.attribute
+let range t = t.range
+let data t = t.data
+let cardinality t = Relation.cardinality t.data
+
+let restrict t r =
+  match Range.intersect t.range r with
+  | None -> invalid_arg "Partition.restrict: disjoint range"
+  | Some narrowed ->
+    {
+      t with
+      range = narrowed;
+      data =
+        Relation.filter t.data (fun tuple ->
+            Range.mem (rank_of t.data t.attribute tuple) narrowed);
+    }
+
+let jaccard t query = Range.jaccard t.range query
+
+let recall t ~query = Range.containment ~query ~answer:t.range
+
+let pp ppf t =
+  Format.fprintf ppf "%s.%s%a (%d tuples)" t.relation t.attribute Range.pp
+    t.range (cardinality t)

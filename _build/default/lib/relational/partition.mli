@@ -1,0 +1,43 @@
+(** Horizontal partitions — the unit of caching in the paper.
+
+    A partition is the set of tuples of one relation whose value on one
+    attribute falls inside a range (footnote 1 of the paper). Peers cache
+    partitions produced by earlier queries; the core library locates
+    partitions whose range is similar to a new query's range. *)
+
+type t
+
+val make :
+  relation:string ->
+  attribute:string ->
+  range:Rangeset.Range.t ->
+  Relation.t ->
+  t
+(** @raise Invalid_argument if any tuple's rank on [attribute] falls outside
+    [range] (a partition must be exactly its declared range's contents). *)
+
+val of_relation : Relation.t -> attribute:string -> range:Rangeset.Range.t -> t
+(** Carves the partition out of a base relation: keeps exactly the tuples
+    whose rank on [attribute] lies in [range].
+    @raise Not_found if the attribute is missing;
+    @raise Invalid_argument if the attribute's type has no integer rank. *)
+
+val relation_name : t -> string
+val attribute : t -> string
+val range : t -> Rangeset.Range.t
+val data : t -> Relation.t
+val cardinality : t -> int
+
+val restrict : t -> Rangeset.Range.t -> t
+(** [restrict p r] keeps only the tuples whose rank lies in [r ∩ range p]
+    and narrows the declared range accordingly — how a broader-than-needed
+    cached partition is trimmed to the query before shipping.
+    @raise Invalid_argument if the ranges are disjoint. *)
+
+val jaccard : t -> Rangeset.Range.t -> float
+(** Jaccard similarity between the partition's range and a query range. *)
+
+val recall : t -> query:Rangeset.Range.t -> float
+(** Fraction of the query range covered: [|Q ∩ R| / |Q|]. *)
+
+val pp : Format.formatter -> t -> unit

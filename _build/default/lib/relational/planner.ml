@@ -1,0 +1,51 @@
+(* Push one predicate downward as far as its attribute allows. Returns the
+   rewritten tree; if the predicate cannot descend past the current node it
+   is re-attached here. *)
+let rec push_one pred t ~lookup =
+  match t with
+  | Query.Scan _ -> Query.Select (pred, t)
+  | Query.Select (p, q) ->
+    (* Keep descending; sibling selections commute. *)
+    Query.Select (p, push_one pred q ~lookup)
+  | Query.Project (cols, q) ->
+    if List.mem pred.Predicate.attribute cols then
+      Query.Project (cols, push_one pred q ~lookup)
+    else Query.Select (pred, t)
+  | Query.Join ({ left; right; _ } as j) ->
+    let in_schema side =
+      Schema.mem (Query.schema_of side ~lookup) pred.Predicate.attribute
+    in
+    let on_left = in_schema left and on_right = in_schema right in
+    if on_left && not on_right then
+      Query.Join { j with left = push_one pred left ~lookup }
+    else if on_right && not on_left then
+      Query.Join { j with right = push_one pred right ~lookup }
+    else
+      (* Ambiguous (both sides) or unknown: keep the selection here, above
+         the join, preserving semantics. *)
+      Query.Select (pred, t)
+
+let rec push_selections t ~lookup =
+  match t with
+  | Query.Scan _ -> t
+  | Query.Select (p, q) -> push_one p (push_selections q ~lookup) ~lookup
+  | Query.Project (cols, q) -> Query.Project (cols, push_selections q ~lookup)
+  | Query.Join ({ left; right; _ } as j) ->
+    Query.Join
+      {
+        j with
+        left = push_selections left ~lookup;
+        right = push_selections right ~lookup;
+      }
+
+let leaf_selections t =
+  (* Predicates accumulate while descending through consecutive Selects; a
+     run that ends at a Scan belongs to that relation. Runs interrupted by a
+     Project or Join are not leaf selections, so [pending] resets there. *)
+  let rec descend pending acc = function
+    | Query.Scan name -> (name, List.rev pending) :: acc
+    | Query.Select (p, q) -> descend (p :: pending) acc q
+    | Query.Project (_, q) -> descend [] acc q
+    | Query.Join { left; right; _ } -> descend [] (descend [] acc left) right
+  in
+  List.rev (descend [] [] t)

@@ -1,0 +1,16 @@
+(** The algebraic optimization the paper relies on (§2): push every
+    selection as far toward the leaves as possible, so that each leaf
+    becomes a [Select over Scan] — exactly the unit that can be answered
+    from a cached partition instead of the base relation. *)
+
+val push_selections : Query.t -> lookup:(string -> Schema.t) -> Query.t
+(** Rewrites the tree so each [Select] sits as low as its attribute allows:
+    below projections that keep the attribute, and into whichever join side
+    carries the attribute. Semantically equivalent to the input.
+    @raise Not_found on unknown relations/columns. *)
+
+val leaf_selections : Query.t -> (string * Predicate.t list) list
+(** After push-down: for each base relation (in scan order), the predicates
+    sitting directly above its scan — the selections the P2P layer will try
+    to answer from cached partitions. Relations scanned with no selection
+    appear with an empty list. *)

@@ -1,0 +1,63 @@
+module Range = Rangeset.Range
+
+type comparison =
+  | Eq of Value.t
+  | Between of Value.t * Value.t
+  | At_most of Value.t
+  | At_least of Value.t
+
+type t = { attribute : string; comparison : comparison }
+
+let make ~attribute comparison =
+  (match comparison with
+  | Between (lo, hi) ->
+    if Value.compare lo hi > 0 then
+      invalid_arg "Predicate.make: ill-ordered Between bounds"
+  | Eq _ | At_most _ | At_least _ -> ());
+  { attribute; comparison }
+
+let matches t schema tuple =
+  let v = Relation.get tuple schema t.attribute in
+  match t.comparison with
+  | Eq x -> Value.compare v x = 0
+  | Between (lo, hi) -> Value.compare lo v <= 0 && Value.compare v hi <= 0
+  | At_most x -> Value.compare v x <= 0
+  | At_least x -> Value.compare v x >= 0
+
+let to_range t ~domain =
+  let clamp lo hi =
+    let lo = Stdlib.max lo (Range.lo domain) in
+    let hi = Stdlib.min hi (Range.hi domain) in
+    if hi < lo then None else Some (Range.make ~lo ~hi)
+  in
+  match t.comparison with
+  | Eq v -> (
+    match Value.to_rank v with
+    | Some r -> clamp r r
+    | None -> None)
+  | Between (lo, hi) -> (
+    match (Value.to_rank lo, Value.to_rank hi) with
+    | Some a, Some b -> clamp a b
+    | (None | Some _), _ -> None)
+  | At_most v -> (
+    match Value.to_rank v with
+    | Some r -> clamp (Range.lo domain) r
+    | None -> None)
+  | At_least v -> (
+    match Value.to_rank v with
+    | Some r -> clamp r (Range.hi domain)
+    | None -> None)
+
+let of_range ~attribute range =
+  {
+    attribute;
+    comparison = Between (Value.Int (Range.lo range), Value.Int (Range.hi range));
+  }
+
+let pp_comparison ppf = function
+  | Eq v -> Format.fprintf ppf "= %a" Value.pp v
+  | Between (lo, hi) -> Format.fprintf ppf "between %a and %a" Value.pp lo Value.pp hi
+  | At_most v -> Format.fprintf ppf "<= %a" Value.pp v
+  | At_least v -> Format.fprintf ppf ">= %a" Value.pp v
+
+let pp ppf t = Format.fprintf ppf "%s %a" t.attribute pp_comparison t.comparison

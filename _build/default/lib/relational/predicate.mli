@@ -1,0 +1,34 @@
+(** Single-attribute selection predicates.
+
+    The paper restricts selections to one attribute at a time (§2); a
+    predicate is an attribute name plus a comparison. Predicates over the
+    ordered, integer-ranked types (int, date) convert to {!Rangeset.Range}
+    for LSH hashing; string equality converts to an exact-match key. *)
+
+type comparison =
+  | Eq of Value.t
+  | Between of Value.t * Value.t  (** inclusive on both ends *)
+  | At_most of Value.t
+  | At_least of Value.t
+
+type t = { attribute : string; comparison : comparison }
+
+val make : attribute:string -> comparison -> t
+(** @raise Invalid_argument if a [Between] pair is ill-ordered or mixes
+    value types. *)
+
+val matches : t -> Schema.t -> Relation.tuple -> bool
+(** Whether a tuple satisfies the predicate. @raise Not_found if the
+    attribute is missing from the schema; @raise Invalid_argument on a type
+    mismatch between predicate and column. *)
+
+val to_range : t -> domain:Rangeset.Range.t -> Rangeset.Range.t option
+(** The integer range selected on a rankable attribute, clamped to
+    [domain]; [None] for predicates that do not denote a rank range
+    (string/float comparisons) or that select nothing within the domain. *)
+
+val of_range : attribute:string -> Rangeset.Range.t -> t
+(** [Between] over [Int] bounds — the inverse of {!to_range} for integer
+    attributes. *)
+
+val pp : Format.formatter -> t -> unit

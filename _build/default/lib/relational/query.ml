@@ -1,0 +1,57 @@
+type t =
+  | Scan of string
+  | Select of Predicate.t * t
+  | Project of string list * t
+  | Join of { left : t; right : t; left_col : string; right_col : string }
+
+let scan name = Scan name
+let select pred q = Select (pred, q)
+let project cols q = Project (cols, q)
+let join ~left ~right ~on:(left_col, right_col) =
+  Join { left; right; left_col; right_col }
+
+let relations t =
+  let rec go acc = function
+    | Scan name -> if List.mem name acc then acc else name :: acc
+    | Select (_, q) | Project (_, q) -> go acc q
+    | Join { left; right; _ } -> go (go acc left) right
+  in
+  List.rev (go [] t)
+
+let selections t =
+  let rec go acc = function
+    | Scan _ -> acc
+    | Select (p, q) -> go (p :: acc) q
+    | Project (_, q) -> go acc q
+    | Join { left; right; _ } -> go (go acc left) right
+  in
+  List.rev (go [] t)
+
+let rec schema_of t ~lookup =
+  match t with
+  | Scan name -> lookup name
+  | Select (_, q) -> schema_of q ~lookup
+  | Project (cols, q) -> Schema.project (schema_of q ~lookup) cols
+  | Join { left; right; left_col; right_col } ->
+    let ls = schema_of left ~lookup and rs = schema_of right ~lookup in
+    (* Validate the join columns exist now, so planning errors surface at
+       schema time rather than mid-execution. *)
+    let _ = Schema.index_of ls left_col and _ = Schema.index_of rs right_col in
+    Schema.concat ls rs
+
+let rec pp_indent ppf (indent, t) =
+  let pad = String.make indent ' ' in
+  match t with
+  | Scan name -> Format.fprintf ppf "%sScan %s@." pad name
+  | Select (p, q) ->
+    Format.fprintf ppf "%sSelect %a@." pad Predicate.pp p;
+    pp_indent ppf (indent + 2, q)
+  | Project (cols, q) ->
+    Format.fprintf ppf "%sProject %s@." pad (String.concat ", " cols);
+    pp_indent ppf (indent + 2, q)
+  | Join { left; right; left_col; right_col } ->
+    Format.fprintf ppf "%sJoin %s = %s@." pad left_col right_col;
+    pp_indent ppf (indent + 2, left);
+    pp_indent ppf (indent + 2, right)
+
+let pp ppf t = pp_indent ppf (0, t)

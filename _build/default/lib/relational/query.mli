@@ -1,0 +1,29 @@
+(** Relational-algebra query trees.
+
+    The paper's Figure 1 plan — selections at the leaves, joins above,
+    a projection on top — is an instance of this AST. *)
+
+type t =
+  | Scan of string  (** a base relation, by name *)
+  | Select of Predicate.t * t
+  | Project of string list * t
+  | Join of { left : t; right : t; left_col : string; right_col : string }
+      (** equi-join on [left_col = right_col] *)
+
+val scan : string -> t
+val select : Predicate.t -> t -> t
+val project : string list -> t -> t
+val join : left:t -> right:t -> on:string * string -> t
+
+val relations : t -> string list
+(** Names of all base relations referenced, without duplicates. *)
+
+val selections : t -> Predicate.t list
+(** Every selection predicate in the tree, leaf-to-root order. *)
+
+val schema_of : t -> lookup:(string -> Schema.t) -> Schema.t
+(** Output schema of the tree given the base schemas.
+    @raise Not_found on unknown relations or columns. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented operator-tree rendering, like the paper's Figure 1. *)

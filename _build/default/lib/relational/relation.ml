@@ -1,0 +1,61 @@
+type tuple = Value.t array
+
+type t = { name : string; schema : Schema.t; tuples : tuple list }
+
+let check_tuple schema tuple =
+  if Array.length tuple <> Schema.arity schema then
+    invalid_arg "Relation: tuple arity mismatch";
+  List.iteri
+    (fun i (_, ty) ->
+      if Value.type_of tuple.(i) <> ty then
+        invalid_arg "Relation: tuple value type mismatch")
+    (Schema.columns schema)
+
+let create ~name ~schema tuples =
+  List.iter (check_tuple schema) tuples;
+  { name; schema; tuples }
+
+let name t = t.name
+let schema t = t.schema
+let tuples t = t.tuples
+let cardinality t = List.length t.tuples
+
+let get tuple schema column = tuple.(Schema.index_of schema column)
+
+let column_values t column =
+  let i = Schema.index_of t.schema column in
+  List.map (fun tuple -> tuple.(i)) t.tuples
+
+let filter t keep = { t with tuples = List.filter keep t.tuples }
+
+let project t columns =
+  let indices = List.map (Schema.index_of t.schema) columns in
+  {
+    name = t.name;
+    schema = Schema.project t.schema columns;
+    tuples =
+      List.map
+        (fun tuple -> Array.of_list (List.map (fun i -> tuple.(i)) indices))
+        t.tuples;
+  }
+
+let union a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Relation.union: schema mismatch";
+  { a with tuples = a.tuples @ b.tuples }
+
+let pp ?(max_rows = 20) ppf t =
+  Format.fprintf ppf "%s%a: %d tuple(s)@." t.name Schema.pp t.schema
+    (cardinality t);
+  let rec rows n = function
+    | [] -> ()
+    | _ when n = 0 -> Format.fprintf ppf "  …@."
+    | tuple :: rest ->
+      Format.fprintf ppf "  (%a)@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Value.pp)
+        (Array.to_list tuple);
+      rows (n - 1) rest
+  in
+  rows max_rows t.tuples

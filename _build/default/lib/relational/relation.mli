@@ -1,0 +1,33 @@
+(** Named relations: a schema plus a bag of tuples.
+
+    A tuple is a value array positionally matching the schema. Relations are
+    immutable; bulk operations return new relations sharing tuples. *)
+
+type tuple = Value.t array
+
+type t
+
+val create : name:string -> schema:Schema.t -> tuple list -> t
+(** @raise Invalid_argument if any tuple's arity or value types disagree
+    with the schema. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val tuples : t -> tuple list
+val cardinality : t -> int
+
+val column_values : t -> string -> Value.t list
+(** Values of one column, in tuple order. @raise Not_found if absent. *)
+
+val filter : t -> (tuple -> bool) -> t
+val project : t -> string list -> t
+(** @raise Not_found if a column is absent. *)
+
+val union : t -> t -> t
+(** Bag union. @raise Invalid_argument on schema mismatch. *)
+
+val get : tuple -> Schema.t -> string -> Value.t
+(** Value of a named column in a tuple. @raise Not_found if absent. *)
+
+val pp : ?max_rows:int -> Format.formatter -> t -> unit
+(** Header plus up to [max_rows] rows (default 20) and a row count. *)

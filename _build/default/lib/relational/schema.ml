@@ -1,0 +1,52 @@
+type t = { columns : (string * Value.ty) array }
+
+let make cols =
+  let names = List.map fst cols in
+  if List.exists (fun n -> n = "") names then
+    invalid_arg "Schema.make: empty column name";
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Schema.make: duplicate column names";
+  { columns = Array.of_list cols }
+
+let arity t = Array.length t.columns
+let columns t = Array.to_list t.columns
+
+let index_of t name =
+  let rec go i =
+    if i >= Array.length t.columns then raise Not_found
+    else if fst t.columns.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let mem t name = match index_of t name with _ -> true | exception Not_found -> false
+
+let type_of_column t name = snd t.columns.(index_of t name)
+
+let project t names =
+  make (List.map (fun n -> (n, type_of_column t n)) names)
+
+let concat a b =
+  let left = columns a in
+  (* Prime right-hand duplicates until unique — a column joined through
+     several levels may need more than one prime (k, k', k'', …). *)
+  let taken = ref (List.map fst left) in
+  let right =
+    List.map
+      (fun (n, ty) ->
+        let rec fresh n = if List.mem n !taken then fresh (n ^ "'") else n in
+        let n = fresh n in
+        taken := n :: !taken;
+        (n, ty))
+      (columns b)
+  in
+  make (left @ right)
+
+let equal a b = columns a = columns b
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (n, ty) -> Format.fprintf ppf "%s:%s" n (Value.ty_name ty)))
+    (columns t)

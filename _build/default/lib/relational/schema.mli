@@ -1,0 +1,28 @@
+(** Relation schemas: ordered, named, typed columns. *)
+
+type t
+
+val make : (string * Value.ty) list -> t
+(** @raise Invalid_argument on duplicate or empty column names. *)
+
+val arity : t -> int
+val columns : t -> (string * Value.ty) list
+
+val index_of : t -> string -> int
+(** Position of a column. @raise Not_found if absent. *)
+
+val mem : t -> string -> bool
+val type_of_column : t -> string -> Value.ty
+(** @raise Not_found if absent. *)
+
+val project : t -> string list -> t
+(** Sub-schema with the given columns in the given order.
+    @raise Not_found if any column is absent. *)
+
+val concat : t -> t -> t
+(** Schema of a join result. Columns common to both sides are disambiguated
+    by suffixing the right-hand copy with ["'"], mirroring how the executor
+    concatenates tuples. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** SQL front-end: text → {!Query} trees.
+
+    Covers the subset the paper uses (§2): conjunctive select-project-join
+    with single-attribute selections and equi-joins. The paper's running
+    query parses verbatim:
+
+    {[
+      Sql.parse_query ~lookup
+        "Select Prescription.prescription \
+         from Patient, Diagnosis, Prescription \
+         where 30 < age < 50 \
+         and diagnosis = 'Glaucoma' \
+         and Patient.patient_id = Diagnosis.patient_id \
+         and DATE '2000-01-01' <= date <= DATE '2002-12-31' \
+         and Diagnosis.prescription_id = Prescription.prescription_id"
+    ]}
+
+    Restrictions (reported via {!Error}): every table after the first must
+    be connected by an equi-join condition (no cross products), non-equi
+    joins are unsupported, and strict bounds require integer or date
+    literals. *)
+
+exception Error of string
+(** Any front-end failure: lexing, parsing, unknown tables/columns,
+    ambiguous column references, type mismatches, unsupported shapes. *)
+
+val parse : string -> Sql_ast.select
+(** Syntax only. @raise Error. *)
+
+val to_query :
+  ?stats:(string -> Column_stats.table) ->
+  Sql_ast.select ->
+  lookup:(string -> Schema.t) ->
+  Query.t
+(** Resolves names against the base schemas and builds the operator tree:
+    scans joined table by table (each new table linked by one of the WHERE
+    equi-join conditions), selections stacked above, projection on top.
+    Run {!Planner.push_selections} on the result to move the selections
+    back down to the leaves.
+
+    Without [stats], tables join in FROM order. With [stats] (per-table
+    {!Column_stats}), the join order is chosen greedily by estimated
+    post-selection cardinality — smallest table first, then the cheapest
+    {e connected} table — the paper's §6 "planning based on available
+    statistics". The answer is order-independent; only intermediate sizes
+    change. [lookup] should raise [Not_found] for unknown tables.
+    @raise Error. *)
+
+val parse_query :
+  ?stats:(string -> Column_stats.table) ->
+  string ->
+  lookup:(string -> Schema.t) ->
+  Query.t
+(** [to_query ?stats (parse s) ~lookup]. *)

@@ -1,0 +1,37 @@
+type column = { table : string option; name : string }
+
+type operand = Col of column | Lit of Value.t
+
+type cmp = Ceq | Clt | Cgt | Cle | Cge
+
+type condition =
+  | Cmp of operand * cmp * operand
+  | Between_cond of column * Value.t * Value.t
+
+type select = {
+  projection : column list option;
+  tables : string list;
+  conditions : condition list;
+}
+
+let pp_column ppf c =
+  match c.table with
+  | Some t -> Format.fprintf ppf "%s.%s" t c.name
+  | None -> Format.pp_print_string ppf c.name
+
+let pp_operand ppf = function
+  | Col c -> pp_column ppf c
+  | Lit v -> Value.pp ppf v
+
+let cmp_name = function
+  | Ceq -> "="
+  | Clt -> "<"
+  | Cgt -> ">"
+  | Cle -> "<="
+  | Cge -> ">="
+
+let pp_condition ppf = function
+  | Cmp (a, op, b) ->
+    Format.fprintf ppf "%a %s %a" pp_operand a (cmp_name op) pp_operand b
+  | Between_cond (c, lo, hi) ->
+    Format.fprintf ppf "%a between %a and %a" pp_column c Value.pp lo Value.pp hi

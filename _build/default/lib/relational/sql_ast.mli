@@ -1,0 +1,22 @@
+(** Abstract syntax of the SQL subset, as parsed (names unresolved). *)
+
+type column = { table : string option; name : string }
+
+type operand = Col of column | Lit of Value.t
+
+type cmp = Ceq | Clt | Cgt | Cle | Cge
+
+type condition =
+  | Cmp of operand * cmp * operand
+  | Between_cond of column * Value.t * Value.t
+      (** inclusive, as in SQL's BETWEEN; the chained form
+          [lit < col < lit] also normalizes to this *)
+
+type select = {
+  projection : column list option;  (** [None] encodes [SELECT *] *)
+  tables : string list;  (** FROM list, in order *)
+  conditions : condition list;  (** WHERE conjuncts, in order *)
+}
+
+val pp_column : Format.formatter -> column -> unit
+val pp_condition : Format.formatter -> condition -> unit

@@ -1,0 +1,13 @@
+(** Hand-written lexer for the SQL subset.
+
+    Keywords are case-insensitive. String literals use single quotes with
+    [''] as the escape for a quote. [DATE 'yyyy-mm-dd'] produces a date
+    literal; bare [yyyy-mm-dd] inside quotes is {e not} special (it stays a
+    string), matching common SQL practice. *)
+
+exception Error of { position : int; message : string }
+(** Raised on malformed input; [position] is a 0-based byte offset. *)
+
+val tokenize : string -> Sql_token.t list
+(** The token stream, always terminated by [Eof].
+    @raise Error on malformed input. *)

@@ -1,0 +1,59 @@
+type t =
+  | Select
+  | From
+  | Where
+  | And
+  | Between
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Date_lit of int * int * int
+  | Star
+  | Comma
+  | Dot
+  | Eq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Lparen
+  | Rparen
+  | Eof
+
+let equal a b =
+  match (a, b) with
+  | Ident x, Ident y -> String.equal x y
+  | String_lit x, String_lit y -> String.equal x y
+  | Int_lit x, Int_lit y -> Int.equal x y
+  | Float_lit x, Float_lit y -> Float.equal x y
+  | Date_lit (y1, m1, d1), Date_lit (y2, m2, d2) -> (y1, m1, d1) = (y2, m2, d2)
+  | ( ( Select | From | Where | And | Between | Star | Comma | Dot | Eq | Lt
+      | Gt | Le | Ge | Lparen | Rparen | Eof ),
+      _ ) -> a = b
+  | (Ident _ | String_lit _ | Int_lit _ | Float_lit _ | Date_lit _), _ -> false
+
+let to_string = function
+  | Select -> "SELECT"
+  | From -> "FROM"
+  | Where -> "WHERE"
+  | And -> "AND"
+  | Between -> "BETWEEN"
+  | Ident s -> s
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Date_lit (y, m, d) -> Printf.sprintf "DATE '%04d-%02d-%02d'" y m d
+  | Star -> "*"
+  | Comma -> ","
+  | Dot -> "."
+  | Eq -> "="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Eof -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,28 @@
+(** Tokens of the SQL subset understood by {!Sql}. *)
+
+type t =
+  | Select
+  | From
+  | Where
+  | And
+  | Between
+  | Ident of string  (** possibly qualified later: [a.b] lexes as 3 tokens *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Date_lit of int * int * int  (** year, month, day *)
+  | Star
+  | Comma
+  | Dot
+  | Eq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Lparen
+  | Rparen
+  | Eof
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,85 @@
+type ty = Tint | Tfloat | Tstring | Tdate
+
+type t = Int of int | Float of float | String of string | Date of int
+
+let type_of = function
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | String _ -> Tstring
+  | Date _ -> Tdate
+
+let ty_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tdate -> "date"
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | Date x, Date y -> Int.compare x y
+  | (Int _ | Float _ | String _ | Date _), _ ->
+    invalid_arg
+      (Printf.sprintf "Value.compare: type mismatch (%s vs %s)"
+         (ty_name (type_of a)) (ty_name (type_of b)))
+
+let equal a b = type_of a = type_of b && compare a b = 0
+
+let to_rank = function
+  | Int n -> Some n
+  | Date d -> Some d
+  | Float _ | String _ -> None
+
+(* Days-since-epoch conversion via the classic civil-date algorithm
+   (Howard Hinnant's days_from_civil), exact over the proleptic calendar. *)
+let days_from_civil ~year ~month ~day =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (month + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  ((if month <= 2 then y + 1 else y), month, day)
+
+let days_in_month ~year ~month =
+  match month with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 ->
+    let leap = (year mod 4 = 0 && year mod 100 <> 0) || year mod 400 = 0 in
+    if leap then 29 else 28
+  | _ -> invalid_arg "Value: month out of range"
+
+let date_of_ymd ~year ~month ~day =
+  if month < 1 || month > 12 then invalid_arg "Value.date_of_ymd: bad month";
+  if day < 1 || day > days_in_month ~year ~month then
+    invalid_arg "Value.date_of_ymd: bad day";
+  Date (days_from_civil ~year ~month ~day)
+
+let ymd_of_date = function
+  | Date d -> civil_from_days d
+  | Int _ | Float _ | String _ -> invalid_arg "Value.ymd_of_date: not a date"
+
+let pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | Date _ as v ->
+    let y, m, d = ymd_of_date v in
+    Format.fprintf ppf "%04d-%02d-%02d" y m d
+
+let to_string v = Format.asprintf "%a" pp v

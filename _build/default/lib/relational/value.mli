@@ -1,0 +1,37 @@
+(** Typed attribute values.
+
+    The paper's example schema mixes integers (age), strings (diagnosis) and
+    dates (prescription date); range selections are meaningful on the ordered
+    types. Dates are carried as proleptic-Gregorian day numbers so that date
+    ranges are integer ranges and hash exactly like ages do. *)
+
+type ty = Tint | Tfloat | Tstring | Tdate
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int  (** days since 1970-01-01 (may be negative) *)
+
+val type_of : t -> ty
+val ty_name : ty -> string
+
+val compare : t -> t -> int
+(** Total order within a type. @raise Invalid_argument when comparing values
+    of different types — that is a schema error, not a data condition. *)
+
+val equal : t -> t -> bool
+
+val to_rank : t -> int option
+(** The integer rank used for range hashing: [Int n ↦ n], [Date d ↦ d];
+    [None] for floats and strings (not hashable as ranges). *)
+
+val date_of_ymd : year:int -> month:int -> day:int -> t
+(** Builds a [Date] from a calendar date (proleptic Gregorian).
+    @raise Invalid_argument on an impossible date. *)
+
+val ymd_of_date : t -> int * int * int
+(** Inverse of {!date_of_ymd}. @raise Invalid_argument on non-dates. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,30 @@
+type t = { queue : (t -> unit) Heap.t; mutable clock : float }
+
+let create () = { queue = Heap.create (); clock = 0.0 }
+
+let now t = t.clock
+
+let schedule t ~at handler =
+  if at < t.clock then invalid_arg "Engine.schedule: event in the past";
+  Heap.push t.queue ~key:at handler
+
+let schedule_after t ~delay handler =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) handler
+
+let pending t = Heap.length t.queue
+
+let run ?until t =
+  let continue () =
+    match (Heap.peek t.queue, until) with
+    | None, _ -> false
+    | Some (at, _), Some limit -> at <= limit
+    | Some _, None -> true
+  in
+  while continue () do
+    match Heap.pop t.queue with
+    | None -> ()
+    | Some (at, handler) ->
+      t.clock <- at;
+      handler t
+  done

@@ -1,0 +1,27 @@
+(** A minimal discrete-event engine.
+
+    Events are closures scheduled at absolute simulated times; running the
+    engine executes them in time order (insertion order on ties). Handlers
+    may schedule further events. Determinism: given the same schedule and
+    handlers, execution order is fixed. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time: 0 before the first event, then the time of the
+    event being (or last) executed. *)
+
+val schedule : t -> at:float -> (t -> unit) -> unit
+(** @raise Invalid_argument if [at] is in the simulated past. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> unit
+(** [schedule t ~at:(now t +. delay)]. @raise Invalid_argument on negative
+    delays. *)
+
+val pending : t -> int
+
+val run : ?until:float -> t -> unit
+(** Executes events in order until the queue is empty, or until the next
+    event would exceed [until] (that event stays queued). *)

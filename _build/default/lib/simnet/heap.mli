@@ -1,0 +1,17 @@
+(** A binary min-heap keyed by floats — the event queue's core.
+
+    Ties are broken by insertion order, so simultaneous events run
+    first-scheduled-first, keeping simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key element. *)
+
+val peek : 'a t -> (float * 'a) option

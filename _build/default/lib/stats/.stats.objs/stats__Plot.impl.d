@@ -1,0 +1,1 @@
+lib/stats/plot.ml: Array Buffer Float List Printf Stdlib String

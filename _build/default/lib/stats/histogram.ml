@@ -1,0 +1,50 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; bins; counts = Array.make bins 0; total = 0 }
+
+let bucket_of_value t v =
+  let scaled = (v -. t.lo) /. (t.hi -. t.lo) *. float_of_int t.bins in
+  let i = int_of_float scaled in
+  Stdlib.max 0 (Stdlib.min (t.bins - 1) i)
+
+let add t v =
+  t.counts.(bucket_of_value t v) <- t.counts.(bucket_of_value t v) + 1;
+  t.total <- t.total + 1
+
+let add_many t vs = List.iter (add t) vs
+
+let total t = t.total
+let counts t = Array.copy t.counts
+
+let fractions t =
+  if t.total = 0 then Array.make t.bins 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+let percentages t = Array.map (fun f -> f *. 100.0) (fractions t)
+
+let bucket_bounds t i =
+  let w = (t.hi -. t.lo) /. float_of_int t.bins in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let pp_ascii ?(width = 40) ppf t =
+  let pcts = percentages t in
+  let peak = Array.fold_left Stdlib.max 0.0 pcts in
+  for i = 0 to t.bins - 1 do
+    let lo, hi = bucket_bounds t i in
+    let bar_len =
+      if peak = 0.0 then 0
+      else int_of_float (pcts.(i) /. peak *. float_of_int width)
+    in
+    Format.fprintf ppf "[%6.2f, %6.2f)  %7d  %6.2f%%  %s@." lo hi t.counts.(i)
+      pcts.(i)
+      (String.make bar_len '#')
+  done

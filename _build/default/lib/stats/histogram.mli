@@ -1,0 +1,39 @@
+(** Fixed-width histograms over a float interval.
+
+    Figures 6 and 7 of the paper are histograms of match similarity in
+    [\[0, 1\]]; Figure 12b is a probability distribution over integer hop
+    counts. Both are served by this module. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi\]] with [bins] equal-width
+    buckets. Values equal to [hi] land in the last bucket; values outside
+    the interval are clamped into the boundary buckets.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+val add_many : t -> float list -> unit
+
+val total : t -> int
+(** Number of values added so far. *)
+
+val counts : t -> int array
+(** Raw per-bucket counts, length [bins]. The returned array is a copy. *)
+
+val fractions : t -> float array
+(** Per-bucket fraction of the total (each in [\[0,1\]]; all zero when the
+    histogram is empty). *)
+
+val percentages : t -> float array
+(** [fractions] scaled by 100. *)
+
+val bucket_bounds : t -> int -> float * float
+(** [bucket_bounds t i] is the [\[lo, hi)] interval of bucket [i]. *)
+
+val bucket_of_value : t -> float -> int
+(** Index of the bucket a value would be added to. *)
+
+val pp_ascii : ?width:int -> Format.formatter -> t -> unit
+(** Renders the histogram as rows of ["[lo, hi)  count  pct  bar"], with the
+    bar scaled so the fullest bucket spans [width] characters (default 40). *)

@@ -1,0 +1,79 @@
+type scale = Linear | Log10
+
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let transform scale v =
+  match scale with
+  | Linear -> v
+  | Log10 ->
+    if v <= 0.0 then
+      invalid_arg "Plot.render: log axis needs strictly positive data";
+    log10 v
+
+let bounds values =
+  let lo = List.fold_left Float.min infinity values in
+  let hi = List.fold_left Float.max neg_infinity values in
+  if lo = hi then (lo -. 0.5, hi +. 0.5) else (lo, hi)
+
+let render ?(width = 60) ?(height = 16) ?(x_scale = Linear) ?(y_scale = Linear)
+    ?(x_label = "") ?(y_label = "") series =
+  if width < 8 || height < 4 then invalid_arg "Plot.render: grid too small";
+  if series = [] || List.for_all (fun s -> s.points = []) series then
+    invalid_arg "Plot.render: no data";
+  let xs =
+    List.concat_map (fun s -> List.map (fun (x, _) -> transform x_scale x) s.points) series
+  in
+  let ys =
+    List.concat_map (fun s -> List.map (fun (_, y) -> transform y_scale y) s.points) series
+  in
+  let x_lo, x_hi = bounds xs and y_lo, y_hi = bounds ys in
+  let grid = Array.make_matrix height width ' ' in
+  let col x =
+    let f = (transform x_scale x -. x_lo) /. (x_hi -. x_lo) in
+    Stdlib.min (width - 1) (Stdlib.max 0 (int_of_float (f *. float_of_int (width - 1))))
+  in
+  let row y =
+    let f = (transform y_scale y -. y_lo) /. (y_hi -. y_lo) in
+    let r = int_of_float (f *. float_of_int (height - 1)) in
+    height - 1 - Stdlib.min (height - 1) (Stdlib.max 0 r)
+  in
+  List.iter
+    (fun s -> List.iter (fun (x, y) -> grid.(row y).(col x) <- s.glyph) s.points)
+    series;
+  let buf = Buffer.create ((width + 12) * (height + 4)) in
+  let untransform scale v = match scale with Linear -> v | Log10 -> 10.0 ** v in
+  let fmt v =
+    if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.2f" v
+  in
+  if y_label <> "" then begin
+    Buffer.add_string buf y_label;
+    Buffer.add_char buf '\n'
+  end;
+  Array.iteri
+    (fun i line ->
+      (* Annotate the top, middle and bottom rows with y values. *)
+      let annot =
+        if i = 0 then fmt (untransform y_scale y_hi)
+        else if i = height - 1 then fmt (untransform y_scale y_lo)
+        else if i = height / 2 then
+          fmt (untransform y_scale ((y_lo +. y_hi) /. 2.0))
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "%10s |" annot);
+      Buffer.add_string buf (String.init width (fun j -> line.(j)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %-*s%s\n" ""
+       (width - String.length (fmt (untransform x_scale x_hi)))
+       (fmt (untransform x_scale x_lo))
+       (fmt (untransform x_scale x_hi)));
+  if x_label <> "" then
+    Buffer.add_string buf (Printf.sprintf "%10s  %s\n" "" x_label);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "%10s  %c = %s\n" "" s.glyph s.label))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Character-grid line/scatter plots for experiment output.
+
+    Each figure of the paper is a plot; the bench prints its tables and,
+    for the sweep figures, one of these to show the shape at a glance.
+    Multiple series share axes; each series draws with its own glyph and a
+    legend line. Axes can be log₁₀-scaled (the paper's load plots are
+    log-log). *)
+
+type scale = Linear | Log10
+
+type series = { label : string; glyph : char; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** A [width]×[height] character grid (defaults 60×16) with axis ranges
+    fitted to the data, tick annotations on both axes, and a legend.
+    Overlapping points from different series show the later series' glyph.
+    Log-scaled axes require strictly positive coordinates.
+    @raise Invalid_argument on empty input, non-positive dimensions, or
+    non-positive data on a log axis. *)

@@ -1,0 +1,48 @@
+type t = {
+  sorted : float array;
+  mean : float;
+  stddev : float;
+  total : float;
+}
+
+let build sorted =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary: empty sample";
+  Array.sort compare sorted;
+  let total = Array.fold_left ( +. ) 0.0 sorted in
+  let mean = total /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 sorted
+    /. float_of_int n
+  in
+  { sorted; mean; stddev = sqrt var; total }
+
+let of_array arr = build (Array.copy arr)
+let of_list l = build (Array.of_list l)
+let of_int_list l = build (Array.of_list (List.map float_of_int l))
+
+let count t = Array.length t.sorted
+let mean t = t.mean
+let stddev t = t.stddev
+let min t = t.sorted.(0)
+let max t = t.sorted.(Array.length t.sorted - 1)
+let total t = t.total
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: out of range";
+  let n = Array.length t.sorted in
+  if n = 1 then t.sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = Stdlib.min (n - 2) (int_of_float rank) in
+    let frac = rank -. float_of_int lo in
+    t.sorted.(lo) +. (frac *. (t.sorted.(lo + 1) -. t.sorted.(lo)))
+  end
+
+let median t = percentile t 50.0
+let p1 t = percentile t 1.0
+let p99 t = percentile t 99.0
+
+let pp ppf t =
+  Format.fprintf ppf "mean=%.3f p1=%.3f p50=%.3f p99=%.3f n=%d" t.mean (p1 t)
+    (median t) (p99 t) (count t)

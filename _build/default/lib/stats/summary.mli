@@ -1,0 +1,41 @@
+(** Order statistics over a sample of floats.
+
+    Every scalability figure of the paper reports mean together with the 1st
+    and 99th percentiles; this module computes those (and friends) from raw
+    samples. *)
+
+type t
+(** An immutable summary of a non-empty sample. *)
+
+val of_list : float list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val of_array : float array -> t
+(** Does not mutate the argument. @raise Invalid_argument on empty arrays. *)
+
+val of_int_list : int list -> t
+
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+(** Population standard deviation. *)
+
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]], with linear interpolation
+    between closest ranks (the "exclusive" method used by most plotting
+    tools). [percentile t 50.] is the median.
+    @raise Invalid_argument if [p] is outside [\[0, 100\]]. *)
+
+val median : t -> float
+val p1 : t -> float
+(** 1st percentile — the paper's lower whisker. *)
+
+val p99 : t -> float
+(** 99th percentile — the paper's upper whisker. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders ["mean=… p1=… p50=… p99=… n=…"]. *)

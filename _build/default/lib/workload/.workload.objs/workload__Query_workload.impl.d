@@ -1,0 +1,1 @@
+lib/workload/query_workload.ml: Array List Prng Rangeset Set Stdlib

@@ -1,0 +1,1 @@
+lib/workload/query_workload.mli: Rangeset

@@ -1,0 +1,76 @@
+module Range = Rangeset.Range
+
+type shape =
+  | Uniform_pairs
+  | Uniform_width of { max_width : int }
+  | Zipf_hotspots of { hotspots : int; spread : int; s : float }
+  | Repeating of { unique : int }
+
+type source =
+  | Pairs
+  | Width of int
+  | Hotspots of { centres : int array; spread : int; table : Prng.Distribution.zipf_table }
+  | Pool of Range.t array
+
+type t = { domain : Range.t; rng : Prng.Splitmix.t; source : source }
+
+let uniform_range domain rng =
+  let a = Prng.Splitmix.int_in_range rng ~lo:(Range.lo domain) ~hi:(Range.hi domain) in
+  let b = Prng.Splitmix.int_in_range rng ~lo:(Range.lo domain) ~hi:(Range.hi domain) in
+  Range.make ~lo:(Stdlib.min a b) ~hi:(Stdlib.max a b)
+
+let create shape ~domain ~seed =
+  let rng = Prng.Splitmix.create seed in
+  let source =
+    match shape with
+    | Uniform_pairs -> Pairs
+    | Uniform_width { max_width } ->
+      if max_width < 1 then invalid_arg "Query_workload: max_width < 1";
+      Width max_width
+    | Zipf_hotspots { hotspots; spread; s } ->
+      if hotspots < 1 || spread < 1 then
+        invalid_arg "Query_workload: bad hotspot parameters";
+      let centres =
+        Array.init hotspots (fun _ ->
+            Prng.Splitmix.int_in_range rng ~lo:(Range.lo domain) ~hi:(Range.hi domain))
+      in
+      Hotspots { centres; spread; table = Prng.Distribution.zipf_table ~n:hotspots ~s }
+    | Repeating { unique } ->
+      if unique < 1 then invalid_arg "Query_workload: unique < 1";
+      Pool (Array.init unique (fun _ -> uniform_range domain rng))
+  in
+  { domain; rng; source }
+
+let clamp domain v = Stdlib.max (Range.lo domain) (Stdlib.min (Range.hi domain) v)
+
+let next t =
+  match t.source with
+  | Pairs -> uniform_range t.domain t.rng
+  | Width max_width ->
+    let lo =
+      Prng.Splitmix.int_in_range t.rng ~lo:(Range.lo t.domain) ~hi:(Range.hi t.domain)
+    in
+    let width = Prng.Splitmix.int_in_range t.rng ~lo:1 ~hi:max_width in
+    Range.make ~lo ~hi:(clamp t.domain (lo + width - 1))
+  | Hotspots { centres; spread; table } ->
+    let rank = Prng.Distribution.sample_zipf table t.rng in
+    let centre = centres.(rank - 1) in
+    let half = Prng.Splitmix.int_in_range t.rng ~lo:0 ~hi:spread in
+    Range.make ~lo:(clamp t.domain (centre - half)) ~hi:(clamp t.domain (centre + half))
+  | Pool pool -> pool.(Prng.Splitmix.int t.rng (Array.length pool))
+
+let take t n = List.init n (fun _ -> next t)
+
+let domain t = t.domain
+
+let duplicate_fraction ranges =
+  let module RSet = Set.Make (Range) in
+  let _, dups =
+    List.fold_left
+      (fun (seen, dups) r ->
+        if RSet.mem r seen then (seen, dups + 1) else (RSet.add r seen, dups))
+      (RSet.empty, 0) ranges
+  in
+  match ranges with
+  | [] -> 0.0
+  | _ -> float_of_int dups /. float_of_int (List.length ranges)

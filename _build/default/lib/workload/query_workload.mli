@@ -1,0 +1,33 @@
+(** Generators for streams of query ranges.
+
+    The paper's §5 workload is [Uniform_pairs]: 10,000 ranges with both
+    endpoints uniform in [\[0, 1000\]] (≈0.2 % duplicates arise naturally).
+    The other shapes exercise the system under the skew and locality that
+    real P2P query traces show, for the extension experiments. *)
+
+type shape =
+  | Uniform_pairs
+      (** both endpoints uniform over the domain, swapped into order *)
+  | Uniform_width of { max_width : int }
+      (** uniform start, width uniform in [\[1, max_width\]], clamped *)
+  | Zipf_hotspots of { hotspots : int; spread : int; s : float }
+      (** range centres cluster around [hotspots] popular points chosen by a
+          Zipf law with exponent [s]; widths uniform in [\[1, spread\]] *)
+  | Repeating of { unique : int }
+      (** draws from a fixed pool of [unique] uniform ranges — models the
+          re-asked queries that make caching pay off *)
+
+type t
+
+val create : shape -> domain:Rangeset.Range.t -> seed:int64 -> t
+
+val next : t -> Rangeset.Range.t
+(** The next query range; every range is within the domain. *)
+
+val take : t -> int -> Rangeset.Range.t list
+
+val domain : t -> Rangeset.Range.t
+
+val duplicate_fraction : Rangeset.Range.t list -> float
+(** Fraction of ranges that already appeared earlier in the list — the
+    paper reports 0.2 % for its workload. *)

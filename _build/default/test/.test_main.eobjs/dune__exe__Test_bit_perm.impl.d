@@ -1,0 +1,1 @@
+test/test_bit_perm.ml: Alcotest Array Hashtbl Lsh Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_chord_id.ml: Alcotest Bool Chord QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_column_stats.ml: Alcotest List Printf Relational

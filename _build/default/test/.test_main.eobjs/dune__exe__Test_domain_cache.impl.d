@@ -1,0 +1,1 @@
+test/test_domain_cache.ml: Alcotest List Lsh Prng Rangeset

@@ -1,0 +1,1 @@
+test/test_family.ml: Alcotest List Lsh Printf Prng Rangeset Stdlib

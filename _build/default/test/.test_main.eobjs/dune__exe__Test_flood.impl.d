@@ -1,0 +1,1 @@
+test/test_flood.ml: Alcotest Flood List Printf Rangeset

@@ -1,0 +1,1 @@
+test/test_linear_perm.ml: Alcotest Array Int64 List Lsh Printf Prng

@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest List P2prange Rangeset

@@ -1,0 +1,1 @@
+test/test_mix32.ml: Alcotest Array List Lsh P2prange Printf Prng Stdlib Workload

@@ -1,0 +1,1 @@
+test/test_multi_attr.ml: Alcotest List P2prange Rangeset

@@ -1,0 +1,1 @@
+test/test_padding.ml: Alcotest P2prange Printf Rangeset

@@ -1,0 +1,1 @@
+test/test_protocol_model.ml: Hashtbl List Option P2prange Printf QCheck QCheck_alcotest Rangeset String

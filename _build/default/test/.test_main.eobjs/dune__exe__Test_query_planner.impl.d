@@ -1,0 +1,1 @@
+test/test_query_planner.ml: Alcotest Format List Relational String

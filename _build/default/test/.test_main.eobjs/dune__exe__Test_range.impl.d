@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest QCheck QCheck_alcotest Rangeset

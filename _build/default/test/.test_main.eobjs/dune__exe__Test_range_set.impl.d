@@ -1,0 +1,1 @@
+test/test_range_set.ml: Alcotest Format Int List QCheck QCheck_alcotest Rangeset Set

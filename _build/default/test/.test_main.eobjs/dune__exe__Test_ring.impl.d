@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Array Chord Int List Printf Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_scalability.ml: Alcotest Lazy P2prange Printf Stats

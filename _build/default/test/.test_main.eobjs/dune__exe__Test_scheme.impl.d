@@ -1,0 +1,1 @@
+test/test_scheme.ml: Alcotest Array List Lsh Printf Prng Rangeset

@@ -1,0 +1,1 @@
+test/test_sha1.ml: Alcotest Array List P2p_digest Printf String

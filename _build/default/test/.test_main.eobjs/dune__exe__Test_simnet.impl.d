@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Float List Option P2prange Printf QCheck QCheck_alcotest Rangeset Simnet Stdlib

@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest List P2prange Printf Stats Workload

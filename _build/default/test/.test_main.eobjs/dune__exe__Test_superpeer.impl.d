@@ -1,0 +1,1 @@
+test/test_superpeer.ml: Alcotest Flood Printf Rangeset

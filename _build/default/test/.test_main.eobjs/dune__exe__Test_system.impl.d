@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Chord List P2prange Printf QCheck QCheck_alcotest Rangeset

@@ -1,0 +1,116 @@
+(* The Figure-3 bit-shuffle network: the paper's worked 8-bit example,
+   bijectivity over small widths, and key validation. *)
+
+let fig3_example () =
+  (* Figure 3(a): key 0|1|1|0|1|0|1|0 (MSB first), integer 1|0|1|0|0|0|1|0
+     must permute to 0|1|0|1|1|0|0|0 after the first iteration. *)
+  let key = 0b01101010 and x = 0b10100010 and expected = 0b01011000 in
+  let perm = Lsh.Bit_perm.of_keys ~bits:8 [| key |] in
+  Alcotest.(check int) "paper example, first iteration" expected
+    (Lsh.Bit_perm.apply perm x)
+
+let bijective_8bit () =
+  (* Every full network over 8 bits must be a permutation of [0, 256). *)
+  let rng = Prng.Splitmix.create 1L in
+  for _ = 1 to 20 do
+    let perm = Lsh.Bit_perm.random ~bits:8 rng in
+    let image = Array.make 256 false in
+    for x = 0 to 255 do
+      let y = Lsh.Bit_perm.apply perm x in
+      Alcotest.(check bool) "in range" true (0 <= y && y < 256);
+      Alcotest.(check bool) "no collision" false image.(y);
+      image.(y) <- true
+    done
+  done
+
+let bijective_one_level () =
+  let rng = Prng.Splitmix.create 2L in
+  let perm = Lsh.Bit_perm.random ~bits:16 ~levels:1 rng in
+  let seen = Hashtbl.create 65536 in
+  for x = 0 to 65535 do
+    let y = Lsh.Bit_perm.apply perm x in
+    Alcotest.(check bool) "no collision" false (Hashtbl.mem seen y);
+    Hashtbl.replace seen y ()
+  done
+
+let level_count () =
+  let rng = Prng.Splitmix.create 3L in
+  let full = Lsh.Bit_perm.random ~bits:32 rng in
+  Alcotest.(check int) "32-bit network has 5 levels (widths 32,16,8,4,2)" 5
+    (Lsh.Bit_perm.levels full);
+  let approx = Lsh.Bit_perm.random ~bits:32 ~levels:1 rng in
+  Alcotest.(check int) "approximate variant has 1 level" 1
+    (Lsh.Bit_perm.levels approx)
+
+let keys_roundtrip () =
+  let rng = Prng.Splitmix.create 4L in
+  let perm = Lsh.Bit_perm.random ~bits:32 rng in
+  let rebuilt = Lsh.Bit_perm.of_keys ~bits:32 (Lsh.Bit_perm.keys perm) in
+  for _ = 1 to 1000 do
+    let x = Prng.Splitmix.int rng (1 lsl 32) in
+    Alcotest.(check int) "same permutation" (Lsh.Bit_perm.apply perm x)
+      (Lsh.Bit_perm.apply rebuilt x)
+  done
+
+let key_validation () =
+  Alcotest.check_raises "wrong popcount"
+    (Invalid_argument "Bit_perm.of_keys: key must have exactly half its bits set")
+    (fun () -> ignore (Lsh.Bit_perm.of_keys ~bits:8 [| 0b00000001 |]));
+  Alcotest.check_raises "key wider than level"
+    (Invalid_argument "Bit_perm.of_keys: key exceeds its level width")
+    (fun () -> ignore (Lsh.Bit_perm.of_keys ~bits:8 [| 0b01101010; 0b10101010 |]));
+  Alcotest.check_raises "bits not a power of two"
+    (Invalid_argument "Bit_perm: bits must be a power of two in [2, 62]")
+    (fun () -> ignore (Lsh.Bit_perm.of_keys ~bits:12 [| 0 |]))
+
+let apply_domain_check () =
+  let rng = Prng.Splitmix.create 5L in
+  let perm = Lsh.Bit_perm.random ~bits:8 rng in
+  Alcotest.check_raises "value too wide"
+    (Invalid_argument "Bit_perm.apply: value outside the permuted domain")
+    (fun () -> ignore (Lsh.Bit_perm.apply perm 256))
+
+let identity_distinct_keys () =
+  (* Two different random permutations should disagree somewhere (sanity
+     that keys actually influence the output). *)
+  let rng = Prng.Splitmix.create 6L in
+  let a = Lsh.Bit_perm.random ~bits:32 rng in
+  let b = Lsh.Bit_perm.random ~bits:32 rng in
+  let differs = ref false in
+  for x = 0 to 999 do
+    if Lsh.Bit_perm.apply a x <> Lsh.Bit_perm.apply b x then differs := true
+  done;
+  Alcotest.(check bool) "independent draws differ" true !differs
+
+let prop_full_32bit_injective_on_sample =
+  QCheck.Test.make ~name:"32-bit network is injective on random samples"
+    ~count:5 QCheck.unit (fun () ->
+      let rng = Prng.Splitmix.create 7L in
+      let perm = Lsh.Bit_perm.random ~bits:32 rng in
+      let seen = Hashtbl.create 4096 in
+      let ok = ref true in
+      for _ = 1 to 4096 do
+        let x = Prng.Splitmix.int rng (1 lsl 32) in
+        let y = Lsh.Bit_perm.apply perm x in
+        (match Hashtbl.find_opt seen y with
+        | Some x' when x' <> x -> ok := false
+        | Some _ | None -> ());
+        Hashtbl.replace seen y x
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "paper's Figure 3(a) example" `Quick fig3_example;
+    Alcotest.test_case "full 8-bit network is a bijection" `Quick bijective_8bit;
+    Alcotest.test_case "single level is a bijection (16-bit)" `Quick
+      bijective_one_level;
+    Alcotest.test_case "level counts" `Quick level_count;
+    Alcotest.test_case "keys round-trip" `Quick keys_roundtrip;
+    Alcotest.test_case "key validation" `Quick key_validation;
+    Alcotest.test_case "apply rejects out-of-domain values" `Quick
+      apply_domain_check;
+    Alcotest.test_case "distinct draws give distinct permutations" `Quick
+      identity_distinct_keys;
+    QCheck_alcotest.to_alcotest prop_full_32bit_injective_on_sample;
+  ]

@@ -1,0 +1,170 @@
+(* CAN overlay: zone algebra, structural invariants through join sequences,
+   routing correctness, and the O(d/4 · N^(1/d)) hop scaling. *)
+
+let build ~dims ~n ~seed =
+  let net = Can.Network.create ~dims in
+  Can.Network.add_first net 0;
+  let rng = Prng.Splitmix.create seed in
+  for id = 1 to n - 1 do
+    Can.Network.join_random net id ~rng ~via:0
+  done;
+  net
+
+(* --- zones --- *)
+
+let zone_split_halves () =
+  let z = Can.Zone.full ~dims:2 in
+  Alcotest.(check (float 1e-12)) "unit volume" 1.0 (Can.Zone.volume z);
+  let lower, upper = Can.Zone.split z in
+  Alcotest.(check (float 1e-12)) "half" 0.5 (Can.Zone.volume lower);
+  Alcotest.(check (float 1e-12)) "other half" 0.5 (Can.Zone.volume upper);
+  Alcotest.(check bool) "lower owns origin" true
+    (Can.Zone.contains lower [| 0.0; 0.0 |]);
+  Alcotest.(check bool) "disjoint" false
+    (Can.Zone.contains upper [| 0.0; 0.0 |])
+
+let zone_split_longest_side () =
+  let z = Can.Zone.full ~dims:2 in
+  let lower, _ = Can.Zone.split z in
+  (* First split halves dim 0; the lower half is now tall, so its next
+     split must halve dim 1. *)
+  let ll, _ = Can.Zone.split lower in
+  Alcotest.(check (float 1e-12)) "dim0 untouched" 0.5 (Can.Zone.hi ll 0);
+  Alcotest.(check (float 1e-12)) "dim1 halved" 0.5 (Can.Zone.hi ll 1)
+
+let zone_adjacency () =
+  let z = Can.Zone.full ~dims:2 in
+  let left, right = Can.Zone.split z in
+  Alcotest.(check bool) "halves adjacent" true (Can.Zone.adjacent left right);
+  Alcotest.(check bool) "not self-adjacent" false (Can.Zone.adjacent left left);
+  (* Quarter corner-touching the opposite quarter: not neighbours. *)
+  let ll, lu = Can.Zone.split left in
+  let rl, ru = Can.Zone.split right in
+  Alcotest.(check bool) "corner touch is not adjacency" false
+    (Can.Zone.adjacent ll ru);
+  Alcotest.(check bool) "side touch is adjacency" true (Can.Zone.adjacent ll rl);
+  Alcotest.(check bool) "vertical stack is adjacency" true
+    (Can.Zone.adjacent ll lu)
+
+let zone_wrap_adjacency () =
+  (* [0, 0.25) and [0.75, 1) in dim 0 abut across the wrap. *)
+  let z = Can.Zone.full ~dims:2 in
+  let left, right = Can.Zone.split z in
+  let ll, _ = Can.Zone.split left in      (* x in [0, 0.5), y in [0, 0.5) *)
+  let _, ru = Can.Zone.split right in     (* x in [0.5, 1), y in [0.5, 1) *)
+  ignore ru;
+  (* Build the wrap case directly: x-intervals [0,0.5) and [0.5,1) already
+     abut at 0.5; the wrap matters for distance, tested below. *)
+  let d = Can.Zone.distance_to_point ll [| 0.99; 0.25 |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "wrap distance %.3f < 0.02" d)
+    true (d < 0.02)
+
+let distance_inside_is_zero () =
+  let z = Can.Zone.full ~dims:3 in
+  Alcotest.(check (float 0.0)) "inside" 0.0
+    (Can.Zone.distance_to_point z [| 0.3; 0.9; 0.001 |])
+
+(* --- network --- *)
+
+let invariants_through_joins () =
+  let net = Can.Network.create ~dims:2 in
+  Can.Network.add_first net 0;
+  let rng = Prng.Splitmix.create 5L in
+  for id = 1 to 80 do
+    Can.Network.join_random net id ~rng ~via:0;
+    Alcotest.(check bool)
+      (Printf.sprintf "invariants after join %d" id)
+      true
+      (Can.Network.invariants_ok net)
+  done;
+  Alcotest.(check int) "all nodes present" 81 (Can.Network.size net)
+
+let invariants_3d () =
+  let net = build ~dims:3 ~n:60 ~seed:6L in
+  Alcotest.(check bool) "3d invariants" true (Can.Network.invariants_ok net)
+
+let routing_reaches_owner () =
+  let net = build ~dims:2 ~n:100 ~seed:7L in
+  let rng = Prng.Splitmix.create 8L in
+  let ids = Array.of_list (Can.Network.node_ids net) in
+  for _ = 1 to 500 do
+    let point = [| Prng.Splitmix.float rng; Prng.Splitmix.float rng |] in
+    let from = ids.(Prng.Splitmix.int rng (Array.length ids)) in
+    match Can.Network.lookup net ~from ~point with
+    | Some (owner, hops) ->
+      Alcotest.(check int) "greedy owner = true owner"
+        (Can.Network.owner_of_point net point)
+        owner;
+      Alcotest.(check bool) "hops bounded" true (hops < 100)
+    | None -> Alcotest.fail "greedy routing dead-ended"
+  done
+
+let key_mapping_deterministic () =
+  let net = build ~dims:2 ~n:10 ~seed:9L in
+  let p1 = Can.Network.point_of_key net "range-[30,50]" in
+  let p2 = Can.Network.point_of_key net "range-[30,50]" in
+  Alcotest.(check bool) "same key, same point" true (p1 = p2);
+  let p3 = Can.Network.point_of_key net "range-[30,49]" in
+  Alcotest.(check bool) "different key, different point" true (p1 <> p3);
+  match Can.Network.lookup_key net ~from:0 "range-[30,50]" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "key lookup must route"
+
+let hops_scale_with_dimension () =
+  (* Mean hops ≈ (d/4)·N^(1/d): for N = 256, d = 2 gives ≈ 8, d = 4 gives
+     ≈ 4. Assert the qualitative relation d=2 slower than d=4 at this N,
+     and both within loose bands. *)
+  let mean_hops dims =
+    let net = build ~dims ~n:256 ~seed:11L in
+    let rng = Prng.Splitmix.create 12L in
+    let ids = Array.of_list (Can.Network.node_ids net) in
+    let total = ref 0 and count = 400 in
+    for _ = 1 to count do
+      let point = Array.init dims (fun _ -> Prng.Splitmix.float rng) in
+      let from = ids.(Prng.Splitmix.int rng (Array.length ids)) in
+      match Can.Network.lookup net ~from ~point with
+      | Some (_, hops) -> total := !total + hops
+      | None -> Alcotest.fail "dead end"
+    done;
+    float_of_int !total /. float_of_int count
+  in
+  let d2 = mean_hops 2 and d4 = mean_hops 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "d=2 (%.1f) routes longer than d=4 (%.1f) at N=256" d2 d4)
+    true (d2 > d4);
+  Alcotest.(check bool) "d=2 in [4, 20]" true (d2 >= 4.0 && d2 <= 20.0);
+  Alcotest.(check bool) "d=4 in [2, 10]" true (d4 >= 2.0 && d4 <= 10.0)
+
+let join_validation () =
+  let net = Can.Network.create ~dims:2 in
+  Can.Network.add_first net 0;
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Can.Network.join: identifier already taken") (fun () ->
+      Can.Network.join net 0 ~at:[| 0.5; 0.5 |] ~via:0);
+  Alcotest.check_raises "bad point"
+    (Invalid_argument "Can.Network: point coordinate outside [0, 1)")
+    (fun () -> Can.Network.join net 1 ~at:[| 1.5; 0.5 |] ~via:0);
+  Alcotest.check_raises "second bootstrap"
+    (Invalid_argument "Can.Network.add_first: overlay not empty") (fun () ->
+      Can.Network.add_first net 1)
+
+let suite =
+  [
+    Alcotest.test_case "zone split halves volume" `Quick zone_split_halves;
+    Alcotest.test_case "zone split picks the longest side" `Quick
+      zone_split_longest_side;
+    Alcotest.test_case "zone adjacency" `Quick zone_adjacency;
+    Alcotest.test_case "torus wrap distance" `Quick zone_wrap_adjacency;
+    Alcotest.test_case "distance inside a zone is zero" `Quick
+      distance_inside_is_zero;
+    Alcotest.test_case "invariants through 80 joins" `Quick
+      invariants_through_joins;
+    Alcotest.test_case "invariants in 3 dimensions" `Quick invariants_3d;
+    Alcotest.test_case "greedy routing reaches the owner" `Quick
+      routing_reaches_owner;
+    Alcotest.test_case "key → point mapping" `Quick key_mapping_deterministic;
+    Alcotest.test_case "hops scale with dimension" `Slow
+      hops_scale_with_dimension;
+    Alcotest.test_case "join validation" `Quick join_validation;
+  ]

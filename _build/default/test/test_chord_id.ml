@@ -1,0 +1,85 @@
+(* Circular identifier arithmetic — the interval conventions routing
+   correctness depends on. *)
+
+let in_oo x lo hi = Chord.Id.in_interval_oo x ~lo ~hi
+let in_oc x lo hi = Chord.Id.in_interval_oc x ~lo ~hi
+
+let check_bool = Alcotest.(check bool)
+
+let validity () =
+  check_bool "0 valid" true (Chord.Id.is_valid 0);
+  check_bool "max valid" true (Chord.Id.is_valid ((1 lsl 32) - 1));
+  check_bool "2^32 invalid" false (Chord.Id.is_valid (1 lsl 32));
+  check_bool "negative invalid" false (Chord.Id.is_valid (-1))
+
+let open_interval_linear () =
+  check_bool "inside" true (in_oo 5 0 10);
+  check_bool "lo excluded" false (in_oo 0 0 10);
+  check_bool "hi excluded" false (in_oo 10 0 10);
+  check_bool "outside" false (in_oo 11 0 10)
+
+let open_interval_wrapping () =
+  let top = (1 lsl 32) - 1 in
+  check_bool "wraps through zero" true (in_oo 0 (top - 5) 10);
+  check_bool "wraps high side" true (in_oo top (top - 5) 10);
+  check_bool "excluded before lo" false (in_oo (top - 6) (top - 5) 10);
+  check_bool "excluded at hi" false (in_oo 10 (top - 5) 10)
+
+let open_interval_degenerate () =
+  (* lo = hi denotes the whole ring minus the endpoint (Chord routing). *)
+  check_bool "everything but endpoint" true (in_oo 1 7 7);
+  check_bool "endpoint excluded" false (in_oo 7 7 7)
+
+let half_open_interval () =
+  check_bool "hi included" true (in_oc 10 0 10);
+  check_bool "lo excluded" false (in_oc 0 0 10);
+  check_bool "wrap: hi included" true (in_oc 3 ((1 lsl 32) - 2) 3);
+  (* lo = hi denotes the full ring: a single node owns every key. *)
+  check_bool "degenerate covers all" true (in_oc 12345 7 7);
+  check_bool "degenerate covers endpoint" true (in_oc 7 7 7)
+
+let add_pow2_wraps () =
+  Alcotest.(check int) "no wrap" 1024 (Chord.Id.add_pow2 0 10);
+  Alcotest.(check int) "wraps to 0" 0 (Chord.Id.add_pow2 (1 lsl 31) 31);
+  Alcotest.check_raises "exponent out of range"
+    (Invalid_argument "Id.add_pow2: exponent out of range") (fun () ->
+      ignore (Chord.Id.add_pow2 0 32))
+
+let distance () =
+  Alcotest.(check int) "forward" 5 (Chord.Id.distance_cw ~from:10 ~to_:15);
+  Alcotest.(check int) "zero" 0 (Chord.Id.distance_cw ~from:10 ~to_:10);
+  Alcotest.(check int) "wraps"
+    ((1 lsl 32) - 5)
+    (Chord.Id.distance_cw ~from:15 ~to_:10)
+
+let of_name_deterministic () =
+  Alcotest.(check int) "stable" (Chord.Id.of_name "peer-1") (Chord.Id.of_name "peer-1");
+  check_bool "distinct names differ" true
+    (Chord.Id.of_name "peer-1" <> Chord.Id.of_name "peer-2");
+  check_bool "valid" true (Chord.Id.is_valid (Chord.Id.of_name "anything"))
+
+let prop_oo_complement =
+  (* For lo <> hi and x not an endpoint: x is in (lo,hi) xor in (hi,lo). *)
+  let gen = QCheck.Gen.int_range 0 ((1 lsl 32) - 1) in
+  let arb = QCheck.make ~print:string_of_int gen in
+  QCheck.Test.make ~name:"(lo,hi) and (hi,lo) partition non-endpoints"
+    ~count:1000
+    (QCheck.triple arb arb arb)
+    (fun (x, lo, hi) ->
+      QCheck.assume (lo <> hi && x <> lo && x <> hi);
+      Bool.not (in_oo x lo hi) = in_oo x hi lo)
+
+let suite =
+  [
+    Alcotest.test_case "validity bounds" `Quick validity;
+    Alcotest.test_case "open interval, linear case" `Quick open_interval_linear;
+    Alcotest.test_case "open interval, wrapping case" `Quick
+      open_interval_wrapping;
+    Alcotest.test_case "open interval, degenerate case" `Quick
+      open_interval_degenerate;
+    Alcotest.test_case "half-open interval" `Quick half_open_interval;
+    Alcotest.test_case "add_pow2 wraps" `Quick add_pow2_wraps;
+    Alcotest.test_case "clockwise distance" `Quick distance;
+    Alcotest.test_case "of_name determinism" `Quick of_name_deterministic;
+    QCheck_alcotest.to_alcotest prop_oo_complement;
+  ]

@@ -1,0 +1,90 @@
+(* Distribution sampling: support bounds, means, and Zipf head-heaviness. *)
+
+let uniform_support_and_mean () =
+  let rng = Prng.Splitmix.create 1L in
+  let dist = Prng.Distribution.Uniform { lo = 10; hi = 20 } in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let v = Prng.Distribution.sample dist rng in
+    Alcotest.(check bool) "support" true (10 <= v && v <= 20);
+    sum := !sum + v
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check (float 1e-9)) "declared mean" 15.0 (Prng.Distribution.mean dist);
+  Alcotest.(check bool) "empirical mean near 15" true (abs_float (mean -. 15.0) < 0.2)
+
+let zipf_rank_one_dominates () =
+  let rng = Prng.Splitmix.create 2L in
+  let table = Prng.Distribution.zipf_table ~n:100 ~s:1.2 in
+  let counts = Array.make 101 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let r = Prng.Distribution.sample_zipf table rng in
+    Alcotest.(check bool) "rank in [1,100]" true (1 <= r && r <= 100);
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most popular" true
+    (counts.(1) > counts.(2) && counts.(2) > counts.(10));
+  (* Theoretical P(rank 1) for s=1.2, n=100 is ~0.278. *)
+  let p1 = float_of_int counts.(1) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "head probability %.3f near theory" p1)
+    true
+    (abs_float (p1 -. 0.278) < 0.02)
+
+let zipf_via_variant () =
+  let rng = Prng.Splitmix.create 3L in
+  let dist = Prng.Distribution.Zipf { n = 10; s = 1.0 } in
+  for _ = 1 to 1000 do
+    let v = Prng.Distribution.sample dist rng in
+    Alcotest.(check bool) "support" true (1 <= v && v <= 10)
+  done
+
+let normal_clamped () =
+  let rng = Prng.Splitmix.create 4L in
+  let dist =
+    Prng.Distribution.Normal_clamped { mean = 50.0; stddev = 10.0; lo = 0; hi = 100 }
+  in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let v = Prng.Distribution.sample dist rng in
+    Alcotest.(check bool) "clamped" true (0 <= v && v <= 100);
+    sum := !sum + v
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 50" true (abs_float (mean -. 50.0) < 0.5)
+
+let normal_clamps_hard () =
+  let rng = Prng.Splitmix.create 5L in
+  let dist =
+    Prng.Distribution.Normal_clamped { mean = 0.0; stddev = 50.0; lo = 0; hi = 10 }
+  in
+  for _ = 1 to 1000 do
+    let v = Prng.Distribution.sample dist rng in
+    Alcotest.(check bool) "within clamp" true (0 <= v && v <= 10)
+  done
+
+let zipf_table_validation () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Distribution.zipf_table: n must be positive") (fun () ->
+      ignore (Prng.Distribution.zipf_table ~n:0 ~s:1.0))
+
+let zipf_mean_formula () =
+  (* s = 0 degenerates to uniform over [1, n]: mean = (n+1)/2. *)
+  let dist = Prng.Distribution.Zipf { n = 9; s = 0.0 } in
+  Alcotest.(check (float 1e-9)) "uniform degenerate mean" 5.0
+    (Prng.Distribution.mean dist)
+
+let suite =
+  [
+    Alcotest.test_case "uniform: support and mean" `Quick uniform_support_and_mean;
+    Alcotest.test_case "zipf: head dominates, matches theory" `Quick
+      zipf_rank_one_dominates;
+    Alcotest.test_case "zipf: variant interface" `Quick zipf_via_variant;
+    Alcotest.test_case "normal: clamped support, centred" `Quick normal_clamped;
+    Alcotest.test_case "normal: hard clamping" `Quick normal_clamps_hard;
+    Alcotest.test_case "zipf table validation" `Quick zipf_table_validation;
+    Alcotest.test_case "zipf mean formula (s = 0)" `Quick zipf_mean_formula;
+  ]

@@ -1,0 +1,112 @@
+(* Unstructured flooding baseline: graph construction, local caching,
+   TTL-bounded reach and message accounting. *)
+
+module Range = Rangeset.Range
+
+let mk lo hi = Range.make ~lo ~hi
+
+let graph_connected_and_degreed () =
+  let t = Flood.Overlay.create ~n:100 ~degree:6 ~seed:1L in
+  Alcotest.(check int) "size" 100 (Flood.Overlay.size t);
+  (* Ring backbone: everyone has at least 2 neighbours. *)
+  for i = 0 to 99 do
+    Alcotest.(check bool) "min degree 2" true
+      (List.length (Flood.Overlay.neighbours t i) >= 2)
+  done;
+  (* Average degree near the target. *)
+  let total =
+    List.init 100 (fun i -> List.length (Flood.Overlay.neighbours t i))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "average degree %.1f near 6" (float_of_int total /. 100.0))
+    true
+    (abs ((total / 100) - 6) <= 1)
+
+let neighbour_symmetry () =
+  let t = Flood.Overlay.create ~n:50 ~degree:4 ~seed:2L in
+  for i = 0 to 49 do
+    List.iter
+      (fun j ->
+        Alcotest.(check bool) "symmetric" true
+          (List.mem i (Flood.Overlay.neighbours t j)))
+      (Flood.Overlay.neighbours t i)
+  done
+
+let ttl_zero_is_local () =
+  let t = Flood.Overlay.create ~n:20 ~degree:4 ~seed:3L in
+  Flood.Overlay.store t ~peer:5 (mk 10 20);
+  let local = Flood.Overlay.flood_query t ~from:5 ~ttl:0 (mk 10 20) in
+  Alcotest.(check int) "only self" 1 local.Flood.Overlay.peers_reached;
+  Alcotest.(check int) "no messages" 0 local.Flood.Overlay.messages;
+  (match local.Flood.Overlay.best with
+  | Some (_, j) -> Alcotest.(check (float 1e-9)) "own cache hit" 1.0 j
+  | None -> Alcotest.fail "must find own cache");
+  let remote = Flood.Overlay.flood_query t ~from:6 ~ttl:0 (mk 10 20) in
+  Alcotest.(check bool) "ttl 0 cannot see peer 5" true
+    (remote.Flood.Overlay.best = None)
+
+let flood_reach_grows_with_ttl () =
+  let t = Flood.Overlay.create ~n:200 ~degree:5 ~seed:4L in
+  let reach ttl =
+    (Flood.Overlay.flood_query t ~from:0 ~ttl (mk 0 1)).Flood.Overlay.peers_reached
+  in
+  Alcotest.(check bool) "monotone reach" true
+    (reach 1 < reach 2 && reach 2 < reach 4);
+  Alcotest.(check bool) "high ttl reaches everyone" true (reach 20 = 200)
+
+let finds_cached_match_within_horizon () =
+  let t = Flood.Overlay.create ~n:100 ~degree:6 ~seed:5L in
+  (* Cache a similar range at some peer; a deep flood must find it. *)
+  Flood.Overlay.store t ~peer:42 (mk 30 50);
+  let r = Flood.Overlay.flood_query t ~from:0 ~ttl:20 (mk 30 49) in
+  match r.Flood.Overlay.best with
+  | Some (found, j) ->
+    Alcotest.(check bool) "found the cached range" true
+      (Range.equal found (mk 30 50));
+    Alcotest.(check (float 1e-9)) "jaccard 20/21" (20.0 /. 21.0) j
+  | None -> Alcotest.fail "deep flood must find the cached partition"
+
+let message_cost_scales_with_reach () =
+  let t = Flood.Overlay.create ~n:500 ~degree:6 ~seed:6L in
+  let q = mk 0 10 in
+  let shallow = Flood.Overlay.flood_query t ~from:0 ~ttl:2 q in
+  let deep = Flood.Overlay.flood_query t ~from:0 ~ttl:6 q in
+  Alcotest.(check bool) "deeper floods cost more" true
+    (deep.Flood.Overlay.messages > 4 * shallow.Flood.Overlay.messages);
+  (* Full flood costs on the order of the edge count × 2. *)
+  Alcotest.(check bool) "full flood is expensive" true
+    (deep.Flood.Overlay.messages > 500)
+
+let store_idempotent () =
+  let t = Flood.Overlay.create ~n:10 ~degree:4 ~seed:7L in
+  Flood.Overlay.store t ~peer:1 (mk 0 5);
+  Flood.Overlay.store t ~peer:1 (mk 0 5);
+  Alcotest.(check int) "stored once" 1 (Flood.Overlay.stored_count t)
+
+let validation () =
+  Alcotest.check_raises "tiny network"
+    (Invalid_argument "Flood.Overlay.create: need at least two peers")
+    (fun () -> ignore (Flood.Overlay.create ~n:1 ~degree:4 ~seed:1L));
+  let t = Flood.Overlay.create ~n:10 ~degree:4 ~seed:1L in
+  Alcotest.check_raises "unknown peer"
+    (Invalid_argument "Flood.Overlay: unknown peer") (fun () ->
+      ignore (Flood.Overlay.neighbours t 10));
+  Alcotest.check_raises "negative ttl"
+    (Invalid_argument "Flood.Overlay.flood_query: negative ttl") (fun () ->
+      ignore (Flood.Overlay.flood_query t ~from:0 ~ttl:(-1) (mk 0 1)))
+
+let suite =
+  [
+    Alcotest.test_case "graph connectivity and degree" `Quick
+      graph_connected_and_degreed;
+    Alcotest.test_case "neighbour symmetry" `Quick neighbour_symmetry;
+    Alcotest.test_case "ttl 0 answers locally" `Quick ttl_zero_is_local;
+    Alcotest.test_case "reach grows with ttl" `Quick flood_reach_grows_with_ttl;
+    Alcotest.test_case "finds cached matches within the horizon" `Quick
+      finds_cached_match_within_horizon;
+    Alcotest.test_case "message cost scales with reach" `Quick
+      message_cost_scales_with_reach;
+    Alcotest.test_case "store idempotent" `Quick store_idempotent;
+    Alcotest.test_case "validation" `Quick validation;
+  ]

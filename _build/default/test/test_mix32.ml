@@ -1,0 +1,113 @@
+(* The bijective identifier finalizer: exact invertibility, spreading, and
+   the guarantee that spreading cannot change match quality. *)
+
+let roundtrip_samples () =
+  let rng = Prng.Splitmix.create 1L in
+  for _ = 1 to 100_000 do
+    let x = Prng.Splitmix.int rng (1 lsl 32) in
+    Alcotest.(check int) "unmix (mix x) = x" x (Lsh.Mix32.unmix (Lsh.Mix32.mix x))
+  done
+
+let roundtrip_edges () =
+  List.iter
+    (fun x ->
+      Alcotest.(check int) "roundtrip" x (Lsh.Mix32.unmix (Lsh.Mix32.mix x));
+      Alcotest.(check int) "reverse roundtrip" x (Lsh.Mix32.mix (Lsh.Mix32.unmix x)))
+    [ 0; 1; 0xFFFF; 0x10000; 0x7FFFFFFF; 0x80000000; 0xFFFFFFFF ]
+
+let stays_in_range () =
+  let rng = Prng.Splitmix.create 2L in
+  for _ = 1 to 10_000 do
+    let x = Prng.Splitmix.int rng (1 lsl 32) in
+    let y = Lsh.Mix32.mix x in
+    Alcotest.(check bool) "32-bit" true (0 <= y && y < 1 lsl 32)
+  done;
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Mix32: identifier outside 32 bits") (fun () ->
+      ignore (Lsh.Mix32.mix (-1)))
+
+let spreads_clustered_inputs () =
+  (* Inputs confined to [0, 2^17) — the shape of raw XOR'd min-hash
+     identifiers over a small domain — must land all over the ring. *)
+  let rng = Prng.Splitmix.create 3L in
+  let octants = Array.make 8 0 in
+  let n = 8000 in
+  for _ = 1 to n do
+    let x = Prng.Splitmix.int rng (1 lsl 17) in
+    let y = Lsh.Mix32.mix x in
+    octants.(y lsr 29) <- octants.(y lsr 29) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "octant share %.3f near 1/8" f)
+        true
+        (abs_float (f -. 0.125) < 0.03))
+    octants
+
+let collisions_preserved () =
+  (* Bijectivity means: mix x = mix y iff x = y. Check no new collisions
+     appear and no old ones vanish on a sample. *)
+  let rng = Prng.Splitmix.create 4L in
+  for _ = 1 to 10_000 do
+    let x = Prng.Splitmix.int rng (1 lsl 20) in
+    let y = Prng.Splitmix.int rng (1 lsl 20) in
+    Alcotest.(check bool) "equality preserved" (x = y)
+      (Lsh.Mix32.mix x = Lsh.Mix32.mix y)
+  done
+
+let spreading_does_not_change_matches () =
+  (* System-level guarantee: identical runs with spreading on/off must
+     produce identical similarity and recall streams (placement differs,
+     collisions do not). *)
+  let base = P2prange.Config.default in
+  let run spread =
+    P2prange.Simulation.run
+      ~config:{ base with spread_identifiers = spread }
+      ~n_peers:20 ~n_queries:800 ~seed:9L ()
+  in
+  let off = run false and on = run true in
+  Alcotest.(check (list (float 1e-12))) "similarities identical"
+    (P2prange.Simulation.similarities off)
+    (P2prange.Simulation.similarities on);
+  Alcotest.(check (list (float 1e-12))) "recalls identical"
+    (P2prange.Simulation.recalls off)
+    (P2prange.Simulation.recalls on)
+
+let spreading_balances_load () =
+  let base = P2prange.Config.default in
+  let peak_load spread =
+    let config = { base with P2prange.Config.spread_identifiers = spread } in
+    let system = P2prange.System.create ~config ~seed:10L ~n_peers:50 () in
+    let rng = Prng.Splitmix.create 10L in
+    let stream =
+      Workload.Query_workload.create Workload.Query_workload.Uniform_pairs
+        ~domain:base.P2prange.Config.domain ~seed:10L
+    in
+    for _ = 1 to 2000 do
+      let from = P2prange.System.random_peer system rng in
+      ignore (P2prange.System.query system ~from (Workload.Query_workload.next stream))
+    done;
+    List.fold_left
+      (fun acc p -> Stdlib.max acc (P2prange.Peer.load p))
+      0
+      (P2prange.System.peers system)
+  in
+  let raw = peak_load false and spread = peak_load true in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak load %d (spread) < %d (raw)" spread raw)
+    true (spread < raw)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip on random samples" `Quick roundtrip_samples;
+    Alcotest.test_case "roundtrip at edges" `Quick roundtrip_edges;
+    Alcotest.test_case "range discipline" `Quick stays_in_range;
+    Alcotest.test_case "spreads clustered inputs" `Quick spreads_clustered_inputs;
+    Alcotest.test_case "collisions exactly preserved" `Quick collisions_preserved;
+    Alcotest.test_case "spreading never changes match results" `Slow
+      spreading_does_not_change_matches;
+    Alcotest.test_case "spreading balances peer load" `Slow
+      spreading_balances_load;
+  ]

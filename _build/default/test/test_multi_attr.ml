@@ -1,0 +1,96 @@
+(* Multi-attribute extension: per-attribute systems, combined recall is the
+   weakest conjunct, message accounting across conjuncts. *)
+
+module Range = Rangeset.Range
+module MA = P2prange.Multi_attr
+
+let mk lo hi = Range.make ~lo ~hi
+
+let build () =
+  MA.create ~seed:11L ~n_peers:10
+    ~attributes:
+      [ ("age", mk 0 120); ("weight", mk 0 300) ]
+    ()
+
+let construction () =
+  let t = build () in
+  Alcotest.(check (list string)) "attributes" [ "age"; "weight" ]
+    (MA.attributes t);
+  Alcotest.(check bool) "system domain follows attribute" true
+    (Range.equal
+       (P2prange.System.config (MA.system_for t "weight")).P2prange.Config.domain
+       (mk 0 300));
+  Alcotest.check_raises "duplicate attributes"
+    (Invalid_argument "Multi_attr.create: duplicate attribute names") (fun () ->
+      ignore
+        (MA.create ~seed:1L ~n_peers:3
+           ~attributes:[ ("a", mk 0 1); ("a", mk 0 1) ]
+           ()))
+
+let empty_conjuncts_rejected () =
+  let t = build () in
+  Alcotest.check_raises "no conjuncts"
+    (Invalid_argument "Multi_attr.query: no conjuncts") (fun () ->
+      ignore (MA.query t ~from_name:"peer-0" []))
+
+let combined_recall_is_minimum () =
+  let t = build () in
+  (* Seed the age system only: the age conjunct will match exactly, the
+     weight conjunct will miss, so combined recall must be 0. *)
+  let age_sys = MA.system_for t "age" in
+  let from = P2prange.System.peer_by_name age_sys "peer-0" in
+  ignore (P2prange.System.publish age_sys ~from (mk 30 50));
+  let result =
+    MA.query t ~from_name:"peer-0"
+      [
+        { MA.attribute = "age"; range = mk 30 50 };
+        { MA.attribute = "weight"; range = mk 100 150 };
+      ]
+  in
+  let recalls =
+    List.map (fun (_, r) -> r.P2prange.System.recall) result.MA.conjuncts
+  in
+  Alcotest.(check (float 1e-9)) "age conjunct exact" 1.0 (List.nth recalls 0);
+  Alcotest.(check (float 1e-9)) "combined = min" 0.0 result.MA.combined_recall
+
+let both_conjuncts_seeded () =
+  let t = build () in
+  let seed_system attr range =
+    let s = MA.system_for t attr in
+    ignore (P2prange.System.publish s ~from:(P2prange.System.peer_by_name s "peer-1") range)
+  in
+  seed_system "age" (mk 30 50);
+  seed_system "weight" (mk 100 150);
+  let result =
+    MA.query t ~from_name:"peer-2"
+      [
+        { MA.attribute = "age"; range = mk 30 50 };
+        { MA.attribute = "weight"; range = mk 100 150 };
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "both exact" 1.0 result.MA.combined_recall;
+  Alcotest.(check bool) "messages accumulate over conjuncts" true
+    (result.MA.total_messages
+    >= List.fold_left
+         (fun acc (_, r) -> acc + r.P2prange.System.stats.P2prange.System.messages)
+         0 result.MA.conjuncts)
+
+let unknown_attribute () =
+  let t = build () in
+  Alcotest.check_raises "unknown attribute" Not_found (fun () ->
+      ignore
+        (MA.query t ~from_name:"peer-0"
+           [ { MA.attribute = "height"; range = mk 0 10 } ]))
+
+let suite =
+  [
+    Alcotest.test_case "construction and per-attribute domains" `Quick
+      construction;
+    Alcotest.test_case "empty conjunct list rejected" `Quick
+      empty_conjuncts_rejected;
+    Alcotest.test_case "combined recall is the weakest conjunct" `Quick
+      combined_recall_is_minimum;
+    Alcotest.test_case "fully seeded conjunctions answer exactly" `Quick
+      both_conjuncts_seeded;
+    Alcotest.test_case "unknown attribute raises" `Quick unknown_attribute;
+  ]

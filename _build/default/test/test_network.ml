@@ -1,0 +1,123 @@
+(* The dynamic Chord protocol: joins converge under stabilization, routing
+   works mid-churn, failures are repaired through successor lists. *)
+
+let build_network ids =
+  let net = Chord.Network.create () in
+  (match ids with
+  | [] -> ()
+  | first :: rest ->
+    Chord.Network.add_first net first;
+    List.iter
+      (fun id ->
+        Chord.Network.join net id ~via:first;
+        Chord.Network.stabilize net ~rounds:2)
+      rest);
+  net
+
+let single_bootstrap () =
+  let net = Chord.Network.create () in
+  Chord.Network.add_first net 42;
+  Alcotest.(check int) "size" 1 (Chord.Network.size net);
+  Alcotest.(check bool) "converged" true (Chord.Network.is_converged net);
+  Alcotest.(check int) "own successor" 42 (Chord.Network.successor net 42)
+
+let joins_converge () =
+  let net = build_network [ 100; 5000; 20_000; 1_000_000; 50 ] in
+  Chord.Network.stabilize net ~rounds:5;
+  Alcotest.(check int) "all joined" 5 (Chord.Network.size net);
+  Alcotest.(check bool) "converged after stabilization" true
+    (Chord.Network.is_converged net);
+  Alcotest.(check (list int)) "membership sorted"
+    [ 50; 100; 5000; 20_000; 1_000_000 ]
+    (Chord.Network.node_ids net)
+
+let routing_matches_ideal_ring () =
+  let ids = List.init 40 (fun i -> (i * 7919 * 104729) land ((1 lsl 32) - 1)) in
+  let net = build_network ids in
+  Chord.Network.stabilize net ~rounds:8;
+  let ring = Chord.Network.to_ring net in
+  let rng = Prng.Splitmix.create 5L in
+  let nodes = Array.of_list (Chord.Network.node_ids net) in
+  for _ = 1 to 500 do
+    let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+    let key = Prng.Splitmix.int rng (1 lsl 32) in
+    match Chord.Network.find_successor net ~from ~key with
+    | Some (owner, _) ->
+      Alcotest.(check int) "agrees with ideal owner" (Chord.Ring.owner ring key)
+        owner
+    | None -> Alcotest.fail "routing dead-ended in a converged network"
+  done
+
+let graceful_under_failures () =
+  let ids = List.init 30 (fun i -> ((i * 48271) + 17) land ((1 lsl 32) - 1)) in
+  let net = build_network ids in
+  Chord.Network.stabilize net ~rounds:8;
+  (* Kill 5 nodes abruptly. *)
+  let victims = [ List.nth ids 3; List.nth ids 7; List.nth ids 11; List.nth ids 19; List.nth ids 23 ] in
+  List.iter (Chord.Network.fail net) victims;
+  Alcotest.(check int) "size reflects failures" 25 (Chord.Network.size net);
+  Chord.Network.stabilize net ~rounds:10;
+  Alcotest.(check bool) "re-converged" true (Chord.Network.is_converged net);
+  (* All keys must now be owned by live nodes and reachable. *)
+  let ring = Chord.Network.to_ring net in
+  let rng = Prng.Splitmix.create 6L in
+  let nodes = Array.of_list (Chord.Network.node_ids net) in
+  for _ = 1 to 200 do
+    let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+    let key = Prng.Splitmix.int rng (1 lsl 32) in
+    match Chord.Network.find_successor net ~from ~key with
+    | Some (owner, _) ->
+      Alcotest.(check int) "owner is live and correct"
+        (Chord.Ring.owner ring key) owner;
+      Alcotest.(check bool) "owner alive" true (Chord.Network.alive net owner)
+    | None -> Alcotest.fail "routing dead-ended after repair"
+  done
+
+let join_validation () =
+  let net = Chord.Network.create () in
+  Chord.Network.add_first net 10;
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Network.join: identifier already taken") (fun () ->
+      Chord.Network.join net 10 ~via:10);
+  Alcotest.check_raises "unknown via"
+    (Invalid_argument "Network: unknown or dead node") (fun () ->
+      Chord.Network.join net 11 ~via:999);
+  Alcotest.check_raises "second bootstrap"
+    (Invalid_argument "Network.add_first: network already has nodes")
+    (fun () -> Chord.Network.add_first net 12)
+
+let predecessor_tracking () =
+  let net = build_network [ 100; 200; 300 ] in
+  Chord.Network.stabilize net ~rounds:5;
+  Alcotest.(check (option int)) "pred of 200" (Some 100)
+    (Chord.Network.predecessor net 200);
+  Alcotest.(check (option int)) "pred wraps" (Some 300)
+    (Chord.Network.predecessor net 100)
+
+let hop_counts_bounded () =
+  let ids = List.init 100 (fun i -> ((i * 2654435761) + 1) land ((1 lsl 32) - 1)) in
+  let net = build_network ids in
+  Chord.Network.stabilize net ~rounds:10;
+  let rng = Prng.Splitmix.create 7L in
+  let nodes = Array.of_list (Chord.Network.node_ids net) in
+  for _ = 1 to 300 do
+    let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+    let key = Prng.Splitmix.int rng (1 lsl 32) in
+    match Chord.Network.find_successor net ~from ~key with
+    | Some (_, hops) ->
+      Alcotest.(check bool) "hops bounded by N" true (hops <= 100)
+    | None -> Alcotest.fail "dead end"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "bootstrap node" `Quick single_bootstrap;
+    Alcotest.test_case "joins converge" `Quick joins_converge;
+    Alcotest.test_case "routing agrees with the ideal ring" `Quick
+      routing_matches_ideal_ring;
+    Alcotest.test_case "abrupt failures repaired by stabilization" `Quick
+      graceful_under_failures;
+    Alcotest.test_case "join validation" `Quick join_validation;
+    Alcotest.test_case "predecessor tracking" `Quick predecessor_tracking;
+    Alcotest.test_case "hop counts bounded" `Quick hop_counts_bounded;
+  ]

@@ -1,0 +1,70 @@
+(* Padding policies: the fixed expansion of §5.2 and the adaptive
+   controller from the paper's future work. *)
+
+module Range = Rangeset.Range
+module Pad = P2prange.Padding
+
+let domain = Range.make ~lo:0 ~hi:1000
+let mk lo hi = Range.make ~lo ~hi
+
+let no_padding_identity () =
+  let p = Pad.create P2prange.Config.No_padding in
+  Alcotest.(check (float 0.0)) "zero fraction" 0.0 (Pad.current_fraction p);
+  Alcotest.(check bool) "identity" true
+    (Range.equal (Pad.apply p (mk 100 200) ~domain) (mk 100 200))
+
+let fixed_padding_expands () =
+  let p = Pad.create (P2prange.Config.Fixed_padding 0.2) in
+  Alcotest.(check bool) "paper's 20%" true
+    (Range.equal (Pad.apply p (mk 100 199) ~domain) (mk 80 219));
+  (* observe is a no-op for static policies. *)
+  Pad.observe p ~recall:0.0;
+  Alcotest.(check (float 0.0)) "fraction unchanged" 0.2 (Pad.current_fraction p)
+
+let adaptive_grows_on_poor_recall () =
+  let p =
+    Pad.create
+      (P2prange.Config.Adaptive_padding
+         { initial = 0.0; step = 0.02; target_recall = 0.95 })
+  in
+  for _ = 1 to 100 do
+    Pad.observe p ~recall:0.1
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction grew to %.3f" (Pad.current_fraction p))
+    true
+    (Pad.current_fraction p > 0.2)
+
+let adaptive_shrinks_on_good_recall () =
+  let p =
+    Pad.create
+      (P2prange.Config.Adaptive_padding
+         { initial = 0.5; step = 0.02; target_recall = 0.5 })
+  in
+  for _ = 1 to 200 do
+    Pad.observe p ~recall:1.0
+  done;
+  Alcotest.(check (float 1e-9)) "fraction decays to zero" 0.0
+    (Pad.current_fraction p)
+
+let adaptive_capped () =
+  let p =
+    Pad.create
+      (P2prange.Config.Adaptive_padding
+         { initial = 0.9; step = 0.5; target_recall = 1.0 })
+  in
+  for _ = 1 to 50 do
+    Pad.observe p ~recall:0.0
+  done;
+  Alcotest.(check bool) "capped at 1.0" true (Pad.current_fraction p <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "no padding is the identity" `Quick no_padding_identity;
+    Alcotest.test_case "fixed 20% expansion" `Quick fixed_padding_expands;
+    Alcotest.test_case "adaptive grows under poor recall" `Quick
+      adaptive_grows_on_poor_recall;
+    Alcotest.test_case "adaptive shrinks under good recall" `Quick
+      adaptive_shrinks_on_good_recall;
+    Alcotest.test_case "adaptive fraction capped" `Quick adaptive_capped;
+  ]

@@ -1,0 +1,103 @@
+(* Horizontal partitions: carving from relations, range discipline,
+   restriction, and similarity/recall plumbing. *)
+
+module R = Relational.Relation
+module S = Relational.Schema
+module V = Relational.Value
+module Pt = Relational.Partition
+module Range = Rangeset.Range
+
+let schema = S.make [ ("id", V.Tint); ("age", V.Tint) ]
+
+let patients =
+  R.create ~name:"Patient" ~schema
+    (List.init 100 (fun i -> [| V.Int i; V.Int i |]))
+
+let mk lo hi = Range.make ~lo ~hi
+
+let of_relation_carves_exactly () =
+  let p = Pt.of_relation patients ~attribute:"age" ~range:(mk 30 50) in
+  Alcotest.(check int) "21 tuples" 21 (Pt.cardinality p);
+  Alcotest.(check string) "relation name" "Patient" (Pt.relation_name p);
+  Alcotest.(check bool) "range recorded" true (Range.equal (Pt.range p) (mk 30 50));
+  List.iter
+    (fun t ->
+      match R.get t schema "age" with
+      | V.Int a -> Alcotest.(check bool) "in range" true (30 <= a && a <= 50)
+      | V.Float _ | V.String _ | V.Date _ -> Alcotest.fail "wrong type")
+    (R.tuples (Pt.data p))
+
+let make_validates_range () =
+  let outside =
+    R.create ~name:"Patient" ~schema [ [| V.Int 99; V.Int 99 |] ]
+  in
+  Alcotest.check_raises "tuple outside declared range"
+    (Invalid_argument "Partition.make: tuple outside the declared range")
+    (fun () ->
+      ignore (Pt.make ~relation:"Patient" ~attribute:"age" ~range:(mk 0 10) outside))
+
+let restrict_narrows () =
+  let p = Pt.of_relation patients ~attribute:"age" ~range:(mk 20 60) in
+  let narrowed = Pt.restrict p (mk 30 50) in
+  Alcotest.(check int) "narrowed count" 21 (Pt.cardinality narrowed);
+  Alcotest.(check bool) "narrowed range" true
+    (Range.equal (Pt.range narrowed) (mk 30 50));
+  (* Restricting to a partially-overlapping range keeps the overlap. *)
+  let edge = Pt.restrict p (mk 50 80) in
+  Alcotest.(check bool) "overlap only" true (Range.equal (Pt.range edge) (mk 50 60));
+  Alcotest.(check int) "11 tuples" 11 (Pt.cardinality edge);
+  Alcotest.check_raises "disjoint restrict"
+    (Invalid_argument "Partition.restrict: disjoint range") (fun () ->
+      ignore (Pt.restrict p (mk 90 95)))
+
+let similarity_and_recall () =
+  let p = Pt.of_relation patients ~attribute:"age" ~range:(mk 30 50) in
+  Alcotest.(check (float 1e-9)) "jaccard vs itself" 1.0 (Pt.jaccard p (mk 30 50));
+  Alcotest.(check (float 1e-9)) "recall of contained query" 1.0
+    (Pt.recall p ~query:(mk 35 45));
+  Alcotest.(check (float 1e-9)) "recall of disjoint query" 0.0
+    (Pt.recall p ~query:(mk 60 70));
+  (* Query [25,44]: overlap 30..44 = 15 of 20 values. *)
+  Alcotest.(check (float 1e-9)) "partial recall" 0.75
+    (Pt.recall p ~query:(mk 25 44))
+
+let unrankable_attribute_rejected () =
+  let s = S.make [ ("name", V.Tstring) ] in
+  let rel = R.create ~name:"X" ~schema:s [ [| V.String "a" |] ] in
+  Alcotest.check_raises "string attribute"
+    (Invalid_argument "Partition: attribute has no integer rank") (fun () ->
+      ignore (Pt.of_relation rel ~attribute:"name" ~range:(mk 0 10)))
+
+let date_partition () =
+  (* The paper's Prescription example: partition by a date range. *)
+  let s = S.make [ ("rx", V.Tint); ("date", V.Tdate) ] in
+  let day y m d =
+    match V.date_of_ymd ~year:y ~month:m ~day:d with
+    | V.Date n -> n
+    | V.Int _ | V.Float _ | V.String _ -> assert false
+  in
+  let rel =
+    R.create ~name:"Prescription" ~schema:s
+      [
+        [| V.Int 1; V.date_of_ymd ~year:1999 ~month:6 ~day:1 |];
+        [| V.Int 2; V.date_of_ymd ~year:2001 ~month:6 ~day:1 |];
+        [| V.Int 3; V.date_of_ymd ~year:2003 ~month:6 ~day:1 |];
+      ]
+  in
+  let range = mk (day 2000 1 1) (day 2002 12 31) in
+  let p = Pt.of_relation rel ~attribute:"date" ~range in
+  Alcotest.(check int) "only the 2001 prescription" 1 (Pt.cardinality p)
+
+let suite =
+  [
+    Alcotest.test_case "of_relation carves exactly" `Quick
+      of_relation_carves_exactly;
+    Alcotest.test_case "make validates tuples against the range" `Quick
+      make_validates_range;
+    Alcotest.test_case "restrict narrows range and tuples" `Quick restrict_narrows;
+    Alcotest.test_case "similarity and recall" `Quick similarity_and_recall;
+    Alcotest.test_case "unrankable attribute rejected" `Quick
+      unrankable_attribute_rejected;
+    Alcotest.test_case "date-range partitions (paper's example)" `Quick
+      date_partition;
+  ]

@@ -1,0 +1,80 @@
+(* ASCII plots: geometry, scaling, glyph placement, validation. *)
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let line_series = { Stats.Plot.label = "line"; glyph = '*'; points = [ (0.0, 0.0); (5.0, 5.0); (10.0, 10.0) ] }
+
+let renders_with_legend () =
+  let s = Stats.Plot.render ~x_label:"x" ~y_label:"y" [ line_series ] in
+  Alcotest.(check bool) "legend" true (contains_substring s "* = line");
+  Alcotest.(check bool) "x label" true (contains_substring s "x");
+  Alcotest.(check bool) "glyphs present" true (contains_substring s "*")
+
+let corners_placed () =
+  let s = Stats.Plot.render ~width:20 ~height:5 [ line_series ] in
+  let lines = String.split_on_char '\n' s in
+  (* First grid row ends with the max point; last grid row starts with min. *)
+  let grid_rows =
+    List.filter (fun l -> contains_substring l "|") lines
+  in
+  Alcotest.(check int) "five grid rows" 5 (List.length grid_rows);
+  let first = List.nth grid_rows 0 and last = List.nth grid_rows 4 in
+  Alcotest.(check bool) "max in top row" true (contains_substring first "*");
+  Alcotest.(check bool) "min in bottom row" true (contains_substring last "*");
+  (* Top row's glyph is at the right edge, bottom's at the left edge. *)
+  Alcotest.(check bool) "top-right" true
+    (String.length first > 0 && first.[String.length first - 1] = '*');
+  let bar = String.index last '|' in
+  Alcotest.(check bool) "bottom-left" true (last.[bar + 1] = '*')
+
+let multiple_series_glyphs () =
+  let a = { Stats.Plot.label = "a"; glyph = 'a'; points = [ (0.0, 0.0) ] } in
+  let b = { Stats.Plot.label = "b"; glyph = 'b'; points = [ (1.0, 1.0) ] } in
+  let s = Stats.Plot.render [ a; b ] in
+  Alcotest.(check bool) "both glyphs" true
+    (contains_substring s "a" && contains_substring s "b")
+
+let log_scale_annotations () =
+  let s =
+    Stats.Plot.render ~y_scale:Stats.Plot.Log10
+      [ { Stats.Plot.label = "loads"; glyph = '#'; points = [ (1.0, 10.0); (2.0, 10000.0) ] } ]
+  in
+  (* Axis annotations show untransformed values. *)
+  Alcotest.(check bool) "max annotated" true (contains_substring s "10000");
+  Alcotest.(check bool) "min annotated" true (contains_substring s "10.00")
+
+let log_scale_validation () =
+  Alcotest.check_raises "non-positive on log axis"
+    (Invalid_argument "Plot.render: log axis needs strictly positive data")
+    (fun () ->
+      ignore
+        (Stats.Plot.render ~y_scale:Stats.Plot.Log10
+           [ { Stats.Plot.label = "bad"; glyph = 'x'; points = [ (1.0, 0.0) ] } ]))
+
+let input_validation () =
+  Alcotest.check_raises "no data" (Invalid_argument "Plot.render: no data")
+    (fun () -> ignore (Stats.Plot.render []));
+  Alcotest.check_raises "tiny grid" (Invalid_argument "Plot.render: grid too small")
+    (fun () -> ignore (Stats.Plot.render ~width:2 [ line_series ]))
+
+let constant_series () =
+  (* Degenerate ranges must not divide by zero. *)
+  let s =
+    Stats.Plot.render
+      [ { Stats.Plot.label = "flat"; glyph = 'o'; points = [ (1.0, 5.0); (2.0, 5.0) ] } ]
+  in
+  Alcotest.(check bool) "renders" true (contains_substring s "o")
+
+let suite =
+  [
+    Alcotest.test_case "renders with legend and labels" `Quick renders_with_legend;
+    Alcotest.test_case "corner placement" `Quick corners_placed;
+    Alcotest.test_case "multiple series" `Quick multiple_series_glyphs;
+    Alcotest.test_case "log-scale annotations" `Quick log_scale_annotations;
+    Alcotest.test_case "log-scale validation" `Quick log_scale_validation;
+    Alcotest.test_case "input validation" `Quick input_validation;
+    Alcotest.test_case "constant series" `Quick constant_series;
+  ]

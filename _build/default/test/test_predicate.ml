@@ -1,0 +1,95 @@
+(* Predicates: tuple matching and the predicate → integer-range conversion
+   that feeds the LSH layer. *)
+
+module P = Relational.Predicate
+module S = Relational.Schema
+module V = Relational.Value
+module Range = Rangeset.Range
+
+let schema = S.make [ ("age", V.Tint); ("name", V.Tstring); ("when", V.Tdate) ]
+let domain = Range.make ~lo:0 ~hi:120
+
+let tuple age name = [| V.Int age; V.String name; V.date_of_ymd ~year:2000 ~month:6 ~day:15 |]
+
+let matches p t = P.matches p schema t
+
+let between () =
+  let p = P.make ~attribute:"age" (P.Between (V.Int 30, V.Int 50)) in
+  Alcotest.(check bool) "inside" true (matches p (tuple 40 "x"));
+  Alcotest.(check bool) "lower edge" true (matches p (tuple 30 "x"));
+  Alcotest.(check bool) "upper edge" true (matches p (tuple 50 "x"));
+  Alcotest.(check bool) "below" false (matches p (tuple 29 "x"));
+  Alcotest.(check bool) "above" false (matches p (tuple 51 "x"))
+
+let eq_and_bounds () =
+  let eq = P.make ~attribute:"name" (P.Eq (V.String "ada")) in
+  Alcotest.(check bool) "eq hit" true (matches eq (tuple 1 "ada"));
+  Alcotest.(check bool) "eq miss" false (matches eq (tuple 1 "bob"));
+  let le = P.make ~attribute:"age" (P.At_most (V.Int 18)) in
+  Alcotest.(check bool) "at most" true (matches le (tuple 18 "x"));
+  Alcotest.(check bool) "at most strict" false (matches le (tuple 19 "x"));
+  let ge = P.make ~attribute:"age" (P.At_least (V.Int 65)) in
+  Alcotest.(check bool) "at least" true (matches ge (tuple 65 "x"))
+
+let ill_ordered_rejected () =
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Predicate.make: ill-ordered Between bounds") (fun () ->
+      ignore (P.make ~attribute:"age" (P.Between (V.Int 50, V.Int 30))))
+
+let to_range_cases () =
+  let range = Alcotest.testable Range.pp Range.equal in
+  let to_r c = P.to_range (P.make ~attribute:"age" c) ~domain in
+  Alcotest.(check (option range)) "between" (Some (Range.make ~lo:30 ~hi:50))
+    (to_r (P.Between (V.Int 30, V.Int 50)));
+  Alcotest.(check (option range)) "eq int is a point" (Some (Range.point 30))
+    (to_r (P.Eq (V.Int 30)));
+  Alcotest.(check (option range)) "at_most closes with domain lo"
+    (Some (Range.make ~lo:0 ~hi:18))
+    (to_r (P.At_most (V.Int 18)));
+  Alcotest.(check (option range)) "at_least closes with domain hi"
+    (Some (Range.make ~lo:65 ~hi:120))
+    (to_r (P.At_least (V.Int 65)));
+  Alcotest.(check (option range)) "clamped to domain"
+    (Some (Range.make ~lo:100 ~hi:120))
+    (to_r (P.Between (V.Int 100, V.Int 400)));
+  Alcotest.(check (option range)) "entirely outside domain" None
+    (to_r (P.Between (V.Int 300, V.Int 400)));
+  Alcotest.(check (option range)) "string eq has no range" None
+    (to_r (P.Eq (V.String "x")))
+
+let date_predicates_rank () =
+  (* The paper's prescription-date selection: dates convert to day-number
+     ranges and hash like integers. *)
+  let range = Alcotest.testable Range.pp Range.equal in
+  let lo = V.date_of_ymd ~year:2000 ~month:1 ~day:1 in
+  let hi = V.date_of_ymd ~year:2002 ~month:12 ~day:31 in
+  let day_domain = Range.make ~lo:0 ~hi:20_000 in
+  let p = P.make ~attribute:"when" (P.Between (lo, hi)) in
+  let expected =
+    match (V.to_rank lo, V.to_rank hi) with
+    | Some a, Some b -> Range.make ~lo:a ~hi:b
+    | (None | Some _), _ -> Alcotest.fail "dates must rank"
+  in
+  Alcotest.(check (option range)) "date range" (Some expected)
+    (P.to_range p ~domain:day_domain);
+  Alcotest.(check int) "about three years"
+    1096
+    (Range.cardinal expected)
+
+let of_range_roundtrip () =
+  let r = Range.make ~lo:30 ~hi:50 in
+  let p = P.of_range ~attribute:"age" r in
+  match P.to_range p ~domain with
+  | Some r' -> Alcotest.(check bool) "roundtrip" true (Range.equal r r')
+  | None -> Alcotest.fail "of_range must convert back"
+
+let suite =
+  [
+    Alcotest.test_case "between matching" `Quick between;
+    Alcotest.test_case "eq / at-most / at-least" `Quick eq_and_bounds;
+    Alcotest.test_case "ill-ordered Between rejected" `Quick ill_ordered_rejected;
+    Alcotest.test_case "to_range conversions" `Quick to_range_cases;
+    Alcotest.test_case "date ranges rank as day numbers" `Quick
+      date_predicates_rank;
+    Alcotest.test_case "of_range round-trip" `Quick of_range_roundtrip;
+  ]

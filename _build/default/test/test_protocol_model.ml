@@ -1,0 +1,111 @@
+(* Model-based testing of the full protocol: a trivially-correct reference
+   implementation (a flat identifier → ranges table, no Chord, no peers)
+   must agree with the real System on every query's match, similarity,
+   recall and caching decision, over arbitrary operation sequences.
+
+   The reference shares the System's identifiers (via System.identifiers),
+   isolating the parts under test: routing, per-peer stores, reply
+   selection and the cache protocol. *)
+
+module Range = Rangeset.Range
+
+(* The reference: buckets keyed by identifier, global (no peer split). *)
+module Model = struct
+  type t = { buckets : (int, Range.t list) Hashtbl.t }
+
+  let create () = { buckets = Hashtbl.create 64 }
+
+  let bucket t id = Option.value (Hashtbl.find_opt t.buckets id) ~default:[]
+
+  let insert t id range =
+    if not (List.exists (Range.equal range) (bucket t id)) then
+      Hashtbl.replace t.buckets id (range :: bucket t id)
+
+  (* Mirror of Matching.best with Jaccard policy over the union of the
+     query's buckets. *)
+  let query t ~ids ~matching range =
+    let candidates = List.concat_map (bucket t) ids in
+    let score r =
+      match matching with
+      | P2prange.Config.Jaccard_match -> Range.jaccard range r
+      | P2prange.Config.Containment_match ->
+        Range.containment ~query:range ~answer:r
+    in
+    let best =
+      List.fold_left
+        (fun acc r ->
+          let s = score r in
+          if s <= 0.0 then acc
+          else
+            match acc with
+            | Some (br, bs) ->
+              if
+                s > bs
+                || (s = bs && Range.cardinal r < Range.cardinal br)
+              then Some (r, s)
+              else acc
+            | None -> Some (r, s))
+        None candidates
+    in
+    let exact =
+      match best with Some (r, _) -> Range.equal r range | None -> false
+    in
+    if not exact then List.iter (fun id -> insert t id range) ids;
+    best
+end
+
+let operations_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (let* a = int_range 0 300 in
+       let* b = int_range 0 300 in
+       let* peer = int_range 0 9 in
+       return (peer, min a b, max a b)))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (fun (p, lo, hi) -> Printf.sprintf "p%d:[%d,%d]" p lo hi) ops))
+    operations_gen
+
+let agree_with_model matching =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "System agrees with the flat-table model (%s)"
+         (match matching with
+         | P2prange.Config.Jaccard_match -> "jaccard"
+         | P2prange.Config.Containment_match -> "containment"))
+    ~count:60 arb_ops
+    (fun ops ->
+      let config =
+        { P2prange.Config.default with
+          matching;
+          domain = Range.make ~lo:0 ~hi:300;
+        }
+      in
+      let system = P2prange.System.create ~config ~seed:97L ~n_peers:10 () in
+      let model = Model.create () in
+      List.for_all
+        (fun (peer, lo, hi) ->
+          let range = Range.make ~lo ~hi in
+          let from =
+            P2prange.System.peer_by_name system (Printf.sprintf "peer-%d" peer)
+          in
+          let ids = P2prange.System.identifiers system range in
+          let expected = Model.query model ~ids ~matching range in
+          let actual = P2prange.System.query system ~from range in
+          match (expected, actual.P2prange.System.matched) with
+          | None, None -> actual.P2prange.System.recall = 0.0
+          | Some (r, s), Some m ->
+            Range.equal r m.P2prange.Matching.entry.P2prange.Store.range
+            && abs_float (s -. m.P2prange.Matching.score) < 1e-12
+          | None, Some _ | Some _, None -> false)
+        ops)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest (agree_with_model P2prange.Config.Jaccard_match);
+    QCheck_alcotest.to_alcotest
+      (agree_with_model P2prange.Config.Containment_match);
+  ]

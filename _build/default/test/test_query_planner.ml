@@ -1,0 +1,144 @@
+(* Query trees and the selection push-down optimizer (§2): selections must
+   end up directly above the scans of the relations carrying their
+   attribute, preserving semantics. *)
+
+module Q = Relational.Query
+module P = Relational.Predicate
+module S = Relational.Schema
+module V = Relational.Value
+module Pl = Relational.Planner
+
+let patient = S.make [ ("patient_id", V.Tint); ("name", V.Tstring); ("age", V.Tint) ]
+let diagnosis =
+  S.make
+    [ ("patient_id", V.Tint); ("diagnosis", V.Tstring); ("physician_id", V.Tint);
+      ("prescription_id", V.Tint) ]
+let prescription =
+  S.make [ ("prescription_id", V.Tint); ("date", V.Tdate); ("prescription", V.Tstring) ]
+
+let lookup = function
+  | "Patient" -> patient
+  | "Diagnosis" -> diagnosis
+  | "Prescription" -> prescription
+  | _ -> raise Not_found
+
+let age_pred = P.make ~attribute:"age" (P.Between (V.Int 30, V.Int 50))
+let diag_pred = P.make ~attribute:"diagnosis" (P.Eq (V.String "Glaucoma"))
+let date_pred =
+  P.make ~attribute:"date"
+    (P.Between
+       (V.date_of_ymd ~year:2000 ~month:1 ~day:1,
+        V.date_of_ymd ~year:2002 ~month:12 ~day:31))
+
+(* The paper's Figure 1 query, written with selections at the top so the
+   planner has work to do. *)
+let fig1_unoptimized =
+  Q.project [ "prescription" ]
+    (Q.select age_pred
+       (Q.select diag_pred
+          (Q.select date_pred
+             (Q.join
+                ~left:
+                  (Q.join ~left:(Q.scan "Patient") ~right:(Q.scan "Diagnosis")
+                     ~on:("patient_id", "patient_id"))
+                ~right:(Q.scan "Prescription")
+                ~on:("prescription_id", "prescription_id")))))
+
+let relations_and_selections () =
+  Alcotest.(check (list string)) "relations in scan order"
+    [ "Patient"; "Diagnosis"; "Prescription" ]
+    (Q.relations fig1_unoptimized);
+  Alcotest.(check int) "three selections" 3
+    (List.length (Q.selections fig1_unoptimized))
+
+let schema_inference () =
+  let s = Q.schema_of fig1_unoptimized ~lookup in
+  Alcotest.(check int) "projection arity" 1 (S.arity s);
+  Alcotest.(check bool) "column" true (S.mem s "prescription")
+
+let pushdown_reaches_leaves () =
+  let plan = Pl.push_selections fig1_unoptimized ~lookup in
+  let leaves = Pl.leaf_selections plan in
+  Alcotest.(check int) "three leaves" 3 (List.length leaves);
+  let find rel = List.assoc rel leaves in
+  (match find "Patient" with
+  | [ p ] -> Alcotest.(check string) "age at Patient" "age" p.P.attribute
+  | _ -> Alcotest.fail "Patient must carry exactly the age selection");
+  (match find "Diagnosis" with
+  | [ p ] -> Alcotest.(check string) "diagnosis at Diagnosis" "diagnosis" p.P.attribute
+  | _ -> Alcotest.fail "Diagnosis must carry exactly the diagnosis selection");
+  match find "Prescription" with
+  | [ p ] -> Alcotest.(check string) "date at Prescription" "date" p.P.attribute
+  | _ -> Alcotest.fail "Prescription must carry exactly the date selection"
+
+let pushdown_preserves_schema () =
+  let plan = Pl.push_selections fig1_unoptimized ~lookup in
+  Alcotest.(check bool) "same output schema" true
+    (S.equal (Q.schema_of plan ~lookup) (Q.schema_of fig1_unoptimized ~lookup))
+
+let pushdown_stops_at_ambiguity () =
+  (* patient_id exists on both join sides: the selection must stay above. *)
+  let pid = P.make ~attribute:"patient_id" (P.Eq (V.Int 7)) in
+  let q =
+    Q.select pid
+      (Q.join ~left:(Q.scan "Patient") ~right:(Q.scan "Diagnosis")
+         ~on:("patient_id", "patient_id"))
+  in
+  let plan = Pl.push_selections q ~lookup in
+  match plan with
+  | Q.Select (p, Q.Join _) ->
+    Alcotest.(check string) "kept above the join" "patient_id" p.P.attribute
+  | _ -> Alcotest.fail "ambiguous selection must not descend"
+
+let pushdown_through_project () =
+  (* A selection above a projection that keeps its column descends. *)
+  let q = Q.select age_pred (Q.project [ "age"; "name" ] (Q.scan "Patient")) in
+  let plan = Pl.push_selections q ~lookup in
+  (match plan with
+  | Q.Project (_, Q.Select (_, Q.Scan "Patient")) -> ()
+  | _ -> Alcotest.fail "selection must slide under the projection");
+  (* …but one whose column is projected away must stay above. *)
+  let q2 = Q.select age_pred (Q.project [ "name" ] (Q.scan "Patient")) in
+  match Pl.push_selections q2 ~lookup with
+  | Q.Select (_, Q.Project _) -> ()
+  | _ -> Alcotest.fail "selection on a dropped column must not descend"
+
+let leaf_selection_no_predicate () =
+  let q = Q.join ~left:(Q.scan "Patient") ~right:(Q.scan "Diagnosis")
+      ~on:("patient_id", "patient_id")
+  in
+  let leaves = Pl.leaf_selections q in
+  Alcotest.(check int) "two leaves" 2 (List.length leaves);
+  List.iter
+    (fun (_, preds) -> Alcotest.(check int) "no predicates" 0 (List.length preds))
+    leaves
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let pp_renders () =
+  let s = Format.asprintf "%a" Q.pp fig1_unoptimized in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains_substring s needle))
+    [ "Project"; "Join"; "Scan Patient"; "Select" ]
+
+let suite =
+  [
+    Alcotest.test_case "relations and selections accessors" `Quick
+      relations_and_selections;
+    Alcotest.test_case "schema inference" `Quick schema_inference;
+    Alcotest.test_case "push-down reaches all three leaves (Fig. 1)" `Quick
+      pushdown_reaches_leaves;
+    Alcotest.test_case "push-down preserves the output schema" `Quick
+      pushdown_preserves_schema;
+    Alcotest.test_case "ambiguous selections stay above joins" `Quick
+      pushdown_stops_at_ambiguity;
+    Alcotest.test_case "push-down through projections" `Quick
+      pushdown_through_project;
+    Alcotest.test_case "leaves without predicates" `Quick
+      leaf_selection_no_predicate;
+    Alcotest.test_case "plan pretty-printing" `Quick pp_renders;
+  ]

@@ -1,0 +1,145 @@
+(* Unit and property tests for inclusive integer ranges: construction,
+   set measures (Jaccard, containment), padding and value iteration. *)
+
+module Range = Rangeset.Range
+
+let range = Alcotest.testable Range.pp Range.equal
+
+let mk lo hi = Range.make ~lo ~hi
+
+(* QCheck generator for ranges within [-50, 150]. *)
+let gen_range =
+  QCheck.Gen.(
+    let* a = int_range (-50) 150 in
+    let* b = int_range (-50) 150 in
+    return (mk (min a b) (max a b)))
+
+let arb_range = QCheck.make ~print:Range.to_string gen_range
+
+let construction () =
+  Alcotest.(check int) "cardinal [3,7]" 5 (Range.cardinal (mk 3 7));
+  Alcotest.(check int) "cardinal point" 1 (Range.cardinal (Range.point 9));
+  Alcotest.check_raises "hi < lo rejected" (Invalid_argument "Range.make: hi < lo")
+    (fun () -> ignore (mk 5 4))
+
+let membership () =
+  let r = mk 10 20 in
+  Alcotest.(check bool) "lo included" true (Range.mem 10 r);
+  Alcotest.(check bool) "hi included" true (Range.mem 20 r);
+  Alcotest.(check bool) "below" false (Range.mem 9 r);
+  Alcotest.(check bool) "above" false (Range.mem 21 r)
+
+let intersection () =
+  Alcotest.(check (option range)) "overlap" (Some (mk 5 10))
+    (Range.intersect (mk 0 10) (mk 5 15));
+  Alcotest.(check (option range)) "nested" (Some (mk 3 4))
+    (Range.intersect (mk 0 10) (mk 3 4));
+  Alcotest.(check (option range)) "touching endpoints" (Some (mk 10 10))
+    (Range.intersect (mk 0 10) (mk 10 20));
+  Alcotest.(check (option range)) "disjoint" None
+    (Range.intersect (mk 0 4) (mk 6 9))
+
+let jaccard_known () =
+  let check name expected a b =
+    Alcotest.(check (float 1e-9)) name expected (Range.jaccard a b)
+  in
+  check "identical" 1.0 (mk 30 50) (mk 30 50);
+  check "disjoint" 0.0 (mk 0 10) (mk 20 30);
+  (* [30,50] vs [30,49]: |∩|=20, |∪|=21 *)
+  check "paper's 30-50 vs 30-49" (20.0 /. 21.0) (mk 30 50) (mk 30 49);
+  (* half overlap: [0,9] vs [5,14]: 5/15 *)
+  check "shifted" (1.0 /. 3.0) (mk 0 9) (mk 5 14)
+
+let containment_known () =
+  let check name expected q r =
+    Alcotest.(check (float 1e-9)) name expected
+      (Range.containment ~query:q ~answer:r)
+  in
+  check "full containment" 1.0 (mk 30 49) (mk 30 50);
+  check "no overlap" 0.0 (mk 0 5) (mk 10 20);
+  check "half covered" 0.5 (mk 0 9) (mk 5 14);
+  (* Containment is asymmetric: the broader side scores lower as a query. *)
+  check "broader query partially covered" (20.0 /. 21.0) (mk 30 50) (mk 30 49)
+
+let padding_cases () =
+  let domain = mk 0 1000 in
+  Alcotest.(check range) "20% of width 100 adds 20/edge" (mk 80 220)
+    (Range.pad (mk 100 200) ~fraction:0.2 ~domain);
+  Alcotest.(check range) "clamped at domain edges" (mk 0 1000)
+    (Range.pad (mk 10 990) ~fraction:0.5 ~domain);
+  Alcotest.(check range) "at least one value per edge" (mk 499 501)
+    (Range.pad (mk 500 500) ~fraction:0.1 ~domain);
+  Alcotest.(check range) "zero fraction is identity" (mk 100 200)
+    (Range.pad (mk 100 200) ~fraction:0.0 ~domain)
+
+let values () =
+  Alcotest.(check (list int)) "to_values" [ 3; 4; 5 ] (Range.to_values (mk 3 5));
+  let sum = Range.fold_values ( + ) 0 (mk 1 10) in
+  Alcotest.(check int) "fold sums" 55 sum
+
+let prop_jaccard_symmetric =
+  QCheck.Test.make ~name:"jaccard is symmetric" ~count:500
+    (QCheck.pair arb_range arb_range) (fun (a, b) ->
+      abs_float (Range.jaccard a b -. Range.jaccard b a) < 1e-12)
+
+let prop_jaccard_bounds =
+  QCheck.Test.make ~name:"jaccard in [0,1], =1 iff equal" ~count:500
+    (QCheck.pair arb_range arb_range) (fun (a, b) ->
+      let j = Range.jaccard a b in
+      0.0 <= j && j <= 1.0 && (j < 1.0 || Range.equal a b))
+
+let prop_jaccard_triangle =
+  (* 1 - Jaccard is a metric (Charikar §3.2): triangle inequality. *)
+  QCheck.Test.make ~name:"1 - jaccard satisfies the triangle inequality"
+    ~count:2000
+    (QCheck.triple arb_range arb_range arb_range)
+    (fun (a, b, c) ->
+      let d x y = 1.0 -. Range.jaccard x y in
+      d a c <= d a b +. d b c +. 1e-9)
+
+let prop_containment_not_metric =
+  (* The paper's §3.2 point: containment distance violates the triangle
+     inequality, so no LSH family exists for it. Exhibit one witness. *)
+  QCheck.Test.make ~name:"containment distance violates triangle (witness exists)"
+    ~count:1 QCheck.unit (fun () ->
+      let d q r = 1.0 -. Range.containment ~query:q ~answer:r in
+      (* Q=[0,99] ⊂ R=[0,999]; S=[100,999]. d(Q,R)=0, d(R,S)=0.1, d(Q,S)=1. *)
+      let q = mk 0 99 and r = mk 0 999 and s = mk 100 999 in
+      d q s > d q r +. d r s)
+
+let prop_intersect_cardinal =
+  QCheck.Test.make ~name:"overlap + union cardinals are consistent" ~count:500
+    (QCheck.pair arb_range arb_range) (fun (a, b) ->
+      Range.overlap_cardinal a b + Range.union_cardinal a b
+      = Range.cardinal a + Range.cardinal b)
+
+let prop_span_contains =
+  QCheck.Test.make ~name:"span contains both arguments" ~count:500
+    (QCheck.pair arb_range arb_range) (fun (a, b) ->
+      let s = Range.span a b in
+      Range.contains ~outer:s ~inner:a && Range.contains ~outer:s ~inner:b)
+
+let prop_pad_contains =
+  QCheck.Test.make ~name:"padding never shrinks within the domain" ~count:500
+    arb_range (fun r ->
+      let domain = mk (-50) 150 in
+      let p = Range.pad r ~fraction:0.2 ~domain in
+      Range.contains ~outer:p ~inner:r)
+
+let suite =
+  [
+    Alcotest.test_case "construction and cardinality" `Quick construction;
+    Alcotest.test_case "membership at boundaries" `Quick membership;
+    Alcotest.test_case "intersection cases" `Quick intersection;
+    Alcotest.test_case "jaccard: known values" `Quick jaccard_known;
+    Alcotest.test_case "containment: known values" `Quick containment_known;
+    Alcotest.test_case "padding: growth, clamping, minimum" `Quick padding_cases;
+    Alcotest.test_case "value iteration" `Quick values;
+    QCheck_alcotest.to_alcotest prop_jaccard_symmetric;
+    QCheck_alcotest.to_alcotest prop_jaccard_bounds;
+    QCheck_alcotest.to_alcotest prop_jaccard_triangle;
+    QCheck_alcotest.to_alcotest prop_containment_not_metric;
+    QCheck_alcotest.to_alcotest prop_intersect_cardinal;
+    QCheck_alcotest.to_alcotest prop_span_contains;
+    QCheck_alcotest.to_alcotest prop_pad_contains;
+  ]

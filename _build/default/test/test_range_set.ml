@@ -1,0 +1,107 @@
+(* Range_set: normalization invariants and set algebra, checked both on
+   hand-picked cases and against a naive Set.Make(Int) model. *)
+
+module Range = Rangeset.Range
+module RS = Rangeset.Range_set
+module ISet = Set.Make (Int)
+
+let mk lo hi = Range.make ~lo ~hi
+
+let gen_set =
+  QCheck.Gen.(
+    let* n = int_range 0 6 in
+    let* ranges =
+      list_repeat n
+        (let* a = int_range 0 60 in
+         let* w = int_range 0 10 in
+         return (mk a (a + w)))
+    in
+    return (RS.of_ranges ranges))
+
+let print_set s = Format.asprintf "%a" RS.pp s
+let arb_set = QCheck.make ~print:print_set gen_set
+
+let model s = ISet.of_list (RS.to_values s)
+
+let normalization () =
+  let s = RS.of_ranges [ mk 5 10; mk 0 4; mk 12 15 ] in
+  (* [0,4] and [5,10] are adjacent: must coalesce. *)
+  Alcotest.(check int) "two runs" 2 (List.length (RS.ranges s));
+  Alcotest.(check (list int)) "run bounds"
+    [ 0; 10; 12; 15 ]
+    (List.concat_map (fun r -> [ Range.lo r; Range.hi r ]) (RS.ranges s))
+
+let of_values_dedup () =
+  let s = RS.of_values [ 3; 1; 2; 2; 7; 8 ] in
+  Alcotest.(check int) "cardinal ignores duplicates" 5 (RS.cardinal s);
+  Alcotest.(check int) "two runs: 1-3 and 7-8" 2 (List.length (RS.ranges s))
+
+let interval_invariant s =
+  (* Disjoint, sorted, non-adjacent runs. *)
+  let rec ok = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Range.hi a + 1 < Range.lo b && ok rest
+  in
+  ok (RS.ranges s)
+
+let union_inter_diff_model =
+  QCheck.Test.make ~name:"union/inter/diff agree with the Set(Int) model"
+    ~count:1000 (QCheck.pair arb_set arb_set) (fun (a, b) ->
+      let ma = model a and mb = model b in
+      ISet.equal (model (RS.union a b)) (ISet.union ma mb)
+      && ISet.equal (model (RS.inter a b)) (ISet.inter ma mb)
+      && ISet.equal (model (RS.diff a b)) (ISet.diff ma mb))
+
+let invariant_preserved =
+  QCheck.Test.make ~name:"operations preserve the normal form" ~count:1000
+    (QCheck.pair arb_set arb_set) (fun (a, b) ->
+      interval_invariant (RS.union a b)
+      && interval_invariant (RS.inter a b)
+      && interval_invariant (RS.diff a b))
+
+let subset_matches_model =
+  QCheck.Test.make ~name:"subset agrees with the model" ~count:500
+    (QCheck.pair arb_set arb_set) (fun (a, b) ->
+      RS.subset a b = ISet.subset (model a) (model b))
+
+let jaccard_matches_model =
+  QCheck.Test.make ~name:"jaccard agrees with the model" ~count:500
+    (QCheck.pair arb_set arb_set) (fun (a, b) ->
+      let ma = model a and mb = model b in
+      let expected =
+        let u = ISet.cardinal (ISet.union ma mb) in
+        if u = 0 then 1.0
+        else float_of_int (ISet.cardinal (ISet.inter ma mb)) /. float_of_int u
+      in
+      abs_float (RS.jaccard a b -. expected) < 1e-12)
+
+let diff_cases () =
+  let a = RS.of_range (mk 0 10) in
+  let b = RS.of_ranges [ mk 3 4; mk 7 8 ] in
+  Alcotest.(check (list int))
+    "punching holes"
+    [ 0; 1; 2; 5; 6; 9; 10 ]
+    (RS.to_values (RS.diff a b));
+  Alcotest.(check bool) "empty diff of subset" true (RS.is_empty (RS.diff b a))
+
+let empties () =
+  Alcotest.(check bool) "empty is empty" true (RS.is_empty RS.empty);
+  Alcotest.(check int) "cardinal 0" 0 (RS.cardinal RS.empty);
+  Alcotest.(check (float 0.0)) "jaccard of empties" 1.0 (RS.jaccard RS.empty RS.empty);
+  Alcotest.(check (float 0.0)) "containment of empty query" 1.0
+    (RS.containment ~query:RS.empty ~answer:RS.empty);
+  Alcotest.(check (option int)) "min of empty" None (RS.min_elt RS.empty);
+  Alcotest.(check (option int)) "max elt" (Some 9)
+    (RS.max_elt (RS.of_range (mk 2 9)))
+
+let suite =
+  [
+    Alcotest.test_case "normalization coalesces adjacent runs" `Quick normalization;
+    Alcotest.test_case "of_values deduplicates and groups" `Quick of_values_dedup;
+    Alcotest.test_case "diff punches holes" `Quick diff_cases;
+    Alcotest.test_case "empty-set conventions" `Quick empties;
+    QCheck_alcotest.to_alcotest union_inter_diff_model;
+    QCheck_alcotest.to_alcotest invariant_preserved;
+    QCheck_alcotest.to_alcotest subset_matches_model;
+    QCheck_alcotest.to_alcotest jaccard_matches_model;
+  ]

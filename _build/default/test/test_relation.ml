@@ -1,0 +1,84 @@
+(* Relations: construction validation, filtering, projection, union. *)
+
+module R = Relational.Relation
+module S = Relational.Schema
+module V = Relational.Value
+
+let schema = S.make [ ("id", V.Tint); ("name", V.Tstring); ("age", V.Tint) ]
+
+let people =
+  R.create ~name:"Patient" ~schema
+    [
+      [| V.Int 1; V.String "ada"; V.Int 36 |];
+      [| V.Int 2; V.String "bob"; V.Int 45 |];
+      [| V.Int 3; V.String "cleo"; V.Int 52 |];
+    ]
+
+let construction_checks_types () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation: tuple arity mismatch") (fun () ->
+      ignore (R.create ~name:"x" ~schema [ [| V.Int 1 |] ]));
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Relation: tuple value type mismatch") (fun () ->
+      ignore
+        (R.create ~name:"x" ~schema
+           [ [| V.Int 1; V.Int 2; V.Int 3 |] ]))
+
+let accessors () =
+  Alcotest.(check string) "name" "Patient" (R.name people);
+  Alcotest.(check int) "cardinality" 3 (R.cardinality people);
+  Alcotest.(check int) "get by column" 45
+    (match R.get (List.nth (R.tuples people) 1) schema "age" with
+    | V.Int n -> n
+    | V.Float _ | V.String _ | V.Date _ -> -1)
+
+let column_values () =
+  let ages = R.column_values people "age" in
+  Alcotest.(check int) "three ages" 3 (List.length ages);
+  Alcotest.(check bool) "contains 52" true (List.mem (V.Int 52) ages)
+
+let filtering () =
+  let over40 =
+    R.filter people (fun t ->
+        match R.get t schema "age" with
+        | V.Int n -> n > 40
+        | V.Float _ | V.String _ | V.Date _ -> false)
+  in
+  Alcotest.(check int) "two over 40" 2 (R.cardinality over40);
+  Alcotest.(check string) "name preserved" "Patient" (R.name over40)
+
+let projection () =
+  let names = R.project people [ "name" ] in
+  Alcotest.(check int) "arity 1" 1 (S.arity (R.schema names));
+  Alcotest.(check int) "same cardinality" 3 (R.cardinality names);
+  let reordered = R.project people [ "age"; "id" ] in
+  (match R.tuples reordered with
+  | [| V.Int 36; V.Int 1 |] :: _ -> ()
+  | _ -> Alcotest.fail "projection must reorder columns");
+  Alcotest.check_raises "missing column" Not_found (fun () ->
+      ignore (R.project people [ "zzz" ]))
+
+let union_bag_semantics () =
+  let u = R.union people people in
+  Alcotest.(check int) "bag union duplicates" 6 (R.cardinality u);
+  let other = R.create ~name:"o" ~schema:(S.make [ ("x", V.Tint) ]) [] in
+  Alcotest.check_raises "schema mismatch"
+    (Invalid_argument "Relation.union: schema mismatch") (fun () ->
+      ignore (R.union people other))
+
+let empty_relation () =
+  let e = R.create ~name:"empty" ~schema [] in
+  Alcotest.(check int) "cardinality 0" 0 (R.cardinality e);
+  Alcotest.(check int) "filter of empty" 0
+    (R.cardinality (R.filter e (fun _ -> true)))
+
+let suite =
+  [
+    Alcotest.test_case "construction validation" `Quick construction_checks_types;
+    Alcotest.test_case "accessors" `Quick accessors;
+    Alcotest.test_case "column values" `Quick column_values;
+    Alcotest.test_case "filtering" `Quick filtering;
+    Alcotest.test_case "projection" `Quick projection;
+    Alcotest.test_case "bag union" `Quick union_bag_semantics;
+    Alcotest.test_case "empty relation" `Quick empty_relation;
+  ]

@@ -1,0 +1,71 @@
+(* Schemas: lookup, projection, join concatenation and disambiguation. *)
+
+module S = Relational.Schema
+module V = Relational.Value
+
+let patient = S.make [ ("patient_id", V.Tint); ("name", V.Tstring); ("age", V.Tint) ]
+
+let basic_lookup () =
+  Alcotest.(check int) "arity" 3 (S.arity patient);
+  Alcotest.(check int) "index of age" 2 (S.index_of patient "age");
+  Alcotest.(check bool) "mem" true (S.mem patient "name");
+  Alcotest.(check bool) "not mem" false (S.mem patient "weight");
+  Alcotest.(check string) "type name" "int"
+    (V.ty_name (S.type_of_column patient "age"))
+
+let missing_column () =
+  Alcotest.check_raises "index_of missing" Not_found (fun () ->
+      ignore (S.index_of patient "zzz"))
+
+let duplicate_rejected () =
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Schema.make: duplicate column names") (fun () ->
+      ignore (S.make [ ("a", V.Tint); ("a", V.Tstring) ]));
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Schema.make: empty column name") (fun () ->
+      ignore (S.make [ ("", V.Tint) ]))
+
+let projection () =
+  let p = S.project patient [ "age"; "name" ] in
+  Alcotest.(check int) "arity 2" 2 (S.arity p);
+  Alcotest.(check int) "order follows request" 0 (S.index_of p "age");
+  Alcotest.check_raises "project missing" Not_found (fun () ->
+      ignore (S.project patient [ "zzz" ]))
+
+let concat_disambiguates () =
+  let diagnosis =
+    S.make [ ("patient_id", V.Tint); ("diagnosis", V.Tstring) ]
+  in
+  let joined = S.concat patient diagnosis in
+  Alcotest.(check int) "arity is sum" 5 (S.arity joined);
+  (* The right-hand duplicate gets primed. *)
+  Alcotest.(check bool) "left copy kept" true (S.mem joined "patient_id");
+  Alcotest.(check bool) "right copy primed" true (S.mem joined "patient_id'");
+  Alcotest.(check bool) "non-duplicates unprimed" true (S.mem joined "diagnosis")
+
+let concat_primes_until_unique () =
+  (* Three-way joins on same-named columns: k, k', k'' — the second prime
+     must not collide with the first (regression). *)
+  let s = S.make [ ("k", V.Tint) ] in
+  let twice = S.concat (S.concat s s) s in
+  Alcotest.(check int) "three columns" 3 (S.arity twice);
+  Alcotest.(check bool) "k" true (S.mem twice "k");
+  Alcotest.(check bool) "k'" true (S.mem twice "k'");
+  Alcotest.(check bool) "k''" true (S.mem twice "k''")
+
+let equality () =
+  Alcotest.(check bool) "equal to itself" true (S.equal patient patient);
+  Alcotest.(check bool) "order matters" false
+    (S.equal patient (S.make [ ("age", V.Tint); ("name", V.Tstring); ("patient_id", V.Tint) ]))
+
+let suite =
+  [
+    Alcotest.test_case "lookup" `Quick basic_lookup;
+    Alcotest.test_case "missing column raises" `Quick missing_column;
+    Alcotest.test_case "bad construction rejected" `Quick duplicate_rejected;
+    Alcotest.test_case "projection" `Quick projection;
+    Alcotest.test_case "join concat disambiguates" `Quick concat_disambiguates;
+    Alcotest.test_case "concat primes until unique" `Quick
+      concat_primes_until_unique;
+    Alcotest.test_case "equality" `Quick equality;
+  ]

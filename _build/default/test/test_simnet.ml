@@ -1,0 +1,168 @@
+(* Discrete-event substrate: heap ordering, engine semantics, and the
+   timed protocol layer (latency composition, FIFO queueing, saturation). *)
+
+module Range = Rangeset.Range
+
+(* --- heap --- *)
+
+let heap_orders () =
+  let h = Simnet.Heap.create () in
+  List.iter (fun (k, v) -> Simnet.Heap.push h ~key:k v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z") ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Simnet.Heap.pop h))) in
+  Alcotest.(check (list string)) "sorted by key" [ "z"; "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "empty after" true (Simnet.Heap.is_empty h)
+
+let heap_fifo_ties () =
+  let h = Simnet.Heap.create () in
+  List.iter (fun v -> Simnet.Heap.push h ~key:1.0 v) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Simnet.Heap.pop h))) in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] order
+
+let heap_random_sorted =
+  QCheck.Test.make ~name:"heap pops keys in sorted order" ~count:200
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun keys ->
+      let h = Simnet.Heap.create () in
+      List.iter (fun k -> Simnet.Heap.push h ~key:k ()) keys;
+      let rec drain acc =
+        match Simnet.Heap.pop h with
+        | Some (k, ()) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+(* --- engine --- *)
+
+let engine_runs_in_order () =
+  let e = Simnet.Engine.create () in
+  let log = ref [] in
+  Simnet.Engine.schedule e ~at:5.0 (fun _ -> log := "b" :: !log);
+  Simnet.Engine.schedule e ~at:1.0 (fun _ -> log := "a" :: !log);
+  Simnet.Engine.schedule e ~at:9.0 (fun _ -> log := "c" :: !log);
+  Simnet.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock at last event" 9.0 (Simnet.Engine.now e)
+
+let engine_handlers_schedule () =
+  let e = Simnet.Engine.create () in
+  let fired = ref 0 in
+  let rec chain engine =
+    incr fired;
+    if !fired < 5 then Simnet.Engine.schedule_after engine ~delay:1.0 chain
+  in
+  Simnet.Engine.schedule e ~at:0.0 chain;
+  Simnet.Engine.run e;
+  Alcotest.(check int) "chained events" 5 !fired;
+  Alcotest.(check (float 0.0)) "clock advanced" 4.0 (Simnet.Engine.now e)
+
+let engine_until () =
+  let e = Simnet.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun at -> Simnet.Engine.schedule e ~at (fun _ -> fired := at :: !fired))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Simnet.Engine.run ~until:2.5 e;
+  Alcotest.(check int) "two fired" 2 (List.length !fired);
+  Alcotest.(check int) "two pending" 2 (Simnet.Engine.pending e);
+  Simnet.Engine.run e;
+  Alcotest.(check int) "rest fired" 4 (List.length !fired)
+
+let engine_rejects_past () =
+  let e = Simnet.Engine.create () in
+  Simnet.Engine.schedule e ~at:10.0 (fun engine ->
+      Alcotest.check_raises "past event"
+        (Invalid_argument "Engine.schedule: event in the past") (fun () ->
+          Simnet.Engine.schedule engine ~at:5.0 (fun _ -> ())));
+  Simnet.Engine.run e
+
+(* --- timed protocol --- *)
+
+let mk lo hi = Range.make ~lo ~hi
+
+let timed_latency_composition () =
+  (* Deterministic latencies (no jitter): a query over l lookups completes
+     after max(hops_i + 1) messages plus one service time. *)
+  let system = P2prange.System.create ~seed:3L ~n_peers:10 () in
+  (* service_ms = 0 so same-owner lookups of this single query cannot queue
+     behind each other (clustered identifiers often share an owner). *)
+  let latency = { P2prange.Timed.hop_ms = 10.0; jitter_ms = 0.0; service_ms = 0.0 } in
+  let timed = P2prange.Timed.create ~latency ~system ~seed:4L () in
+  let from = P2prange.System.peer_by_name system "peer-0" in
+  (* Probe the hop counts the same query will see. *)
+  let probe = P2prange.System.create ~seed:3L ~n_peers:10 () in
+  let probe_result =
+    P2prange.System.query probe ~from:(P2prange.System.peer_by_name probe "peer-0") (mk 10 60)
+  in
+  let max_hops =
+    List.fold_left Stdlib.max 0 probe_result.P2prange.System.stats.P2prange.System.hops
+  in
+  P2prange.Timed.submit timed ~at:0.0 ~from (mk 10 60);
+  P2prange.Timed.run timed;
+  match P2prange.Timed.completed timed with
+  | [ (t0, latency_ms) ] ->
+    Alcotest.(check (float 0.0)) "submitted at 0" 0.0 t0;
+    (* No queueing for a single query: latency = (max hops + 1 reply)·10 + 2. *)
+    Alcotest.(check (float 1e-6)) "deterministic latency"
+      (float_of_int (max_hops + 1) *. 10.0)
+      latency_ms
+  | _ -> Alcotest.fail "exactly one completion expected"
+
+let timed_queueing_delays () =
+  (* Many simultaneous queries for the same range hammer the same owners:
+     FIFO queueing must make later completions slower. *)
+  let system = P2prange.System.create ~seed:5L ~n_peers:10 () in
+  let latency = { P2prange.Timed.hop_ms = 1.0; jitter_ms = 0.0; service_ms = 50.0 } in
+  let timed = P2prange.Timed.create ~latency ~system ~seed:6L () in
+  let from = P2prange.System.peer_by_name system "peer-0" in
+  for _ = 1 to 5 do
+    P2prange.Timed.submit timed ~at:0.0 ~from (mk 100 200)
+  done;
+  P2prange.Timed.run timed;
+  let latencies = List.map snd (P2prange.Timed.completed timed) in
+  Alcotest.(check int) "all completed" 5 (List.length latencies);
+  let lo = List.fold_left Float.min infinity latencies in
+  let hi = List.fold_left Float.max 0.0 latencies in
+  Alcotest.(check bool)
+    (Printf.sprintf "queueing spreads latency: %.0f .. %.0f" lo hi)
+    true
+    (hi >= lo +. (4.0 *. 50.0) -. 1e-6)
+
+let timed_utilization_and_busiest () =
+  let system = P2prange.System.create ~seed:7L ~n_peers:10 () in
+  let timed = P2prange.Timed.create ~system ~seed:8L () in
+  let from = P2prange.System.peer_by_name system "peer-1" in
+  for i = 0 to 9 do
+    P2prange.Timed.submit timed ~at:(float_of_int i) ~from (mk (i * 10) ((i * 10) + 5))
+  done;
+  P2prange.Timed.run timed;
+  Alcotest.(check int) "ten completions" 10
+    (List.length (P2prange.Timed.completed timed));
+  (match P2prange.Timed.busiest_peer timed with
+  | Some (_, total) ->
+    Alcotest.(check bool) "some service time accrued" true (total > 0.0)
+  | None -> Alcotest.fail "service must have happened");
+  let u = P2prange.Timed.utilization timed ~horizon_ms:10_000.0 in
+  Alcotest.(check bool) "light load utilization < 1" true (u < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "heap ordering" `Quick heap_orders;
+    Alcotest.test_case "heap FIFO tie-break" `Quick heap_fifo_ties;
+    QCheck_alcotest.to_alcotest heap_random_sorted;
+    Alcotest.test_case "engine runs events in time order" `Quick
+      engine_runs_in_order;
+    Alcotest.test_case "handlers can schedule more events" `Quick
+      engine_handlers_schedule;
+    Alcotest.test_case "run ~until leaves later events queued" `Quick
+      engine_until;
+    Alcotest.test_case "scheduling into the past rejected" `Quick
+      engine_rejects_past;
+    Alcotest.test_case "timed: latency composition" `Quick
+      timed_latency_composition;
+    Alcotest.test_case "timed: FIFO queueing at hot owners" `Quick
+      timed_queueing_delays;
+    Alcotest.test_case "timed: utilization accounting" `Quick
+      timed_utilization_and_busiest;
+  ]

@@ -1,0 +1,115 @@
+(* Quality-experiment harness: warm-up accounting, metric extraction, and
+   small-scale sanity of the paper's headline effects (runs are kept small;
+   the full-scale reproduction lives in bench/). *)
+
+let small_run ?config () =
+  P2prange.Simulation.run ?config ~n_peers:10 ~n_queries:500 ~seed:3L ()
+
+let warmup_accounting () =
+  let run = small_run () in
+  Alcotest.(check int) "warmup is 20%" 100 run.P2prange.Simulation.warmup;
+  Alcotest.(check int) "all outcomes kept" 500
+    (List.length run.P2prange.Simulation.outcomes);
+  Alcotest.(check int) "measured excludes warmup" 400
+    (List.length (P2prange.Simulation.measured run));
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "measured indices past warmup" true
+        (o.P2prange.Simulation.index >= 100))
+    (P2prange.Simulation.measured run)
+
+let warmup_fraction_validation () =
+  Alcotest.check_raises "fraction must be < 1"
+    (Invalid_argument "Simulation.run: warmup_fraction must be in [0, 1)")
+    (fun () ->
+      ignore (P2prange.Simulation.run ~warmup_fraction:1.0 ~seed:1L ()))
+
+let metric_ranges () =
+  let run = small_run () in
+  List.iter
+    (fun s -> Alcotest.(check bool) "similarity in [0,1]" true (0.0 <= s && s <= 1.0))
+    (P2prange.Simulation.similarities run);
+  List.iter
+    (fun r -> Alcotest.(check bool) "recall in [0,1]" true (0.0 <= r && r <= 1.0))
+    (P2prange.Simulation.recalls run);
+  let fc = P2prange.Simulation.fraction_complete run in
+  let fu = P2prange.Simulation.fraction_unmatched run in
+  Alcotest.(check bool) "fractions in [0,1]" true
+    (0.0 <= fc && fc <= 1.0 && 0.0 <= fu && fu <= 1.0);
+  Alcotest.(check bool) "hops non-negative" true
+    (P2prange.Simulation.mean_hops run >= 0.0);
+  Alcotest.(check bool) "messages at least l per query" true
+    (P2prange.Simulation.mean_messages run >= 5.0)
+
+let histogram_totals () =
+  let run = small_run () in
+  let h = P2prange.Simulation.similarity_histogram run in
+  Alcotest.(check int) "histogram covers measured queries" 400
+    (Stats.Histogram.total h);
+  let cdf = P2prange.Simulation.recall_cdf run in
+  Alcotest.(check int) "cdf covers measured queries" 400 (Stats.Cdf.count cdf)
+
+let deterministic () =
+  let a = small_run () and b = small_run () in
+  Alcotest.(check (list (float 1e-12))) "same similarity stream"
+    (P2prange.Simulation.similarities a)
+    (P2prange.Simulation.similarities b)
+
+let caching_makes_repeats_exact () =
+  (* A pool of 20 repeating queries: after warm-up nearly all are cached,
+     so matches must be overwhelmingly exact. *)
+  let run =
+    P2prange.Simulation.run ~n_peers:10 ~n_queries:400
+      ~workload:(Workload.Query_workload.Repeating { unique = 20 })
+      ~seed:4L ()
+  in
+  let fc = P2prange.Simulation.fraction_complete run in
+  Alcotest.(check bool)
+    (Printf.sprintf "complete fraction %.2f > 0.95" fc)
+    true (fc > 0.95)
+
+let containment_beats_jaccard_on_completeness () =
+  (* The Figure 9 effect at small scale. *)
+  let complete matching =
+    let config = { P2prange.Config.default with matching } in
+    P2prange.Simulation.fraction_complete
+      (P2prange.Simulation.run ~config ~n_peers:10 ~n_queries:1500 ~seed:5L ())
+  in
+  let jac = complete P2prange.Config.Jaccard_match in
+  let con = complete P2prange.Config.Containment_match in
+  Alcotest.(check bool)
+    (Printf.sprintf "containment %.2f > jaccard %.2f" con jac)
+    true (con > jac)
+
+let padding_increases_completeness () =
+  (* The Figure 10 effect at small scale. *)
+  let complete padding =
+    let config =
+      { P2prange.Config.default with
+        padding;
+        matching = P2prange.Config.Containment_match;
+      }
+    in
+    P2prange.Simulation.fraction_complete
+      (P2prange.Simulation.run ~config ~n_peers:10 ~n_queries:1500 ~seed:6L ())
+  in
+  let unpadded = complete P2prange.Config.No_padding in
+  let padded = complete (P2prange.Config.Fixed_padding 0.2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "padded %.2f >= unpadded %.2f" padded unpadded)
+    true (padded >= unpadded)
+
+let suite =
+  [
+    Alcotest.test_case "warm-up accounting" `Quick warmup_accounting;
+    Alcotest.test_case "warm-up validation" `Quick warmup_fraction_validation;
+    Alcotest.test_case "metric ranges" `Quick metric_ranges;
+    Alcotest.test_case "histogram and cdf totals" `Quick histogram_totals;
+    Alcotest.test_case "deterministic per seed" `Quick deterministic;
+    Alcotest.test_case "repeated queries become exact hits" `Quick
+      caching_makes_repeats_exact;
+    Alcotest.test_case "containment beats jaccard on completeness (Fig. 9)"
+      `Slow containment_beats_jaccard_on_completeness;
+    Alcotest.test_case "padding increases completeness (Fig. 10)" `Slow
+      padding_increases_completeness;
+  ]

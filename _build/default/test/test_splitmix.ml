@@ -1,0 +1,134 @@
+(* Tests for the SplitMix64 generator: determinism, reference outputs,
+   uniformity of the derived samplers, and the distinct-sampling helper. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let reference_outputs () =
+  (* First three outputs for seed 0, from the published SplitMix64
+     reference implementation. *)
+  let g = Prng.Splitmix.create 0L in
+  Alcotest.(check (list string))
+    "seed 0 reference stream"
+    [ "e220a8397b1dcdaf"; "6e789e6aa1b965f4"; "06c45d188009454f" ]
+    (List.init 3 (fun _ -> Printf.sprintf "%016Lx" (Prng.Splitmix.next_int64 g)))
+
+let deterministic () =
+  let a = Prng.Splitmix.create 12345L and b = Prng.Splitmix.create 12345L in
+  for _ = 1 to 100 do
+    check_bool "same stream" true
+      (Prng.Splitmix.next_int64 a = Prng.Splitmix.next_int64 b)
+  done
+
+let copy_independent () =
+  let a = Prng.Splitmix.create 7L in
+  ignore (Prng.Splitmix.next_int64 a);
+  let b = Prng.Splitmix.copy a in
+  let xa = Prng.Splitmix.next_int64 a in
+  let xb = Prng.Splitmix.next_int64 b in
+  check_bool "copy continues from the same state" true (xa = xb);
+  ignore (Prng.Splitmix.next_int64 a);
+  (* advancing a must not affect b *)
+  let xa' = Prng.Splitmix.next_int64 a and xb' = Prng.Splitmix.next_int64 b in
+  check_bool "streams diverge independently" true (xa' <> xb' || xa = xb)
+
+let split_differs () =
+  let a = Prng.Splitmix.create 99L in
+  let child = Prng.Splitmix.split a in
+  let xs = List.init 10 (fun _ -> Prng.Splitmix.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Prng.Splitmix.next_int64 child) in
+  check_bool "parent and child streams differ" true (xs <> ys)
+
+let int_bounds () =
+  let g = Prng.Splitmix.create 3L in
+  for _ = 1 to 10_000 do
+    let v = Prng.Splitmix.int g 7 in
+    check_bool "in [0,7)" true (0 <= v && v < 7)
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Splitmix.int: bound must be positive") (fun () ->
+      ignore (Prng.Splitmix.int g 0))
+
+let int_uniform () =
+  (* Chi-square-ish sanity: each of 10 buckets should get 10% ± 1.5%. *)
+  let g = Prng.Splitmix.create 4L in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.Splitmix.int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      check_bool "bucket within 1.5% of uniform" true (abs_float (f -. 0.1) < 0.015))
+    counts
+
+let int_in_range_bounds () =
+  let g = Prng.Splitmix.create 5L in
+  for _ = 1 to 1000 do
+    let v = Prng.Splitmix.int_in_range g ~lo:(-5) ~hi:5 in
+    check_bool "in [-5,5]" true (-5 <= v && v <= 5)
+  done;
+  check_int "singleton range" 42 (Prng.Splitmix.int_in_range g ~lo:42 ~hi:42)
+
+let float_unit_interval () =
+  let g = Prng.Splitmix.create 6L in
+  let sum = ref 0.0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let f = Prng.Splitmix.float g in
+    check_bool "in [0,1)" true (0.0 <= f && f < 1.0);
+    sum := !sum +. f
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let shuffle_permutes () =
+  let g = Prng.Splitmix.create 8L in
+  let arr = Array.init 100 (fun i -> i) in
+  Prng.Splitmix.shuffle_in_place g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted;
+  check_bool "actually moved something" true (arr <> Array.init 100 (fun i -> i))
+
+let sample_distinct_properties () =
+  let g = Prng.Splitmix.create 9L in
+  for _ = 1 to 100 do
+    let xs = Prng.Splitmix.sample_distinct g 16 ~lo:0 ~hi:31 in
+    check_int "count" 16 (List.length xs);
+    check_int "distinct" 16 (List.length (List.sort_uniq compare xs));
+    List.iter (fun x -> check_bool "in range" true (0 <= x && x <= 31)) xs;
+    check_bool "sorted" true (List.sort compare xs = xs)
+  done
+
+let sample_distinct_full_range () =
+  let g = Prng.Splitmix.create 10L in
+  let xs = Prng.Splitmix.sample_distinct g 8 ~lo:0 ~hi:7 in
+  Alcotest.(check (list int)) "whole range" [ 0; 1; 2; 3; 4; 5; 6; 7 ] xs
+
+let sample_distinct_too_many () =
+  let g = Prng.Splitmix.create 11L in
+  Alcotest.check_raises "range too small"
+    (Invalid_argument "Splitmix.sample_distinct: range too small") (fun () ->
+      ignore (Prng.Splitmix.sample_distinct g 9 ~lo:0 ~hi:7))
+
+let suite =
+  [
+    Alcotest.test_case "reference outputs (seed 0)" `Quick reference_outputs;
+    Alcotest.test_case "deterministic per seed" `Quick deterministic;
+    Alcotest.test_case "copy is independent" `Quick copy_independent;
+    Alcotest.test_case "split gives a distinct stream" `Quick split_differs;
+    Alcotest.test_case "int: bounds and rejection" `Quick int_bounds;
+    Alcotest.test_case "int: roughly uniform" `Quick int_uniform;
+    Alcotest.test_case "int_in_range: inclusive bounds" `Quick int_in_range_bounds;
+    Alcotest.test_case "float: unit interval, mean 0.5" `Quick float_unit_interval;
+    Alcotest.test_case "shuffle: permutation of input" `Quick shuffle_permutes;
+    Alcotest.test_case "sample_distinct: distinct, sorted, in-range" `Quick
+      sample_distinct_properties;
+    Alcotest.test_case "sample_distinct: exhaustive draw" `Quick
+      sample_distinct_full_range;
+    Alcotest.test_case "sample_distinct: overdraw rejected" `Quick
+      sample_distinct_too_many;
+  ]

@@ -1,0 +1,149 @@
+(* Statistics utilities: summaries/percentiles, histograms, CDFs, tables. *)
+
+let summary_basics () =
+  let s = Stats.Summary.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check int) "count" 5 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.Summary.median s);
+  Alcotest.(check (float 1e-9)) "total" 15.0 (Stats.Summary.total s);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.0) (Stats.Summary.stddev s)
+
+let percentile_interpolation () =
+  let s = Stats.Summary.of_list [ 10.0; 20.0; 30.0; 40.0 ] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 10.0 (Stats.Summary.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 40.0 (Stats.Summary.percentile s 100.0);
+  (* rank = 0.5 * 3 = 1.5 → halfway between 20 and 30. *)
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 25.0 (Stats.Summary.median s);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Summary.percentile: out of range") (fun () ->
+      ignore (Stats.Summary.percentile s 101.0))
+
+let percentile_order_independent () =
+  let a = Stats.Summary.of_list [ 5.0; 1.0; 3.0 ] in
+  let b = Stats.Summary.of_list [ 1.0; 3.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "sorted internally" (Stats.Summary.p99 a)
+    (Stats.Summary.p99 b)
+
+let summary_singleton_and_empty () =
+  let s = Stats.Summary.of_list [ 7.0 ] in
+  Alcotest.(check (float 1e-9)) "p1 of singleton" 7.0 (Stats.Summary.p1 s);
+  Alcotest.(check (float 1e-9)) "p99 of singleton" 7.0 (Stats.Summary.p99 s);
+  Alcotest.check_raises "empty" (Invalid_argument "Summary: empty sample")
+    (fun () -> ignore (Stats.Summary.of_list []))
+
+let histogram_bucketing () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:10 in
+  Stats.Histogram.add_many h [ 0.0; 0.05; 0.15; 0.95; 1.0 ];
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "first bucket" 2 counts.(0);
+  Alcotest.(check int) "second bucket" 1 counts.(1);
+  Alcotest.(check int) "hi lands in last bucket" 2 counts.(9);
+  Alcotest.(check int) "total" 5 (Stats.Histogram.total h)
+
+let histogram_clamps () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Stats.Histogram.add h (-5.0);
+  Stats.Histogram.add h 7.0;
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "below clamps to first" 1 counts.(0);
+  Alcotest.(check int) "above clamps to last" 1 counts.(3)
+
+let histogram_fractions () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  Stats.Histogram.add_many h [ 0.1; 0.2; 0.9 ];
+  let f = Stats.Histogram.fractions h in
+  Alcotest.(check (float 1e-9)) "two thirds" (2.0 /. 3.0) f.(0);
+  let p = Stats.Histogram.percentages h in
+  Alcotest.(check bool) "sums to 100" true
+    (abs_float (Array.fold_left ( +. ) 0.0 p -. 100.0) < 1e-9)
+
+let histogram_empty_fractions () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:3 in
+  Array.iter
+    (fun f -> Alcotest.(check (float 0.0)) "zero" 0.0 f)
+    (Stats.Histogram.fractions h)
+
+let histogram_bounds () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let lo, hi = Stats.Histogram.bucket_bounds h 2 in
+  Alcotest.(check (float 1e-9)) "bucket lo" 4.0 lo;
+  Alcotest.(check (float 1e-9)) "bucket hi" 6.0 hi;
+  Alcotest.check_raises "bad construction"
+    (Invalid_argument "Histogram.create: bins must be positive") (fun () ->
+      ignore (Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0))
+
+let cdf_directions () =
+  let c = Stats.Cdf.of_samples [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  Alcotest.(check (float 1e-9)) "at least 0" 1.0 (Stats.Cdf.fraction_at_least c 0.0);
+  Alcotest.(check (float 1e-9)) "at least 1" 0.2 (Stats.Cdf.fraction_at_least c 1.0);
+  Alcotest.(check (float 1e-9)) "at least 0.5" 0.6
+    (Stats.Cdf.fraction_at_least c 0.5);
+  Alcotest.(check (float 1e-9)) "at most 0.5" 0.6 (Stats.Cdf.fraction_at_most c 0.5);
+  Alcotest.(check (float 1e-9)) "at most below min" 0.0
+    (Stats.Cdf.fraction_at_most c (-0.1));
+  Alcotest.(check (float 1e-9)) "percent form" 60.0
+    (Stats.Cdf.percent_at_least c 0.5)
+
+let cdf_with_ties () =
+  let c = Stats.Cdf.of_samples [ 1.0; 1.0; 1.0; 0.0 ] in
+  Alcotest.(check (float 1e-9)) "ties counted" 0.75
+    (Stats.Cdf.fraction_at_least c 1.0)
+
+let cdf_series () =
+  let c = Stats.Cdf.of_samples [ 0.2; 0.8 ] in
+  let s = Stats.Cdf.series c ~thresholds:[ 1.0; 0.5; 0.0 ] in
+  Alcotest.(check int) "three points" 3 (List.length s);
+  Alcotest.(check (float 1e-9)) "middle" 50.0 (snd (List.nth s 1))
+
+let table_rendering () =
+  let t =
+    Stats.Table.create
+      ~columns:[ ("name", Stats.Table.Left); ("value", Stats.Table.Right) ]
+  in
+  Stats.Table.add_row t [ "alpha"; "1" ];
+  Stats.Table.add_row t [ "b"; "22" ];
+  let s = Stats.Table.to_string t in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  Alcotest.check_raises "row arity"
+    (Invalid_argument "Table.add_row: row length mismatch") (fun () ->
+      Stats.Table.add_row t [ "too"; "many"; "cells" ])
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone in p" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 40) (float_range (-100.) 100.))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let s = Stats.Summary.of_list xs in
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+      let values = List.map (Stats.Summary.percentile s) ps in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && sorted rest
+        | _ -> true
+      in
+      sorted values)
+
+let suite =
+  [
+    Alcotest.test_case "summary basics" `Quick summary_basics;
+    Alcotest.test_case "percentile interpolation" `Quick percentile_interpolation;
+    Alcotest.test_case "percentiles ignore input order" `Quick
+      percentile_order_independent;
+    Alcotest.test_case "singleton and empty summaries" `Quick
+      summary_singleton_and_empty;
+    Alcotest.test_case "histogram bucketing" `Quick histogram_bucketing;
+    Alcotest.test_case "histogram clamps out-of-range values" `Quick
+      histogram_clamps;
+    Alcotest.test_case "histogram fractions and percentages" `Quick
+      histogram_fractions;
+    Alcotest.test_case "empty histogram has zero fractions" `Quick
+      histogram_empty_fractions;
+    Alcotest.test_case "bucket bounds and validation" `Quick histogram_bounds;
+    Alcotest.test_case "cdf both directions" `Quick cdf_directions;
+    Alcotest.test_case "cdf with ties" `Quick cdf_with_ties;
+    Alcotest.test_case "cdf series" `Quick cdf_series;
+    Alcotest.test_case "table rendering" `Quick table_rendering;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+  ]

@@ -1,0 +1,130 @@
+(* Partition stores: bucket isolation, idempotent insertion, counting. *)
+
+module Range = Rangeset.Range
+
+let mk lo hi = Range.make ~lo ~hi
+let entry lo hi = { P2prange.Store.range = mk lo hi; partition = None }
+
+let empty_bucket () =
+  let s = P2prange.Store.create () in
+  Alcotest.(check int) "no entries" 0 (P2prange.Store.entry_count s);
+  Alcotest.(check int) "no buckets" 0 (P2prange.Store.bucket_count s);
+  Alcotest.(check int) "empty bucket" 0
+    (List.length (P2prange.Store.bucket s ~identifier:42))
+
+let insert_and_lookup () =
+  let s = P2prange.Store.create () in
+  P2prange.Store.insert s ~identifier:7 (entry 0 10);
+  P2prange.Store.insert s ~identifier:7 (entry 20 30);
+  P2prange.Store.insert s ~identifier:9 (entry 0 10);
+  Alcotest.(check int) "three entries" 3 (P2prange.Store.entry_count s);
+  Alcotest.(check int) "two buckets" 2 (P2prange.Store.bucket_count s);
+  Alcotest.(check int) "bucket 7 holds two" 2
+    (List.length (P2prange.Store.bucket s ~identifier:7));
+  Alcotest.(check int) "bucket 9 holds one" 1
+    (List.length (P2prange.Store.bucket s ~identifier:9));
+  Alcotest.(check int) "unknown bucket empty" 0
+    (List.length (P2prange.Store.bucket s ~identifier:1000))
+
+let insert_idempotent_per_bucket () =
+  let s = P2prange.Store.create () in
+  P2prange.Store.insert s ~identifier:7 (entry 0 10);
+  P2prange.Store.insert s ~identifier:7 (entry 0 10);
+  Alcotest.(check int) "same (id, range) stored once" 1
+    (P2prange.Store.entry_count s);
+  (* …but the same range under another identifier is a separate entry. *)
+  P2prange.Store.insert s ~identifier:8 (entry 0 10);
+  Alcotest.(check int) "other bucket counts" 2 (P2prange.Store.entry_count s)
+
+let mem_checks () =
+  let s = P2prange.Store.create () in
+  P2prange.Store.insert s ~identifier:7 (entry 0 10);
+  Alcotest.(check bool) "present" true
+    (P2prange.Store.mem s ~identifier:7 ~range:(mk 0 10));
+  Alcotest.(check bool) "different range absent" false
+    (P2prange.Store.mem s ~identifier:7 ~range:(mk 0 11));
+  Alcotest.(check bool) "different bucket absent" false
+    (P2prange.Store.mem s ~identifier:8 ~range:(mk 0 10))
+
+let all_entries_spans_buckets () =
+  let s = P2prange.Store.create () in
+  P2prange.Store.insert s ~identifier:1 (entry 0 10);
+  P2prange.Store.insert s ~identifier:2 (entry 20 30);
+  P2prange.Store.insert s ~identifier:3 (entry 40 50);
+  Alcotest.(check int) "all three visible" 3
+    (List.length (P2prange.Store.all_entries s))
+
+let fifo_evicts_oldest () =
+  let s = P2prange.Store.create ~policy:(P2prange.Store.Fifo 3) () in
+  P2prange.Store.insert s ~identifier:1 (entry 0 10);
+  P2prange.Store.insert s ~identifier:2 (entry 20 30);
+  P2prange.Store.insert s ~identifier:3 (entry 40 50);
+  P2prange.Store.insert s ~identifier:4 (entry 60 70);
+  Alcotest.(check int) "capacity respected" 3 (P2prange.Store.entry_count s);
+  Alcotest.(check int) "one eviction" 1 (P2prange.Store.evictions s);
+  Alcotest.(check bool) "oldest gone" false
+    (P2prange.Store.mem s ~identifier:1 ~range:(mk 0 10));
+  Alcotest.(check bool) "newest present" true
+    (P2prange.Store.mem s ~identifier:4 ~range:(mk 60 70))
+
+let lru_keeps_recently_matched () =
+  let s = P2prange.Store.create ~policy:(P2prange.Store.Lru 3) () in
+  P2prange.Store.insert s ~identifier:1 (entry 0 10);
+  P2prange.Store.insert s ~identifier:2 (entry 20 30);
+  P2prange.Store.insert s ~identifier:3 (entry 40 50);
+  (* Touch bucket 1: its entry becomes the most recently used. *)
+  ignore (P2prange.Store.bucket s ~identifier:1);
+  P2prange.Store.insert s ~identifier:4 (entry 60 70);
+  Alcotest.(check bool) "touched entry survives" true
+    (P2prange.Store.mem s ~identifier:1 ~range:(mk 0 10));
+  (* Entry 2 was the least recently used; it must be the victim. *)
+  Alcotest.(check bool) "LRU victim gone" false
+    (P2prange.Store.mem s ~identifier:2 ~range:(mk 20 30))
+
+let fifo_ignores_reads () =
+  let s = P2prange.Store.create ~policy:(P2prange.Store.Fifo 2) () in
+  P2prange.Store.insert s ~identifier:1 (entry 0 10);
+  P2prange.Store.insert s ~identifier:2 (entry 20 30);
+  (* Reading bucket 1 must NOT protect it under FIFO. *)
+  ignore (P2prange.Store.bucket s ~identifier:1);
+  P2prange.Store.insert s ~identifier:3 (entry 40 50);
+  Alcotest.(check bool) "insertion order rules" false
+    (P2prange.Store.mem s ~identifier:1 ~range:(mk 0 10))
+
+let unbounded_never_evicts () =
+  let s = P2prange.Store.create () in
+  for i = 0 to 999 do
+    P2prange.Store.insert s ~identifier:i (entry i (i + 1))
+  done;
+  Alcotest.(check int) "all kept" 1000 (P2prange.Store.entry_count s);
+  Alcotest.(check int) "no evictions" 0 (P2prange.Store.evictions s)
+
+let capacity_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Store.create: capacity must be at least 1") (fun () ->
+      ignore (P2prange.Store.create ~policy:(P2prange.Store.Lru 0) ()))
+
+let capacity_one () =
+  let s = P2prange.Store.create ~policy:(P2prange.Store.Fifo 1) () in
+  P2prange.Store.insert s ~identifier:1 (entry 0 10);
+  P2prange.Store.insert s ~identifier:2 (entry 20 30);
+  Alcotest.(check int) "single slot" 1 (P2prange.Store.entry_count s);
+  Alcotest.(check bool) "latest wins" true
+    (P2prange.Store.mem s ~identifier:2 ~range:(mk 20 30))
+
+let suite =
+  [
+    Alcotest.test_case "empty store" `Quick empty_bucket;
+    Alcotest.test_case "insert and bucket lookup" `Quick insert_and_lookup;
+    Alcotest.test_case "idempotent per (identifier, range)" `Quick
+      insert_idempotent_per_bucket;
+    Alcotest.test_case "mem" `Quick mem_checks;
+    Alcotest.test_case "all_entries spans buckets" `Quick all_entries_spans_buckets;
+    Alcotest.test_case "FIFO evicts the oldest insertion" `Quick fifo_evicts_oldest;
+    Alcotest.test_case "LRU keeps recently matched entries" `Quick
+      lru_keeps_recently_matched;
+    Alcotest.test_case "FIFO ignores reads" `Quick fifo_ignores_reads;
+    Alcotest.test_case "unbounded never evicts" `Quick unbounded_never_evicts;
+    Alcotest.test_case "capacity validation" `Quick capacity_validation;
+    Alcotest.test_case "capacity of one" `Quick capacity_one;
+  ]

@@ -1,0 +1,99 @@
+(* Superpeer overlay: assignment, indexing, TTL-bounded superpeer floods,
+   and the reach/message advantage over flat flooding. *)
+
+module Range = Rangeset.Range
+module SP = Flood.Superpeer
+
+let mk lo hi = Range.make ~lo ~hi
+
+let build () = SP.create ~n_peers:100 ~n_superpeers:10 ~degree:4 ~seed:1L
+
+let assignment () =
+  let t = build () in
+  Alcotest.(check int) "peers" 100 (SP.size t);
+  Alcotest.(check int) "superpeers" 10 (SP.superpeer_count t);
+  Alcotest.(check int) "round robin" 3 (SP.superpeer_of t 13);
+  Alcotest.(check int) "wraps" 0 (SP.superpeer_of t 90)
+
+let index_and_local_hit () =
+  let t = build () in
+  (* Peers 7 and 17 share superpeer 7. *)
+  SP.store t ~peer:7 (mk 30 50);
+  let r = SP.query t ~from:17 ~ttl:0 (mk 30 50) in
+  Alcotest.(check int) "only home superpeer" 1 r.SP.superpeers_reached;
+  Alcotest.(check int) "one leaf->sp message" 1 r.SP.messages;
+  (match r.SP.best with
+  | Some (_, j) -> Alcotest.(check (float 1e-9)) "cluster-mate's cache" 1.0 j
+  | None -> Alcotest.fail "same-cluster cache must be visible at ttl 0");
+  (* A peer in a different cluster needs the flood. *)
+  let far = SP.query t ~from:8 ~ttl:0 (mk 30 50) in
+  Alcotest.(check bool) "other cluster invisible at ttl 0" true
+    (far.SP.best = None)
+
+let flood_finds_remote_cluster () =
+  let t = build () in
+  SP.store t ~peer:7 (mk 30 50);
+  let r = SP.query t ~from:8 ~ttl:10 (mk 30 49) in
+  match r.SP.best with
+  | Some (found, j) ->
+    Alcotest.(check bool) "found" true (Range.equal found (mk 30 50));
+    Alcotest.(check (float 1e-9)) "jaccard" (20.0 /. 21.0) j
+  | None -> Alcotest.fail "deep superpeer flood must find the partition"
+
+let idempotent_index () =
+  let t = build () in
+  SP.store t ~peer:7 (mk 0 5);
+  SP.store t ~peer:17 (mk 0 5);
+  (* same superpeer, same range *)
+  Alcotest.(check int) "indexed once per superpeer" 1 (SP.indexed_count t)
+
+let cheaper_than_flat_flooding () =
+  (* Same caches, same query: full coverage through 10 superpeers costs far
+     fewer messages than flooding 100 flat peers. *)
+  let sp = build () in
+  let flat = Flood.Overlay.create ~n:100 ~degree:6 ~seed:1L in
+  for peer = 0 to 99 do
+    let range = mk (peer * 3) ((peer * 3) + 20) in
+    SP.store sp ~peer range;
+    Flood.Overlay.store flat ~peer range
+  done;
+  let q = mk 100 140 in
+  let sp_reply = SP.query sp ~from:0 ~ttl:10 q in
+  let flat_reply = Flood.Overlay.flood_query flat ~from:0 ~ttl:10 q in
+  Alcotest.(check int) "superpeer flood covers all clusters" 10
+    sp_reply.SP.superpeers_reached;
+  Alcotest.(check int) "flat flood covers all peers" 100
+    flat_reply.Flood.Overlay.peers_reached;
+  (match (sp_reply.SP.best, flat_reply.Flood.Overlay.best) with
+  | Some (_, js), Some (_, jf) ->
+    Alcotest.(check (float 1e-9)) "same best match quality" jf js
+  | _ -> Alcotest.fail "both architectures must find a match");
+  Alcotest.(check bool)
+    (Printf.sprintf "superpeer %d msgs < flat %d msgs" sp_reply.SP.messages
+       flat_reply.Flood.Overlay.messages)
+    true
+    (sp_reply.SP.messages * 3 < flat_reply.Flood.Overlay.messages)
+
+let validation () =
+  Alcotest.check_raises "too few superpeers"
+    (Invalid_argument "Superpeer.create: need at least two superpeers")
+    (fun () -> ignore (SP.create ~n_peers:10 ~n_superpeers:1 ~degree:4 ~seed:1L));
+  Alcotest.check_raises "more superpeers than peers"
+    (Invalid_argument "Superpeer.create: fewer peers than superpeers")
+    (fun () -> ignore (SP.create ~n_peers:5 ~n_superpeers:10 ~degree:4 ~seed:1L));
+  let t = build () in
+  Alcotest.check_raises "unknown leaf"
+    (Invalid_argument "Superpeer: unknown leaf peer") (fun () ->
+      ignore (SP.superpeer_of t 100))
+
+let suite =
+  [
+    Alcotest.test_case "leaf assignment" `Quick assignment;
+    Alcotest.test_case "index and local cluster hits" `Quick index_and_local_hit;
+    Alcotest.test_case "flood reaches remote clusters" `Quick
+      flood_finds_remote_cluster;
+    Alcotest.test_case "index idempotent per superpeer" `Quick idempotent_index;
+    Alcotest.test_case "cheaper than flat flooding at equal coverage" `Quick
+      cheaper_than_flat_flooding;
+    Alcotest.test_case "validation" `Quick validation;
+  ]

@@ -1,0 +1,222 @@
+(* The assembled system: protocol invariants — identifiers, routing,
+   caching, exact-match behaviour, padding integration, determinism. *)
+
+module Range = Rangeset.Range
+module Sys_ = P2prange.System
+
+let mk lo hi = Range.make ~lo ~hi
+
+let default_system ?(config = P2prange.Config.default) () =
+  Sys_.create ~config ~seed:7L ~n_peers:20 ()
+
+let construction () =
+  let s = default_system () in
+  Alcotest.(check int) "peer count" 20 (Sys_.peer_count s);
+  Alcotest.(check int) "ring size matches" 20 (Chord.Ring.size (Sys_.ring s));
+  Alcotest.(check int) "starts empty" 0 (Sys_.total_entries s);
+  Alcotest.check_raises "bad peer count"
+    (Invalid_argument "System.create: n_peers must be positive") (fun () ->
+      ignore (Sys_.create ~seed:1L ~n_peers:0 ()))
+
+let peer_lookup () =
+  let s = default_system () in
+  let p = Sys_.peer_by_name s "peer-3" in
+  Alcotest.(check string) "by name" "peer-3" (P2prange.Peer.name p);
+  Alcotest.(check string) "by id" "peer-3"
+    (P2prange.Peer.name (Sys_.peer_by_id s (P2prange.Peer.id p)));
+  Alcotest.check_raises "unknown name" Not_found (fun () ->
+      ignore (Sys_.peer_by_name s "nobody"))
+
+let identifiers_deterministic_and_l () =
+  let s = default_system () in
+  let ids = Sys_.identifiers s (mk 30 50) in
+  Alcotest.(check int) "l identifiers" 5 (List.length ids);
+  Alcotest.(check (list int)) "stable" ids (Sys_.identifiers s (mk 30 50))
+
+let identifiers_cache_consistency () =
+  (* With the domain cache off, identifiers must be identical. *)
+  let on = Sys_.create ~config:P2prange.Config.default ~seed:7L ~n_peers:5 () in
+  let off =
+    Sys_.create
+      ~config:{ P2prange.Config.default with use_domain_cache = false }
+      ~seed:7L ~n_peers:5 ()
+  in
+  List.iter
+    (fun (lo, hi) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "[%d,%d]" lo hi)
+        (Sys_.identifiers on (mk lo hi))
+        (Sys_.identifiers off (mk lo hi)))
+    [ (0, 1000); (0, 0); (500, 600); (999, 1000) ]
+
+let publish_then_query_exact () =
+  let s = default_system () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  let range = mk 30 50 in
+  let _ = Sys_.publish s ~from range in
+  let result = Sys_.query s ~from:(Sys_.peer_by_name s "peer-5") range in
+  (match result.Sys_.matched with
+  | Some m ->
+    Alcotest.(check bool) "exact range found" true
+      (Range.equal m.P2prange.Matching.entry.P2prange.Store.range range)
+  | None -> Alcotest.fail "published range must be found by the same query");
+  Alcotest.(check (float 1e-9)) "similarity 1" 1.0 result.Sys_.similarity;
+  Alcotest.(check (float 1e-9)) "recall 1" 1.0 result.Sys_.recall;
+  Alcotest.(check bool) "exact match not re-cached" false result.Sys_.cached
+
+let query_empty_system_caches () =
+  let s = default_system () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  let result = Sys_.query s ~from (mk 100 200) in
+  Alcotest.(check bool) "no match in empty system" true
+    (result.Sys_.matched = None);
+  Alcotest.(check (float 0.0)) "zero recall" 0.0 result.Sys_.recall;
+  Alcotest.(check bool) "range cached for the future" true result.Sys_.cached;
+  Alcotest.(check bool) "entries appeared" true (Sys_.total_entries s > 0);
+  (* The identical query now finds an exact match. *)
+  let again = Sys_.query s ~from (mk 100 200) in
+  Alcotest.(check (float 1e-9)) "found on retry" 1.0 again.Sys_.recall
+
+let caching_disabled () =
+  let config = { P2prange.Config.default with cache_on_inexact = false } in
+  let s = default_system ~config () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  let r = Sys_.query s ~from (mk 100 200) in
+  Alcotest.(check bool) "not cached" false r.Sys_.cached;
+  Alcotest.(check int) "still empty" 0 (Sys_.total_entries s)
+
+let stats_shape () =
+  let s = default_system () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  let r = Sys_.query s ~from (mk 10 40) in
+  Alcotest.(check int) "one hop count per identifier" 5
+    (List.length r.Sys_.stats.Sys_.hops);
+  Alcotest.(check int) "l identifiers" 5
+    (List.length r.Sys_.stats.Sys_.identifiers);
+  (* messages = Σ (hops + 1 reply) per lookup *)
+  let expected =
+    List.fold_left (fun acc h -> acc + h + 1) 0 r.Sys_.stats.Sys_.hops
+  in
+  Alcotest.(check int) "message accounting" expected r.Sys_.stats.Sys_.messages
+
+let owners_hold_published_entries () =
+  let s = default_system () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  let range = mk 200 300 in
+  let stats = Sys_.publish s ~from range in
+  List.iter
+    (fun identifier ->
+      let owner = Sys_.owner_of_identifier s identifier in
+      Alcotest.(check bool) "owner's bucket holds the range" true
+        (P2prange.Store.mem (P2prange.Peer.store owner) ~identifier ~range))
+    stats.Sys_.identifiers
+
+let padding_applied_to_effective () =
+  let config =
+    { P2prange.Config.default with padding = P2prange.Config.Fixed_padding 0.2 }
+  in
+  let s = default_system ~config () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  let r = Sys_.query s ~from (mk 100 199) in
+  Alcotest.(check bool) "effective range padded" true
+    (Range.equal r.Sys_.effective (mk 80 219));
+  Alcotest.(check bool) "query preserved" true (Range.equal r.Sys_.query (mk 100 199))
+
+let padded_cache_serves_inner_queries () =
+  let config =
+    { P2prange.Config.default with
+      padding = P2prange.Config.Fixed_padding 0.2;
+      matching = P2prange.Config.Containment_match;
+    }
+  in
+  let s = default_system ~config () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  ignore (Sys_.query s ~from (mk 100 199));
+  (* A near-identical query pads to an effective range with Jaccard ≈ 0.98
+     against the cached padded range [80, 219], so at least one of the five
+     identifiers collides with near-certainty (deterministic per seed), and
+     the cached range contains the original query entirely. *)
+  let r = Sys_.query s ~from (mk 100 198) in
+  Alcotest.(check bool) "matched" true (r.Sys_.matched <> None);
+  Alcotest.(check (float 1e-9)) "full recall via padding" 1.0 r.Sys_.recall
+
+let bounded_stores_enforce_capacity () =
+  let config =
+    { P2prange.Config.default with store_policy = P2prange.Store.Lru 10 }
+  in
+  let s = default_system ~config () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  (* 200 distinct misses, each cached under 5 identifiers: far beyond the
+     20 peers × 10 slots available. *)
+  for i = 0 to 199 do
+    ignore (Sys_.query s ~from (mk (i * 5) ((i * 5) + 3)))
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "peer within capacity" true (P2prange.Peer.load p <= 10))
+    (Sys_.peers s);
+  Alcotest.(check bool) "evictions happened" true (Sys_.total_evictions s > 0)
+
+let deterministic_per_seed () =
+  let run () =
+    let s = default_system () in
+    let from = Sys_.peer_by_name s "peer-0" in
+    let r = Sys_.query s ~from (mk 0 500) in
+    (r.Sys_.stats.Sys_.identifiers, r.Sys_.stats.Sys_.hops)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+(* The protocol's cornerstone guarantee: h(Q) = h(Q) for every hash family,
+   so a published range is always found — with recall 1 — by an identical
+   query from any peer. *)
+let prop_published_ranges_always_found =
+  let gen =
+    QCheck.Gen.(
+      let* a = int_range 0 1000 in
+      let* b = int_range 0 1000 in
+      let* publisher = int_range 0 19 in
+      let* asker = int_range 0 19 in
+      return (min a b, max a b, publisher, asker))
+  in
+  QCheck.Test.make ~name:"published ranges are always found exactly" ~count:100
+    (QCheck.make
+       ~print:(fun (lo, hi, p, a) -> Printf.sprintf "[%d,%d] p%d->p%d" lo hi p a)
+       gen)
+    (fun (lo, hi, publisher, asker) ->
+      let s = default_system () in
+      let range = mk lo hi in
+      let from = Sys_.peer_by_name s (Printf.sprintf "peer-%d" publisher) in
+      ignore (Sys_.publish s ~from range);
+      let result =
+        Sys_.query s ~from:(Sys_.peer_by_name s (Printf.sprintf "peer-%d" asker)) range
+      in
+      result.Sys_.recall = 1.0 && result.Sys_.similarity = 1.0
+      && not result.Sys_.cached)
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick construction;
+    QCheck_alcotest.to_alcotest prop_published_ranges_always_found;
+    Alcotest.test_case "peer lookup" `Quick peer_lookup;
+    Alcotest.test_case "identifiers: count and determinism" `Quick
+      identifiers_deterministic_and_l;
+    Alcotest.test_case "domain cache gives identical identifiers" `Quick
+      identifiers_cache_consistency;
+    Alcotest.test_case "publish then exact-match query" `Quick
+      publish_then_query_exact;
+    Alcotest.test_case "miss caches the queried range" `Quick
+      query_empty_system_caches;
+    Alcotest.test_case "cache-on-inexact can be disabled" `Quick caching_disabled;
+    Alcotest.test_case "lookup stats shape and message accounting" `Quick
+      stats_shape;
+    Alcotest.test_case "owners hold published entries" `Quick
+      owners_hold_published_entries;
+    Alcotest.test_case "padding produces the effective range" `Quick
+      padding_applied_to_effective;
+    Alcotest.test_case "padded caches answer narrower queries" `Quick
+      padded_cache_serves_inner_queries;
+    Alcotest.test_case "bounded stores enforce capacity" `Quick
+      bounded_stores_enforce_capacity;
+    Alcotest.test_case "deterministic per seed" `Quick deterministic_per_seed;
+  ]

@@ -1,0 +1,86 @@
+(* Typed values: comparison discipline, date arithmetic, rank extraction. *)
+
+module V = Relational.Value
+
+let compare_within_type () =
+  Alcotest.(check bool) "ints" true (V.compare (V.Int 3) (V.Int 5) < 0);
+  Alcotest.(check bool) "strings" true
+    (V.compare (V.String "a") (V.String "b") < 0);
+  Alcotest.(check bool) "floats" true (V.compare (V.Float 1.5) (V.Float 1.5) = 0);
+  Alcotest.(check bool) "dates" true
+    (V.compare
+       (V.date_of_ymd ~year:2000 ~month:1 ~day:1)
+       (V.date_of_ymd ~year:2002 ~month:12 ~day:31)
+    < 0)
+
+let compare_across_types_rejected () =
+  Alcotest.check_raises "int vs string"
+    (Invalid_argument "Value.compare: type mismatch (int vs string)") (fun () ->
+      ignore (V.compare (V.Int 1) (V.String "1")))
+
+let date_roundtrip () =
+  let cases =
+    [ (1970, 1, 1); (2000, 2, 29); (1999, 12, 31); (2003, 1, 1); (1899, 3, 15) ]
+  in
+  List.iter
+    (fun (year, month, day) ->
+      let d = V.date_of_ymd ~year ~month ~day in
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "%04d-%02d-%02d" year month day)
+        (year, month, day) (V.ymd_of_date d))
+    cases
+
+let epoch_is_zero () =
+  match V.date_of_ymd ~year:1970 ~month:1 ~day:1 with
+  | V.Date 0 -> ()
+  | V.Date n -> Alcotest.failf "epoch should be day 0, got %d" n
+  | V.Int _ | V.Float _ | V.String _ -> Alcotest.fail "not a date"
+
+let date_ordering_matches_days () =
+  (* Jan 1 2000 is exactly 10957 days after the epoch. *)
+  match V.date_of_ymd ~year:2000 ~month:1 ~day:1 with
+  | V.Date n -> Alcotest.(check int) "known day number" 10957 n
+  | V.Int _ | V.Float _ | V.String _ -> Alcotest.fail "not a date"
+
+let invalid_dates_rejected () =
+  Alcotest.check_raises "Feb 30" (Invalid_argument "Value.date_of_ymd: bad day")
+    (fun () -> ignore (V.date_of_ymd ~year:2001 ~month:2 ~day:30));
+  Alcotest.check_raises "Feb 29 non-leap"
+    (Invalid_argument "Value.date_of_ymd: bad day") (fun () ->
+      ignore (V.date_of_ymd ~year:1900 ~month:2 ~day:29));
+  Alcotest.check_raises "month 13"
+    (Invalid_argument "Value.date_of_ymd: bad month") (fun () ->
+      ignore (V.date_of_ymd ~year:2001 ~month:13 ~day:1))
+
+let leap_year_rules () =
+  (* 2000 is a leap year (divisible by 400), 1900 is not (by 100). *)
+  ignore (V.date_of_ymd ~year:2000 ~month:2 ~day:29);
+  ignore (V.date_of_ymd ~year:2004 ~month:2 ~day:29)
+
+let rank_extraction () =
+  Alcotest.(check (option int)) "int" (Some 42) (V.to_rank (V.Int 42));
+  Alcotest.(check (option int)) "date" (Some 0)
+    (V.to_rank (V.date_of_ymd ~year:1970 ~month:1 ~day:1));
+  Alcotest.(check (option int)) "string" None (V.to_rank (V.String "x"));
+  Alcotest.(check (option int)) "float" None (V.to_rank (V.Float 1.0))
+
+let printing () =
+  Alcotest.(check string) "int" "42" (V.to_string (V.Int 42));
+  Alcotest.(check string) "string quoted" "\"glaucoma\""
+    (V.to_string (V.String "glaucoma"));
+  Alcotest.(check string) "date iso" "2002-12-31"
+    (V.to_string (V.date_of_ymd ~year:2002 ~month:12 ~day:31))
+
+let suite =
+  [
+    Alcotest.test_case "comparison within types" `Quick compare_within_type;
+    Alcotest.test_case "cross-type comparison rejected" `Quick
+      compare_across_types_rejected;
+    Alcotest.test_case "date round-trip" `Quick date_roundtrip;
+    Alcotest.test_case "epoch is day zero" `Quick epoch_is_zero;
+    Alcotest.test_case "known day number" `Quick date_ordering_matches_days;
+    Alcotest.test_case "invalid dates rejected" `Quick invalid_dates_rejected;
+    Alcotest.test_case "leap-year rules" `Quick leap_year_rules;
+    Alcotest.test_case "rank extraction" `Quick rank_extraction;
+    Alcotest.test_case "printing" `Quick printing;
+  ]

@@ -1,0 +1,100 @@
+(* Workload generators: domain discipline, determinism, shape properties,
+   and the duplicate-fraction diagnostic the paper reports (0.2 %). *)
+
+module W = Workload.Query_workload
+module Range = Rangeset.Range
+
+let domain = Range.make ~lo:0 ~hi:1000
+
+let within_domain shape () =
+  let w = W.create shape ~domain ~seed:1L in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "inside domain" true
+        (Range.contains ~outer:domain ~inner:r))
+    (W.take w 2000)
+
+let deterministic () =
+  let a = W.create W.Uniform_pairs ~domain ~seed:9L in
+  let b = W.create W.Uniform_pairs ~domain ~seed:9L in
+  Alcotest.(check bool) "same stream" true
+    (List.equal Range.equal (W.take a 100) (W.take b 100));
+  let c = W.create W.Uniform_pairs ~domain ~seed:10L in
+  Alcotest.(check bool) "different seed differs" false
+    (List.equal Range.equal (W.take a 100) (W.take c 100))
+
+let uniform_pairs_duplicate_rate () =
+  (* The paper reports ~0.2 % repeats for its 10k-query workload; uniform
+     endpoint pairs over [0,1000] give about 1 % — same order, and the
+     diagnostic must report it. *)
+  let w = W.create W.Uniform_pairs ~domain ~seed:2L in
+  let f = W.duplicate_fraction (W.take w 10_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicate fraction %.4f in (0.001, 0.03)" f)
+    true
+    (f > 0.001 && f < 0.03)
+
+let uniform_width_bounds () =
+  let w = W.create (W.Uniform_width { max_width = 50 }) ~domain ~seed:3L in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "width within bound" true (Range.cardinal r <= 50))
+    (W.take w 1000)
+
+let repeating_pool () =
+  let w = W.create (W.Repeating { unique = 5 }) ~domain ~seed:4L in
+  let ranges = W.take w 500 in
+  let module RSet = Set.Make (Range) in
+  let distinct = RSet.cardinal (RSet.of_list ranges) in
+  Alcotest.(check bool) "at most 5 distinct" true (distinct <= 5);
+  Alcotest.(check bool) "high duplicate fraction" true
+    (W.duplicate_fraction ranges > 0.9)
+
+let hotspots_cluster () =
+  let w =
+    W.create (W.Zipf_hotspots { hotspots = 3; spread = 10; s = 1.5 }) ~domain
+      ~seed:5L
+  in
+  let ranges = W.take w 2000 in
+  (* Few distinct centres ⇒ few distinct range midpoints. *)
+  let midpoints =
+    List.sort_uniq compare
+      (List.map (fun r -> (Range.lo r + Range.hi r) / 2) ranges)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d midpoints clustered" (List.length midpoints))
+    true
+    (List.length midpoints < 100)
+
+let duplicate_fraction_edge_cases () =
+  Alcotest.(check (float 0.0)) "empty list" 0.0 (W.duplicate_fraction []);
+  let r = Range.make ~lo:0 ~hi:5 in
+  Alcotest.(check (float 1e-9)) "all same" 0.75
+    (W.duplicate_fraction [ r; r; r; r ])
+
+let validation () =
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Query_workload: max_width < 1") (fun () ->
+      ignore (W.create (W.Uniform_width { max_width = 0 }) ~domain ~seed:1L));
+  Alcotest.check_raises "bad pool"
+    (Invalid_argument "Query_workload: unique < 1") (fun () ->
+      ignore (W.create (W.Repeating { unique = 0 }) ~domain ~seed:1L))
+
+let suite =
+  [
+    Alcotest.test_case "uniform pairs stay in domain" `Quick
+      (within_domain W.Uniform_pairs);
+    Alcotest.test_case "width workload stays in domain" `Quick
+      (within_domain (W.Uniform_width { max_width = 100 }));
+    Alcotest.test_case "hotspot workload stays in domain" `Quick
+      (within_domain (W.Zipf_hotspots { hotspots = 5; spread = 20; s = 1.0 }));
+    Alcotest.test_case "deterministic per seed" `Quick deterministic;
+    Alcotest.test_case "duplicate rate matches the paper's order" `Quick
+      uniform_pairs_duplicate_rate;
+    Alcotest.test_case "width bound respected" `Quick uniform_width_bounds;
+    Alcotest.test_case "repeating pool recycles" `Quick repeating_pool;
+    Alcotest.test_case "hotspots cluster" `Quick hotspots_cluster;
+    Alcotest.test_case "duplicate fraction edge cases" `Quick
+      duplicate_fraction_edge_cases;
+    Alcotest.test_case "validation" `Quick validation;
+  ]
