@@ -3,7 +3,12 @@
    everything; passing section names (e.g. `fig6a fig12b ablation-kl`) runs a
    subset. Output is a sequence of labelled ASCII tables whose series
    correspond one-to-one with the paper's plots; EXPERIMENTS.md records the
-   paper-vs-measured comparison. *)
+   paper-vs-measured comparison.
+
+   `--json FILE` additionally enables the `Obs` metrics registry, snapshots
+   it per section (counters are reset between sections), and writes one
+   machine-readable JSON document covering every section that ran — the
+   perf trajectory later optimisation PRs are judged against. *)
 
 module Range = Rangeset.Range
 module Config = P2prange.Config
@@ -11,7 +16,26 @@ module Simulation = P2prange.Simulation
 module Scalability = P2prange.Scalability
 
 let seed = 42L
-let section_filter = List.tl (Array.to_list Sys.argv)
+
+let json_path, section_filter =
+  let json = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+      json := Some path;
+      parse acc rest
+    | [ "--json" ] ->
+      prerr_endline "bench: --json requires a file argument";
+      exit 2
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let sections = parse [] (List.tl (Array.to_list Sys.argv)) in
+  (!json, sections)
+
+let () = if json_path <> None then Obs.Metrics.enable ()
+
+(* (section name, metrics snapshot + derived rates), in run order. *)
+let json_sections : (string * Obs.Json.t) list ref = ref []
 
 let heading fmt =
   Format.kasprintf
@@ -23,10 +47,43 @@ let heading fmt =
 let wanted name =
   section_filter = [] || List.mem name section_filter
 
+(* Ratios the raw counters imply; null until the section exercises them. *)
+let derived_metrics () =
+  let c name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  let rate num den =
+    if den = 0 then Obs.Json.Null
+    else Obs.Json.Float (float_of_int num /. float_of_int den)
+  in
+  let hit = c "lsh.domain_cache.hit" and miss = c "lsh.domain_cache.miss" in
+  let from_cache = c "engine.leaf.from_cache"
+  and from_source = c "engine.leaf.from_source" in
+  Obs.Json.Obj
+    [
+      ("lsh_cache_hit_rate", rate hit (hit + miss));
+      ("engine_cache_rate", rate from_cache (from_cache + from_source));
+      ( "total_messages",
+        Obs.Json.Int (c "chord.ring.messages" + c "chord.net.messages") );
+    ]
+
 let section name description f =
   if wanted name then begin
     heading "%s — %s" name description;
-    f ()
+    match json_path with
+    | None -> f ()
+    | Some _ ->
+      Obs.Metrics.reset ();
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let snapshot =
+        Obs.Json.Obj
+          [
+            ("wall_clock_s", Obs.Json.Float elapsed);
+            ("derived", derived_metrics ());
+            ("metrics", Obs.Metrics.snapshot ());
+          ]
+      in
+      json_sections := (name, snapshot) :: !json_sections
   end
 
 (* ------------------------------------------------------------------ *)
@@ -732,6 +789,76 @@ let ablation_latency () =
   Format.printf "%a" Stats.Table.pp table
 
 (* ------------------------------------------------------------------ *)
+(* Engine: SQL-over-P2P provenance (§2/§6)                              *)
+(* ------------------------------------------------------------------ *)
+
+let engine_sql () =
+  (* The paper's end-to-end flow on the medical-records schema: a stream of
+     range selections where each query is re-asked by another peer, so the
+     second execution is answered from cached partitions. Reports the
+     cache-vs-source provenance split the metrics layer records. *)
+  let module V = Relational.Value in
+  let module S = Relational.Schema in
+  let module R = Relational.Relation in
+  let module E = P2prange.Engine in
+  let patient_schema =
+    S.make [ ("patient_id", V.Tint); ("name", V.Tstring); ("age", V.Tint) ]
+  in
+  let patients =
+    R.create ~name:"Patient" ~schema:patient_schema
+      (List.init 500 (fun i ->
+           [| V.Int i; V.String (Printf.sprintf "p%d" i); V.Int (i mod 95) |]))
+  in
+  let engine =
+    E.create ~seed ~n_peers:50 ~sources:[ patients ]
+      ~rangeable:[ (("Patient", "age"), Range.make ~lo:0 ~hi:120) ]
+      ()
+  in
+  let rng = Prng.Splitmix.create seed in
+  let n_queries = 200 in
+  let provenance = Hashtbl.create 4 in
+  let bump key = Hashtbl.replace provenance key (1 + Option.value (Hashtbl.find_opt provenance key) ~default:0) in
+  let total_messages = ref 0 and total_fetches = ref 0 in
+  for _ = 1 to n_queries do
+    let lo = Prng.Splitmix.int rng 80 in
+    let width = 5 + Prng.Splitmix.int rng 15 in
+    let sql =
+      Printf.sprintf "select name from Patient where %d <= age <= %d" lo
+        (lo + width)
+    in
+    (* Same query from two peers: publisher then cache consumer. *)
+    List.iter
+      (fun peer ->
+        let a = E.execute_sql engine ~from_name:peer sql in
+        total_messages := !total_messages + a.E.messages;
+        total_fetches := !total_fetches + a.E.source_fetches;
+        List.iter
+          (fun leaf ->
+            bump
+              (match leaf.E.provenance with
+              | E.From_cache _ -> "cache"
+              | E.From_source _ -> "source"
+              | E.From_exact_dht _ -> "exact-dht"
+              | E.Full_relation -> "full-relation"))
+          a.E.leaves)
+      [ "peer-0"; "peer-1" ]
+  done;
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("provenance", Stats.Table.Left); ("leaves", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun key ->
+      Stats.Table.add_row table
+        [ key; string_of_int (Option.value (Hashtbl.find_opt provenance key) ~default:0) ])
+    [ "cache"; "source"; "exact-dht"; "full-relation" ];
+  Format.printf "%a" Stats.Table.pp table;
+  Format.printf
+    "executions: %d   total messages: %d   source fetches: %d@."
+    (2 * n_queries) !total_messages !total_fetches
+
+(* ------------------------------------------------------------------ *)
 (* Baselines: the other architectures of §1/§3.1                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -940,8 +1067,24 @@ let () =
     ablation_latency;
   section "ablation-family" "paper families vs ideal min-wise baseline"
     ablation_family;
+  section "engine-sql" "SQL-over-P2P provenance split (§2/§6)" engine_sql;
   section "baseline-can" "CAN vs Chord as the DHT substrate (§3.1)"
     baseline_can;
   section "baseline-unstructured" "flooding overlay vs the LSH/DHT (§1)"
     baseline_unstructured;
-  Format.printf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)
+  Format.printf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0);
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema_version", Obs.Json.Int 1);
+          ("bench", Obs.Json.String "p2prange");
+          ("seed", Obs.Json.String (Int64.to_string seed));
+          ( "sections",
+            Obs.Json.Obj (List.rev !json_sections) );
+        ]
+    in
+    Obs.Json.to_file path doc;
+    Format.printf "metrics written to %s@." path

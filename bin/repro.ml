@@ -22,6 +22,31 @@ let seed_t =
   let doc = "PRNG seed; every experiment is deterministic given the seed." in
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let json_t =
+  let doc =
+    "Enable the metrics registry and write its snapshot (counters, timers, \
+     histograms — hops, messages, cache hit rates) to $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+(* Runs [f] with metrics enabled when a JSON path was requested, then
+   snapshots the registry to that file. *)
+let with_json json command f =
+  match json with
+  | None -> f ()
+  | Some path ->
+    Obs.Metrics.enable ();
+    Obs.Metrics.reset ();
+    f ();
+    Obs.Json.to_file path
+      (Obs.Json.Obj
+         [
+           ("schema_version", Obs.Json.Int 1);
+           ("command", Obs.Json.String command);
+           ("metrics", Obs.Metrics.snapshot ());
+         ]);
+    Format.printf "metrics written to %s@." path
+
 let family_t =
   let parse s =
     match Lsh.Family.kind_of_name s with
@@ -108,8 +133,9 @@ let build_config family k l domain_hi matching padding adaptive peer_index =
 
 (* --- quality command (figures 6-10) --- *)
 
-let run_quality seed family queries peers k l domain_hi matching padding adaptive
-    peer_index =
+let run_quality json seed family queries peers k l domain_hi matching padding
+    adaptive peer_index =
+  with_json json "quality" @@ fun () ->
   let config = build_config family k l domain_hi matching padding adaptive peer_index in
   let run = Simulation.run ~config ~n_peers:peers ~n_queries:queries ~seed () in
   Format.printf "family=%s k=%d l=%d queries=%d peers=%d@."
@@ -132,8 +158,9 @@ let run_quality seed family queries peers k l domain_hi matching padding adaptiv
 let quality_cmd =
   let term =
     Term.(
-      const run_quality $ seed_t $ family_t $ queries_t $ peers_t $ k_t $ l_t
-      $ domain_hi_t $ matching_t $ padding_t $ adaptive_t $ peer_index_t)
+      const run_quality $ json_t $ seed_t $ family_t $ queries_t $ peers_t
+      $ k_t $ l_t $ domain_hi_t $ matching_t $ padding_t $ adaptive_t
+      $ peer_index_t)
   in
   Cmd.v
     (Cmd.info "quality"
@@ -143,7 +170,8 @@ let quality_cmd =
 
 (* --- load command (figure 11) --- *)
 
-let run_load seed nodes unique =
+let run_load json seed nodes unique =
+  with_json json "load" @@ fun () ->
   let workload = Scalability.make_workload ~unique_partitions:unique ~seed () in
   let p = Scalability.load_distribution workload ~n_nodes:nodes ~seed in
   let s = p.Scalability.per_node in
@@ -161,11 +189,12 @@ let load_cmd =
   Cmd.v
     (Cmd.info "load"
        ~doc:"Partition load distribution over the ring (Figure 11).")
-    Term.(const run_load $ seed_t $ nodes_t $ unique_t)
+    Term.(const run_load $ json_t $ seed_t $ nodes_t $ unique_t)
 
 (* --- paths command (figure 12) --- *)
 
-let run_paths seed nodes lookups histogram =
+let run_paths json seed nodes lookups histogram =
+  with_json json "paths" @@ fun () ->
   let workload = Scalability.make_workload ~unique_partitions:2000 ~seed () in
   let p =
     Scalability.path_lengths workload ~n_lookups:lookups ~n_nodes:nodes ~seed ()
@@ -191,7 +220,7 @@ let paths_cmd =
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"Lookup path lengths over the Chord ring (Figure 12).")
-    Term.(const run_paths $ seed_t $ nodes_t $ lookups_t $ histogram_t)
+    Term.(const run_paths $ json_t $ seed_t $ nodes_t $ lookups_t $ histogram_t)
 
 (* --- hash command (figure 5) --- *)
 
@@ -236,7 +265,8 @@ let hash_cmd =
 
 (* --- latency command (timed replay) --- *)
 
-let run_latency seed peers queries rate spread =
+let run_latency json seed peers queries rate spread =
+  with_json json "latency" @@ fun () ->
   let config =
     {
       Config.default with
@@ -289,7 +319,9 @@ let latency_cmd =
     (Cmd.info "latency"
        ~doc:"Discrete-event latency replay under Poisson load (with per-peer \
              FIFO queueing).")
-    Term.(const run_latency $ seed_t $ peers_t $ queries_small_t $ rate_t $ spread_t)
+    Term.(
+      const run_latency $ json_t $ seed_t $ peers_t $ queries_small_t $ rate_t
+      $ spread_t)
 
 (* --- amplify command --- *)
 

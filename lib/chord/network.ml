@@ -65,45 +65,65 @@ let live_successor t n =
   if s <> n.successor then n.successor <- s;
   s
 
+(* Highest live finger strictly inside (n, key); [n] itself if none. The
+   descending scan returns at the first qualifying finger instead of
+   walking the remaining entries of the table. *)
 let closest_preceding t n key =
-  let best = ref n.id in
-  for i = Id.bits - 1 downto 0 do
-    let f = n.fingers.(i) in
-    if
-      !best = n.id && f <> 0 && alive t f
-      && Id.in_interval_oo f ~lo:n.id ~hi:key
-    then best := f
-  done;
-  !best
+  let rec scan i =
+    if i < 0 then n.id
+    else
+      let f = n.fingers.(i) in
+      if f <> 0 && alive t f && Id.in_interval_oo f ~lo:n.id ~hi:key then f
+      else scan (i - 1)
+  in
+  scan (Id.bits - 1)
 
 let max_route_hops = 256
 
+let m_lookups = Obs.Metrics.counter "chord.net.lookups"
+let m_messages = Obs.Metrics.counter "chord.net.messages"
+let m_hop_limit = Obs.Metrics.counter "chord.net.hop_limit_exceeded"
+let m_failed = Obs.Metrics.counter "chord.net.failed_routes"
+let h_hops = Obs.Metrics.histogram "chord.net.hops"
+
 let find_successor t ~from ~key =
-  match node_opt t from with
-  | None -> None
-  | Some start ->
-    let rec route n hops =
-      if hops > max_route_hops then None
-      else begin
-        let succ = live_successor t n in
-        if Id.in_interval_oc key ~lo:n.id ~hi:succ then
-          if succ = n.id then Some (n.id, hops) else Some (succ, hops + 1)
-        else begin
-          let next = closest_preceding t n key in
-          let next = if next = n.id then succ else next in
-          match node_opt t next with
-          | None -> None
-          | Some next_node ->
-            if next = n.id then None (* isolated: no live way forward *)
-            else route next_node (hops + 1)
+  let result =
+    match node_opt t from with
+    | None -> None
+    | Some start ->
+      let rec route n hops =
+        if hops > max_route_hops then begin
+          Obs.Metrics.incr m_hop_limit;
+          None
         end
-      end
-    in
-    (* A node owning the key answers locally with zero hops. *)
-    (match start.predecessor with
-    | Some p when alive t p && Id.in_interval_oc key ~lo:p ~hi:start.id ->
-      Some (start.id, 0)
-    | Some _ | None -> route start 0)
+        else begin
+          let succ = live_successor t n in
+          if Id.in_interval_oc key ~lo:n.id ~hi:succ then
+            if succ = n.id then Some (n.id, hops) else Some (succ, hops + 1)
+          else begin
+            let next = closest_preceding t n key in
+            let next = if next = n.id then succ else next in
+            match node_opt t next with
+            | None -> None
+            | Some next_node ->
+              if next = n.id then None (* isolated: no live way forward *)
+              else route next_node (hops + 1)
+          end
+        end
+      in
+      (* A node owning the key answers locally with zero hops. *)
+      (match start.predecessor with
+      | Some p when alive t p && Id.in_interval_oc key ~lo:p ~hi:start.id ->
+        Some (start.id, 0)
+      | Some _ | None -> route start 0)
+  in
+  Obs.Metrics.incr m_lookups;
+  (match result with
+  | Some (_, hops) ->
+    Obs.Metrics.add m_messages (hops + 1);
+    Obs.Metrics.observe_int h_hops hops
+  | None -> Obs.Metrics.incr m_failed);
+  result
 
 let join t id ~via =
   if not (Id.is_valid id) then invalid_arg "Network.join: invalid id";

@@ -77,19 +77,31 @@ let closest_preceding_finger t n key =
   in
   scan (Id.bits - 1)
 
+let m_lookups = Obs.Metrics.counter "chord.ring.lookups"
+let m_messages = Obs.Metrics.counter "chord.ring.messages"
+let h_hops = Obs.Metrics.histogram "chord.ring.hops"
+
 let lookup t ~from ~key =
   if not (contains t from) then invalid_arg "Ring.lookup: unknown source node";
   let target = owner t key in
-  if target = from then (from, 0)
-  else begin
-    let rec route n hops =
-      let succ = successor t n in
-      if Id.in_interval_oc key ~lo:n ~hi:succ then (succ, hops + 1)
-      else begin
-        let next = closest_preceding_finger t n key in
-        let next = if next = n then succ else next in
-        route next (hops + 1)
-      end
-    in
-    route from 0
-  end
+  let result =
+    if target = from then (from, 0)
+    else begin
+      let rec route n hops =
+        let succ = successor t n in
+        if Id.in_interval_oc key ~lo:n ~hi:succ then (succ, hops + 1)
+        else begin
+          let next = closest_preceding_finger t n key in
+          let next = if next = n then succ else next in
+          route next (hops + 1)
+        end
+      in
+      route from 0
+    end
+  in
+  let hops = snd result in
+  Obs.Metrics.incr m_lookups;
+  (* One message per hop plus the final reply to the requester. *)
+  Obs.Metrics.add m_messages (hops + 1);
+  Obs.Metrics.observe_int h_hops hops;
+  result

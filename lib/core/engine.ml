@@ -174,6 +174,27 @@ let locatable t ~relation preds =
   in
   List.find_map usable preds
 
+let m_exec = Obs.Metrics.counter "engine.executions"
+let m_messages = Obs.Metrics.counter "engine.messages"
+let m_source_fetches = Obs.Metrics.counter "engine.source_fetches"
+let m_from_cache = Obs.Metrics.counter "engine.leaf.from_cache"
+let m_from_source = Obs.Metrics.counter "engine.leaf.from_source"
+let m_exact_hit = Obs.Metrics.counter "engine.leaf.exact_dht_hit"
+let m_exact_miss = Obs.Metrics.counter "engine.leaf.exact_dht_miss"
+let m_full_relation = Obs.Metrics.counter "engine.leaf.full_relation"
+
+let recall_bounds = Array.init 21 (fun i -> float_of_int i /. 20.0)
+
+let h_recall =
+  Obs.Metrics.histogram ~bounds:recall_bounds "engine.recall_estimate"
+
+let record_provenance = function
+  | From_cache _ -> Obs.Metrics.incr m_from_cache
+  | From_source _ -> Obs.Metrics.incr m_from_source
+  | From_exact_dht { hit = true } -> Obs.Metrics.incr m_exact_hit
+  | From_exact_dht { hit = false } -> Obs.Metrics.incr m_exact_miss
+  | Full_relation -> Obs.Metrics.incr m_full_relation
+
 let answer_leaf t ~from_name ~allow_source (relation, preds) msgs =
   let data, provenance, recall, fetches =
     match locatable t ~relation preds with
@@ -187,6 +208,7 @@ let answer_leaf t ~from_name ~allow_source (relation, preds) msgs =
       if allow_source then (rel, Full_relation, 1.0, 1)
       else (empty_like rel, Full_relation, 0.0, 0)
   in
+  record_provenance provenance;
   ( {
       relation;
       predicates = preds;
@@ -231,16 +253,17 @@ let execute t ~from_name ?(allow_source = true) query =
     | None -> source t name
   in
   let result = R.Executor.run plan ~catalog in
-  {
-    result;
-    leaves = List.map fst reports;
-    messages = !msgs;
-    source_fetches = List.fold_left (fun acc (_, f) -> acc + f) 0 reports;
-    recall_estimate =
-      List.fold_left
-        (fun acc ((r : leaf_report), _) -> Stdlib.min acc r.recall_estimate)
-        1.0 reports;
-  }
+  let source_fetches = List.fold_left (fun acc (_, f) -> acc + f) 0 reports in
+  let recall_estimate =
+    List.fold_left
+      (fun acc ((r : leaf_report), _) -> Stdlib.min acc r.recall_estimate)
+      1.0 reports
+  in
+  Obs.Metrics.incr m_exec;
+  Obs.Metrics.add m_messages !msgs;
+  Obs.Metrics.add m_source_fetches source_fetches;
+  Obs.Metrics.observe h_recall recall_estimate;
+  { result; leaves = List.map fst reports; messages = !msgs; source_fetches; recall_estimate }
 
 let stats_for t name =
   match Hashtbl.find_opt t.stats_cache name with

@@ -62,13 +62,19 @@ let random_peer t rng =
 let owner_of_identifier t identifier =
   peer_by_id t (Chord.Ring.owner t.ring identifier)
 
+let m_cache_hit = Obs.Metrics.counter "lsh.domain_cache.hit"
+let m_cache_miss = Obs.Metrics.counter "lsh.domain_cache.miss"
+
 let identifiers t range =
   let raw =
     match t.cache with
     | Some cache
       when Range.contains ~outer:(Lsh.Domain_cache.domain cache) ~inner:range ->
+      Obs.Metrics.incr m_cache_hit;
       Lsh.Domain_cache.identifiers cache range
-    | Some _ | None -> Lsh.Scheme.identifiers_of_range t.scheme range
+    | Some _ | None ->
+      Obs.Metrics.incr m_cache_miss;
+      Lsh.Scheme.identifiers_of_range t.scheme range
   in
   if t.config.Config.spread_identifiers then List.map Lsh.Mix32.mix raw
   else raw
@@ -114,11 +120,24 @@ let store_at_owners routes ~range ~partition =
       Store.insert (Peer.store owner) ~identifier { Store.range; partition })
     routes
 
+let m_publishes = Obs.Metrics.counter "system.publishes"
+let m_queries = Obs.Metrics.counter "system.queries"
+let m_messages = Obs.Metrics.counter "system.messages"
+let m_cached_answers = Obs.Metrics.counter "system.cached_answers"
+let m_unmatched = Obs.Metrics.counter "system.unmatched"
+
+let recall_bounds = Array.init 21 (fun i -> float_of_int i /. 20.0)
+let h_recall = Obs.Metrics.histogram ~bounds:recall_bounds "system.query.recall"
+let h_query_messages = Obs.Metrics.histogram "system.query.messages"
+
 let publish t ~from ?partition range =
   let ids = identifiers t range in
   let routes = route_all t ~from ids in
   store_at_owners routes ~range ~partition;
-  stats_of_routes ids routes
+  let stats = stats_of_routes ids routes in
+  Obs.Metrics.incr m_publishes;
+  Obs.Metrics.add m_messages stats.messages;
+  stats
 
 let query t ~from range =
   let effective = Padding.apply t.padding range ~domain:t.config.Config.domain in
@@ -155,15 +174,14 @@ let query t ~from range =
   let cached = t.config.Config.cache_on_inexact && not exact in
   if cached then store_at_owners routes ~range:effective ~partition:None;
   Padding.observe t.padding ~recall;
-  {
-    query = range;
-    effective;
-    matched;
-    similarity;
-    recall;
-    stats = stats_of_routes ids routes;
-    cached;
-  }
+  let stats = stats_of_routes ids routes in
+  Obs.Metrics.incr m_queries;
+  Obs.Metrics.add m_messages stats.messages;
+  if cached then Obs.Metrics.incr m_cached_answers;
+  (match matched with None -> Obs.Metrics.incr m_unmatched | Some _ -> ());
+  Obs.Metrics.observe h_recall recall;
+  Obs.Metrics.observe_int h_query_messages stats.messages;
+  { query = range; effective; matched; similarity; recall; stats; cached }
 
 let total_entries t =
   Array.fold_left (fun acc p -> acc + Peer.load p) 0 t.peer_list

@@ -47,9 +47,12 @@ let range_min (rmq : rmq) ~pos ~len =
     Stdlib.min a b
   end
 
+let m_queries = Obs.Metrics.counter "lsh.domain_cache.queries"
+
 let identifiers t range =
   if not (Range.contains ~outer:t.domain ~inner:range) then
     invalid_arg "Domain_cache.identifiers: range outside the cached domain";
+  Obs.Metrics.incr m_queries;
   let pos = Range.lo range - Range.lo t.domain in
   let len = Range.cardinal range in
   let fold =

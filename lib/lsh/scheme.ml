@@ -25,6 +25,9 @@ let functions t = t.groups
 
 let mask32 = 0xFFFFFFFF
 
+let m_batches = Obs.Metrics.counter "lsh.identifier_batches"
+let m_evals = Obs.Metrics.counter "lsh.minhash_evals"
+
 let identifier_of_group combine group minhash =
   match combine with
   | Xor -> Array.fold_left (fun acc fn -> acc lxor minhash fn) 0 group land mask32
@@ -32,6 +35,8 @@ let identifier_of_group combine group minhash =
     Array.fold_left (fun acc fn -> acc + minhash fn) 0 group land mask32
 
 let identifiers_of_range t range =
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.add m_evals (t.k * t.l);
   Array.to_list
     (Array.map
        (fun group ->
@@ -40,6 +45,8 @@ let identifiers_of_range t range =
        t.groups)
 
 let identifiers_of_set t set =
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.add m_evals (t.k * t.l);
   Array.to_list
     (Array.map
        (fun group ->

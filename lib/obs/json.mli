@@ -1,0 +1,26 @@
+(** A minimal JSON tree and emitter — just enough to serialize metric
+    snapshots without pulling in an external dependency.
+
+    Emission is deterministic: object fields are printed in the order they
+    appear in the [Obj] list, floats with ["%.17g"] (round-trippable), and
+    the non-finite floats JSON cannot represent ([nan], [infinity]) as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render with [indent] spaces per nesting level (default 2); pass
+    [~indent:0] for a single-line rendering. *)
+
+val to_file : string -> t -> unit
+(** [to_file path t] writes [to_string t] plus a trailing newline. *)
+
+val member : string -> t -> t option
+(** [member key t] looks up a field of an [Obj]; [None] for other nodes. *)

@@ -1,7 +1,12 @@
 type zipf_table = { cumulative : float array }
 
+let tables_built = ref 0
+
+let zipf_tables_built () = !tables_built
+
 let zipf_table ~n ~s =
   if n <= 0 then invalid_arg "Distribution.zipf_table: n must be positive";
+  incr tables_built;
   let cumulative = Array.make n 0.0 in
   let total = ref 0.0 in
   for r = 1 to n do
@@ -12,6 +17,22 @@ let zipf_table ~n ~s =
     cumulative.(i) <- cumulative.(i) /. !total
   done;
   { cumulative }
+
+(* Memoized tables for the [Zipf] variant: building the cumulative array is
+   O(n) and [sample] used to redo it on every draw. Bounded so a stream of
+   distinct (n, s) parameters cannot grow without limit. *)
+let memo_capacity = 128
+let zipf_memo : (int * float, zipf_table) Hashtbl.t = Hashtbl.create 8
+
+let memoized_zipf_table ~n ~s =
+  let key = (n, s) in
+  match Hashtbl.find_opt zipf_memo key with
+  | Some table -> table
+  | None ->
+    if Hashtbl.length zipf_memo >= memo_capacity then Hashtbl.reset zipf_memo;
+    let table = zipf_table ~n ~s in
+    Hashtbl.replace zipf_memo key table;
+    table
 
 let sample_zipf { cumulative } rng =
   let u = Splitmix.float rng in
@@ -40,7 +61,7 @@ let box_muller rng =
 let sample t rng =
   match t with
   | Uniform { lo; hi } -> Splitmix.int_in_range rng ~lo ~hi
-  | Zipf { n; s } -> sample_zipf (zipf_table ~n ~s) rng
+  | Zipf { n; s } -> sample_zipf (memoized_zipf_table ~n ~s) rng
   | Normal_clamped { mean; stddev; lo; hi } ->
     let z = box_muller rng in
     let v = int_of_float (Float.round (mean +. (stddev *. z))) in

@@ -28,3 +28,9 @@ type zipf_table
 
 val zipf_table : n:int -> s:float -> zipf_table
 val sample_zipf : zipf_table -> Splitmix.t -> int
+
+val zipf_tables_built : unit -> int
+(** Number of cumulative tables constructed since program start (explicit
+    {!zipf_table} calls plus internal builds for the [Zipf] variant, which
+    are memoized per [(n, s)]). Exposed so tests can assert that repeated
+    [sample] calls do not rebuild the O(n) table. *)

@@ -8,7 +8,12 @@ type t = {
 let build sorted =
   let n = Array.length sorted in
   if n = 0 then invalid_arg "Summary: empty sample";
-  Array.sort compare sorted;
+  (* NaN has no place in an order statistic: polymorphic [compare] used to
+     give it an arbitrary rank, silently corrupting every percentile. *)
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Summary: NaN in sample")
+    sorted;
+  Array.sort Float.compare sorted;
   let total = Array.fold_left ( +. ) 0.0 sorted in
   let mean = total /. float_of_int n in
   let var =

@@ -8,10 +8,12 @@ type t
 (** An immutable summary of a non-empty sample. *)
 
 val of_list : float list -> t
-(** @raise Invalid_argument on the empty list. *)
+(** @raise Invalid_argument on the empty list or if any sample is NaN
+    (NaN is unordered, so percentiles over it would be meaningless). *)
 
 val of_array : float array -> t
-(** Does not mutate the argument. @raise Invalid_argument on empty arrays. *)
+(** Does not mutate the argument.
+    @raise Invalid_argument on empty arrays or NaN samples. *)
 
 val of_int_list : int list -> t
 

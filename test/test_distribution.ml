@@ -66,6 +66,29 @@ let normal_clamps_hard () =
     Alcotest.(check bool) "within clamp" true (0 <= v && v <= 10)
   done
 
+let zipf_sampling_caches_table () =
+  (* Regression: [sample] on the Zipf variant used to rebuild the O(n)
+     cumulative table on every draw. The stream must match the explicit
+     precomputed-table path exactly, while building at most one new table
+     for the whole run. *)
+  let n = 500 and s = 1.1 in
+  let explicit =
+    let rng = Prng.Splitmix.create 11L in
+    let table = Prng.Distribution.zipf_table ~n ~s in
+    List.init 2000 (fun _ -> Prng.Distribution.sample_zipf table rng)
+  in
+  let built_before = Prng.Distribution.zipf_tables_built () in
+  let via_variant =
+    let rng = Prng.Splitmix.create 11L in
+    let dist = Prng.Distribution.Zipf { n; s } in
+    List.init 2000 (fun _ -> Prng.Distribution.sample dist rng)
+  in
+  let built = Prng.Distribution.zipf_tables_built () - built_before in
+  Alcotest.(check (list int)) "identical sample stream" explicit via_variant;
+  Alcotest.(check bool)
+    (Printf.sprintf "at most one table built for 2000 draws (built %d)" built)
+    true (built <= 1)
+
 let zipf_table_validation () =
   Alcotest.check_raises "n = 0"
     (Invalid_argument "Distribution.zipf_table: n must be positive") (fun () ->
@@ -85,6 +108,8 @@ let suite =
     Alcotest.test_case "zipf: variant interface" `Quick zipf_via_variant;
     Alcotest.test_case "normal: clamped support, centred" `Quick normal_clamped;
     Alcotest.test_case "normal: hard clamping" `Quick normal_clamps_hard;
+    Alcotest.test_case "zipf: sampling caches the cumulative table" `Quick
+      zipf_sampling_caches_table;
     Alcotest.test_case "zipf table validation" `Quick zipf_table_validation;
     Alcotest.test_case "zipf mean formula (s = 0)" `Quick zipf_mean_formula;
   ]

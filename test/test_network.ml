@@ -109,6 +109,30 @@ let hop_counts_bounded () =
     | None -> Alcotest.fail "dead end"
   done
 
+let routing_and_hops_match_static_ring () =
+  (* Regression for [closest_preceding]: the early-exit descending scan must
+     pick exactly the finger the old full-table scan picked, so on a
+     converged 64-node network both the reached owner and the hop count
+     agree with the static ring built from the same membership (whose
+     router takes the identical successor-check / closest-finger steps). *)
+  let ids = List.init 64 (fun i -> ((i * 668265263) + 374761393) land ((1 lsl 32) - 1)) in
+  let net = build_network ids in
+  Chord.Network.stabilize net ~rounds:10;
+  Alcotest.(check bool) "converged" true (Chord.Network.is_converged net);
+  let ring = Chord.Network.to_ring net in
+  let rng = Prng.Splitmix.create 64L in
+  let nodes = Array.of_list (Chord.Network.node_ids net) in
+  for _ = 1 to 400 do
+    let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+    let key = Prng.Splitmix.int rng (1 lsl 32) in
+    let ring_owner, ring_hops = Chord.Ring.lookup ring ~from ~key in
+    match Chord.Network.find_successor net ~from ~key with
+    | Some (owner, hops) ->
+      Alcotest.(check int) "same owner" ring_owner owner;
+      Alcotest.(check int) "same hop count" ring_hops hops
+    | None -> Alcotest.fail "routing dead-ended in a converged network"
+  done
+
 let suite =
   [
     Alcotest.test_case "bootstrap node" `Quick single_bootstrap;
@@ -120,4 +144,6 @@ let suite =
     Alcotest.test_case "join validation" `Quick join_validation;
     Alcotest.test_case "predecessor tracking" `Quick predecessor_tracking;
     Alcotest.test_case "hop counts bounded" `Quick hop_counts_bounded;
+    Alcotest.test_case "converged 64-node routing matches the static ring"
+      `Quick routing_and_hops_match_static_ring;
   ]

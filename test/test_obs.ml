@@ -1,0 +1,162 @@
+(* The metrics registry: counter/timer/histogram semantics, the global
+   enable flag (disabled mode must be a no-op), and the JSON emitter.
+
+   The registry is process-global and shared with the instrumented
+   libraries, so every test runs inside [isolated], which enables metrics,
+   resets all values, and restores the disabled default afterwards. *)
+
+module M = Obs.Metrics
+module J = Obs.Json
+
+let isolated f () =
+  M.enable ();
+  M.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      M.disable ();
+      M.reset ())
+    f
+
+let counter_semantics () =
+  let c = M.counter "test.obs.counter" in
+  Alcotest.(check int) "starts at zero" 0 (M.counter_value c);
+  M.incr c;
+  M.incr c;
+  M.add c 40;
+  Alcotest.(check int) "incr + add" 42 (M.counter_value c);
+  let again = M.counter "test.obs.counter" in
+  M.incr again;
+  Alcotest.(check int) "same name is the same counter" 43 (M.counter_value c)
+
+let disabled_is_noop () =
+  let c = M.counter "test.obs.disabled" in
+  let h = M.histogram "test.obs.disabled.h" in
+  let t = M.timer "test.obs.disabled.t" in
+  M.disable ();
+  M.incr c;
+  M.add c 10;
+  M.observe h 5.0;
+  let result = M.time t (fun () -> 17) in
+  M.enable ();
+  Alcotest.(check int) "thunk still runs" 17 result;
+  Alcotest.(check int) "counter untouched" 0 (M.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (M.hist_count h);
+  Alcotest.(check int) "timer untouched" 0 (M.timer_count t)
+
+let timer_semantics () =
+  let t = M.timer "test.obs.timer" in
+  let v = M.time t (fun () -> String.length "hello") in
+  Alcotest.(check int) "returns the thunk value" 5 v;
+  Alcotest.(check int) "one call recorded" 1 (M.timer_count t);
+  Alcotest.(check bool) "non-negative total" true (M.timer_total_ms t >= 0.0);
+  (* The clock stops even when the thunk raises. *)
+  (try M.time t (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "raising call still recorded" 2 (M.timer_count t)
+
+let histogram_semantics () =
+  let h = M.histogram "test.obs.hist" in
+  List.iter (fun v -> M.observe_int h v) [ 1; 2; 2; 3; 10 ];
+  Alcotest.(check int) "count" 5 (M.hist_count h);
+  Alcotest.(check (float 1e-9)) "mean" 3.6 (M.hist_mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (M.hist_min h);
+  Alcotest.(check (float 1e-9)) "max" 10.0 (M.hist_max h);
+  Alcotest.(check (float 1e-9)) "p50 lands on 2" 2.0 (M.hist_percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "p100 is the max" 10.0 (M.hist_percentile h 100.0)
+
+let histogram_overflow_bucket () =
+  let h = M.histogram ~bounds:[| 1.0; 2.0; 4.0 |] "test.obs.hist.bounded" in
+  List.iter (M.observe h) [ 0.5; 3.0; 1000.0 ];
+  Alcotest.(check int) "overflow observations counted" 3 (M.hist_count h);
+  Alcotest.(check (float 1e-9)) "exact max survives overflow" 1000.0
+    (M.hist_max h);
+  Alcotest.(check (float 1e-9)) "p99 resolves to the overflow max" 1000.0
+    (M.hist_percentile h 99.0)
+
+let empty_histogram () =
+  let h = M.histogram "test.obs.hist.empty" in
+  Alcotest.(check bool) "mean is NaN" true (Float.is_nan (M.hist_mean h));
+  Alcotest.(check bool) "percentile is NaN" true
+    (Float.is_nan (M.hist_percentile h 50.0))
+
+let registry_type_clash () =
+  let _ = M.counter "test.obs.clash" in
+  Alcotest.check_raises "name reuse across types"
+    (Invalid_argument "Metrics: \"test.obs.clash\" already registered with another type")
+    (fun () -> ignore (M.timer "test.obs.clash"))
+
+let reset_zeroes_in_place () =
+  let c = M.counter "test.obs.reset" in
+  let h = M.histogram "test.obs.reset.h" in
+  M.add c 7;
+  M.observe h 3.0;
+  M.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (M.counter_value c);
+  Alcotest.(check int) "histogram zeroed" 0 (M.hist_count h);
+  M.incr c;
+  Alcotest.(check int) "handle still live after reset" 1 (M.counter_value c)
+
+let json_golden () =
+  (* The emitter itself, pinned byte-for-byte. *)
+  let doc =
+    J.Obj
+      [
+        ("name", J.String "p2p \"range\"");
+        ("n", J.Int 42);
+        ("rate", J.Float 0.5);
+        ("bad", J.Float Float.nan);
+        ("ok", J.Bool true);
+        ("items", J.List [ J.Int 1; J.Int 2 ]);
+        ("empty", J.Obj []);
+      ]
+  in
+  Alcotest.(check string) "compact rendering"
+    "{\"name\":\"p2p \\\"range\\\"\",\"n\":42,\"rate\":0.5,\"bad\":null,\"ok\":true,\"items\":[1,2],\"empty\":{}}"
+    (J.to_string ~indent:0 doc);
+  Alcotest.(check string) "indented rendering"
+    "{\n  \"a\": [\n    1\n  ]\n}"
+    (J.to_string (J.Obj [ ("a", J.List [ J.Int 1 ]) ]))
+
+let snapshot_structure () =
+  let c = M.counter "test.obs.snap.counter" in
+  let h = M.histogram "test.obs.snap.hist" in
+  M.add c 3;
+  M.observe_int h 4;
+  let snap = M.snapshot () in
+  (match J.member "counters" snap with
+  | Some (J.Obj counters) ->
+    Alcotest.(check bool) "counter present with value" true
+      (List.assoc_opt "test.obs.snap.counter" counters = Some (J.Int 3))
+  | Some _ | None -> Alcotest.fail "snapshot lacks a counters object");
+  (match J.member "histograms" snap with
+  | Some (J.Obj hists) -> (
+    match List.assoc_opt "test.obs.snap.hist" hists with
+    | Some (J.Obj fields) ->
+      Alcotest.(check bool) "count field" true
+        (List.assoc_opt "count" fields = Some (J.Int 1));
+      Alcotest.(check bool) "p99 field present" true
+        (List.mem_assoc "p99" fields)
+    | Some _ | None -> Alcotest.fail "snapshot lacks the test histogram")
+  | Some _ | None -> Alcotest.fail "snapshot lacks a histograms object");
+  (* A snapshot is valid JSON input for the golden emitter path too. *)
+  Alcotest.(check bool) "renders non-empty" true
+    (String.length (J.to_string snap) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick (isolated counter_semantics);
+    Alcotest.test_case "disabled mode is a no-op" `Quick
+      (isolated disabled_is_noop);
+    Alcotest.test_case "timer semantics" `Quick (isolated timer_semantics);
+    Alcotest.test_case "histogram semantics" `Quick
+      (isolated histogram_semantics);
+    Alcotest.test_case "histogram overflow bucket" `Quick
+      (isolated histogram_overflow_bucket);
+    Alcotest.test_case "empty histogram yields NaN" `Quick
+      (isolated empty_histogram);
+    Alcotest.test_case "registry rejects cross-type name reuse" `Quick
+      (isolated registry_type_clash);
+    Alcotest.test_case "reset zeroes metrics in place" `Quick
+      (isolated reset_zeroes_in_place);
+    Alcotest.test_case "JSON golden rendering" `Quick (isolated json_golden);
+    Alcotest.test_case "snapshot structure" `Quick (isolated snapshot_structure);
+  ]

@@ -150,18 +150,34 @@ let serialization_roundtrip () =
     Lsh.Family.all_kinds
 
 let serialization_sum_combine () =
+  (* Full round-trip at the paper's (k, l) with the Sum_mod combiner: the
+     decoded scheme must agree on range and set identifiers across several
+     inputs, and re-encoding must reproduce the wire string exactly. *)
   let rng = Prng.Splitmix.create 32L in
   let scheme =
-    Lsh.Scheme.create ~combine:Lsh.Scheme.Sum_mod Lsh.Family.Approx_minwise
-      ~k:2 ~l:2 rng
+    Lsh.Scheme.create ~universe:1001 ~combine:Lsh.Scheme.Sum_mod
+      Lsh.Family.Approx_minwise ~k:20 ~l:5 rng
   in
-  match Lsh.Scheme.of_string (Lsh.Scheme.to_string scheme) with
+  let wire = Lsh.Scheme.to_string scheme in
+  match Lsh.Scheme.of_string wire with
   | Ok decoded ->
     Alcotest.(check bool) "combine preserved" true
       (Lsh.Scheme.combining decoded = Lsh.Scheme.Sum_mod);
-    Alcotest.(check (list int)) "same identifiers"
-      (Lsh.Scheme.identifiers_of_range scheme (mk 5 50))
-      (Lsh.Scheme.identifiers_of_range decoded (mk 5 50))
+    Alcotest.(check int) "k preserved" 20 (Lsh.Scheme.k decoded);
+    Alcotest.(check int) "l preserved" 5 (Lsh.Scheme.l decoded);
+    List.iter
+      (fun (lo, hi) ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "same range identifiers [%d, %d]" lo hi)
+          (Lsh.Scheme.identifiers_of_range scheme (mk lo hi))
+          (Lsh.Scheme.identifiers_of_range decoded (mk lo hi)))
+      [ (5, 50); (0, 0); (100, 900); (999, 1000) ];
+    let set = Rangeset.Range_set.of_ranges [ mk 3 9; mk 40 45 ] in
+    Alcotest.(check (list int)) "same set identifiers"
+      (Lsh.Scheme.identifiers_of_set scheme set)
+      (Lsh.Scheme.identifiers_of_set decoded set);
+    Alcotest.(check string) "re-encoding is stable" wire
+      (Lsh.Scheme.to_string decoded)
   | Error m -> Alcotest.fail m
 
 let serialization_errors () =

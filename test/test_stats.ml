@@ -111,6 +111,23 @@ let table_rendering () =
     (Invalid_argument "Table.add_row: row length mismatch") (fun () ->
       Stats.Table.add_row t [ "too"; "many"; "cells" ])
 
+let summary_rejects_nan () =
+  (* Regression: the float sort used polymorphic [compare], which ranks NaN
+     arbitrarily; NaN inputs are now rejected outright. *)
+  Alcotest.check_raises "NaN in list" (Invalid_argument "Summary: NaN in sample")
+    (fun () -> ignore (Stats.Summary.of_list [ 1.0; Float.nan; 2.0 ]));
+  Alcotest.check_raises "NaN in array"
+    (Invalid_argument "Summary: NaN in sample") (fun () ->
+      ignore (Stats.Summary.of_array [| Float.nan |]))
+
+let summary_orders_special_floats () =
+  (* Float.compare must order negatives, zeros and infinities correctly. *)
+  let s = Stats.Summary.of_list [ 3.5; Float.neg_infinity; -2.0; 0.0; Float.infinity; -0.0 ] in
+  Alcotest.(check (float 0.0)) "min" Float.neg_infinity (Stats.Summary.min s);
+  Alcotest.(check (float 0.0)) "max" Float.infinity (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "median averages the zeros" 0.0
+    (Stats.Summary.median s)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentiles are monotone in p" ~count:300
     QCheck.(list_of_size (Gen.int_range 1 40) (float_range (-100.) 100.))
@@ -133,6 +150,9 @@ let suite =
       percentile_order_independent;
     Alcotest.test_case "singleton and empty summaries" `Quick
       summary_singleton_and_empty;
+    Alcotest.test_case "summary rejects NaN samples" `Quick summary_rejects_nan;
+    Alcotest.test_case "summary orders special floats" `Quick
+      summary_orders_special_floats;
     Alcotest.test_case "histogram bucketing" `Quick histogram_bucketing;
     Alcotest.test_case "histogram clamps out-of-range values" `Quick
       histogram_clamps;
