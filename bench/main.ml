@@ -789,6 +789,146 @@ let ablation_latency () =
   Format.printf "%a" Stats.Table.pp table
 
 (* ------------------------------------------------------------------ *)
+(* Load balance: hot-bucket replication and failover (lib/balance)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Gauges so BENCH_core.json carries the headline comparison directly. *)
+let g_imbalance_off = Obs.Metrics.gauge "balance.bench.imbalance_off"
+let g_imbalance_on = Obs.Metrics.gauge "balance.bench.imbalance_on"
+let g_failed_recall_off = Obs.Metrics.gauge "balance.bench.failed_recall_off"
+let g_failed_recall_on = Obs.Metrics.gauge "balance.bench.failed_recall_on"
+
+let balance_bench () =
+  (* Two identically-seeded systems — replication off vs on — fed the same
+     Zipf-skewed query stream. Phase 1 measures the per-peer load-imbalance
+     ratio the skew causes; then the 10% most-loaded peers of the OFF run
+     (i.e. the hot-bucket owners) fail in both systems, and phase 2
+     measures how much recall survives. *)
+  let module System = P2prange.System in
+  let module Peer = P2prange.Peer in
+  let n_peers = 64 and n_queries = 8_000 and fail_fraction = 0.1 in
+  let shape =
+    Workload.Query_workload.Zipf_hotspots { hotspots = 8; spread = 8; s = 1.0 }
+  in
+  (* Spread placement (Mix32): peers own near-equal identifier segments, so
+     the imbalance measured here is the genuinely-hot-identifier kind that
+     per-bucket replication can fix (raw placement's imbalance is segment
+     clustering — that is virtual_nodes/Mix32 territory). *)
+  (* l = 1: one identifier per range, so a failed owner is the only native
+     holder of its buckets and failover is actually load-bearing (at the
+     paper's l = 5 any of five owners can answer, masking failures). *)
+  let base =
+    { Config.default with
+      matching = Config.Containment_match;
+      spread_identifiers = true;
+      k = 20;
+      l = 1;
+    }
+  in
+  let configs =
+    [
+      ("replication off", base);
+      ( "replication on",
+        { base with
+          replication =
+            Config.Replicate
+              { r = 2; hot = Balance.Tracker.Absolute 8; window = 2048 };
+        } );
+    ]
+  in
+  let systems =
+    List.map
+      (fun (label, config) -> (label, System.create ~config ~seed ~n_peers ()))
+      configs
+  in
+  let mean = function
+    | [] -> 0.0
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let run_queries sys ~stream_seed ~n =
+    let rng = Prng.Splitmix.create stream_seed in
+    let stream =
+      Workload.Query_workload.create shape ~domain:base.Config.domain
+        ~seed:stream_seed
+    in
+    let live =
+      Array.of_list (List.filter (System.alive sys) (System.peers sys))
+    in
+    let recalls = ref [] in
+    for _ = 1 to n do
+      let from = live.(Prng.Splitmix.int rng (Array.length live)) in
+      let result =
+        System.query sys ~from (Workload.Query_workload.next stream)
+      in
+      recalls := result.System.recall :: !recalls
+    done;
+    mean !recalls
+  in
+  let phase1 =
+    List.map
+      (fun (label, sys) ->
+        let recall = run_queries sys ~stream_seed:seed ~n:n_queries in
+        (label, sys, recall, System.load_imbalance sys))
+      systems
+  in
+  (* Victims: the top-10% most-loaded peers of the OFF run, failed in both
+     systems so each loses the same hot segments. *)
+  let victims =
+    let _, off, _, _ = List.hd phase1 in
+    let n_fail =
+      Stdlib.max 1 (int_of_float (float_of_int n_peers *. fail_fraction))
+    in
+    System.peers off
+    |> List.map (fun p ->
+           ( Balance.Tracker.peer_load (System.tracker off) (Peer.id p),
+             Peer.name p ))
+    |> List.sort (fun (la, na) (lb, nb) ->
+           if la <> lb then Int.compare lb la else String.compare na nb)
+    |> List.filteri (fun i _ -> i < n_fail)
+    |> List.map snd
+  in
+  List.iter
+    (fun (_, sys) ->
+      List.iter
+        (fun name -> System.fail sys (System.peer_by_name sys name))
+        victims)
+    systems;
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("mode", Stats.Table.Left); ("imbalance (max/mean)", Stats.Table.Right);
+          ("replicated buckets", Stats.Table.Right);
+          ("mean recall", Stats.Table.Right);
+          ("mean recall, 10% failed", Stats.Table.Right) ]
+  in
+  let results =
+    List.map
+      (fun (label, sys, recall1, imbalance) ->
+        let recall2 = run_queries sys ~stream_seed:1337L ~n:(n_queries / 4) in
+        Stats.Table.add_row table
+          [
+            label;
+            Printf.sprintf "%.2f" imbalance;
+            string_of_int (System.replicated_buckets sys);
+            Printf.sprintf "%.3f" recall1;
+            Printf.sprintf "%.3f" recall2;
+          ];
+        (label, imbalance, recall2))
+      phase1
+  in
+  (match results with
+  | [ (_, imb_off, rec_off); (_, imb_on, rec_on) ] ->
+    Obs.Metrics.set_gauge g_imbalance_off imb_off;
+    Obs.Metrics.set_gauge g_imbalance_on imb_on;
+    Obs.Metrics.set_gauge g_failed_recall_off rec_off;
+    Obs.Metrics.set_gauge g_failed_recall_on rec_on;
+    Format.printf "%a" Stats.Table.pp table;
+    Format.printf
+      "failed peers: %d   imbalance off/on: %.2f/%.2f   recall under failures off/on: %.3f/%.3f@."
+      (List.length victims) imb_off imb_on rec_off rec_on
+  | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
 (* Engine: SQL-over-P2P provenance (§2/§6)                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1067,6 +1207,8 @@ let () =
     ablation_latency;
   section "ablation-family" "paper families vs ideal min-wise baseline"
     ablation_family;
+  section "balance" "hot-bucket replication and failover (lib/balance)"
+    balance_bench;
   section "engine-sql" "SQL-over-P2P provenance split (§2/§6)" engine_sql;
   section "baseline-can" "CAN vs Chord as the DHT substrate (§3.1)"
     baseline_can;

@@ -1,0 +1,76 @@
+(* CI gate over the bench's --json output: parses the metrics document
+   with [Obs.Json.of_string] and fails (exit 1) when an expected section
+   is missing or a derived rate is broken. A rate is broken when it is
+   NaN/inf (the emitter writes those as [null], so a literal NaN in the
+   file means the emitter was bypassed) or outside [0, 1].
+
+   Usage: check_bench FILE SECTION [SECTION ...] *)
+
+module Json = Obs.Json
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline ("check_bench: " ^ s); exit 1) fmt
+
+let rate_fields = [ "lsh_cache_hit_rate"; "engine_cache_rate" ]
+
+let check_rate ~section name = function
+  | Json.Null -> () (* the section never exercised this counter pair *)
+  | Json.Float f ->
+    if not (Float.is_finite f) then
+      fail "section %s: derived rate %s is not finite" section name;
+    if f < 0.0 || f > 1.0 then
+      fail "section %s: derived rate %s = %g outside [0, 1]" section name f
+  | Json.Int i ->
+    if i < 0 || i > 1 then
+      fail "section %s: derived rate %s = %d outside [0, 1]" section name i
+  | _ -> fail "section %s: derived rate %s is not a number" section name
+
+let check_section ~name body =
+  match Json.member "derived" body with
+  | None -> fail "section %s has no derived block" name
+  | Some derived ->
+    List.iter
+      (fun field ->
+        match Json.member field derived with
+        | None -> fail "section %s: derived block lacks %s" name field
+        | Some v -> check_rate ~section:name field v)
+      rate_fields;
+    (match Json.member "total_messages" derived with
+    | Some (Json.Int n) when n >= 0 -> ()
+    | Some _ -> fail "section %s: total_messages is not a non-negative int" name
+    | None -> fail "section %s: derived block lacks total_messages" name)
+
+let () =
+  let file, expected =
+    match Array.to_list Sys.argv with
+    | _ :: file :: (_ :: _ as sections) -> (file, sections)
+    | _ ->
+      prerr_endline "usage: check_bench FILE SECTION [SECTION ...]";
+      exit 2
+  in
+  let text =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg -> fail "%s" msg
+  in
+  let doc =
+    match Json.of_string text with
+    | Ok doc -> doc
+    | Error msg -> fail "%s: %s" file msg
+  in
+  (match Json.member "schema_version" doc with
+  | Some (Json.Int 1) -> ()
+  | Some _ -> fail "unsupported schema_version (expected 1)"
+  | None -> fail "missing schema_version");
+  let sections =
+    match Json.member "sections" doc with
+    | Some (Json.Obj fields) -> fields
+    | Some _ -> fail "\"sections\" is not an object"
+    | None -> fail "missing \"sections\""
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | None -> fail "expected section %s missing" name
+      | Some body -> check_section ~name body)
+    expected;
+  Printf.printf "check_bench: %s ok (%s)\n" file (String.concat ", " expected)

@@ -6,6 +6,11 @@
    issue lookups and report how many reach the correct owner and at what
    hop cost.
 
+   A second act moves one layer up: what failures cost the *data*, not
+   just the routing. Two identical range-selection systems — hot-bucket
+   replication off and on — serve the same skewed query stream, lose the
+   same peers, and report the recall each retains.
+
    Run with:  dune exec examples/churn_resilience.exe *)
 
 module Network = Chord.Network
@@ -73,4 +78,82 @@ let () =
   done;
   Network.stabilize net ~rounds:8;
   Format.printf "@.after 10 more joins, converged: %b@." (Network.is_converged net);
-  lookup_health net ~label:"after post-repair joins"
+  lookup_health net ~label:"after post-repair joins";
+
+  (* ---- act two: recall through failures, with and without replication.
+
+     Same seed, same peers, same Zipf-skewed queries; the only difference
+     is the [replication] knob. One identifier per range (l = 1) so a
+     failed owner really is the only native holder of its buckets. *)
+  let module System = P2prange.System in
+  let module Config = P2prange.Config in
+  let base =
+    { Config.default with
+      Config.matching = Config.Containment_match;
+      spread_identifiers = true;
+      l = 1;
+    }
+  in
+  let replicated =
+    { base with
+      Config.replication =
+        Config.Replicate
+          { r = 2; hot = Balance.Tracker.Absolute 8; window = 1024 };
+    }
+  in
+  let n_peers = 48 in
+  let systems =
+    List.map
+      (fun (label, config) ->
+        (label, System.create ~config ~seed:777L ~n_peers ()))
+      [ ("replication off", base); ("replication on", replicated) ]
+  in
+  let run sys ~stream_seed ~n =
+    let rng = Prng.Splitmix.create stream_seed in
+    let stream =
+      Workload.Query_workload.create
+        (Workload.Query_workload.Zipf_hotspots
+           { hotspots = 8; spread = 8; s = 1.0 })
+        ~domain:base.Config.domain ~seed:stream_seed
+    in
+    let live =
+      Array.of_list (List.filter (System.alive sys) (System.peers sys))
+    in
+    let total = ref 0.0 in
+    for _ = 1 to n do
+      let from = live.(Prng.Splitmix.int rng (Array.length live)) in
+      let r = System.query sys ~from (Workload.Query_workload.next stream) in
+      total := !total +. r.System.recall
+    done;
+    !total /. float_of_int n
+  in
+  Format.printf "@.--- recall through failures (same peers, same queries) ---@.";
+  let warm =
+    List.map (fun (label, sys) -> (label, sys, run sys ~stream_seed:777L ~n:3000))
+      systems
+  in
+  (* The same third of the peers fails in both systems: the most loaded
+     ones of the unreplicated run, i.e. the hot-bucket owners. *)
+  let victims =
+    let _, off, _ = List.hd warm in
+    System.peers off
+    |> List.map (fun p ->
+           ( Balance.Tracker.peer_load (System.tracker off) (P2prange.Peer.id p),
+             P2prange.Peer.name p ))
+    |> List.sort (fun (la, na) (lb, nb) ->
+           if la <> lb then Int.compare lb la else String.compare na nb)
+    |> List.filteri (fun i _ -> i < n_peers / 3)
+    |> List.map snd
+  in
+  List.iter
+    (fun (_, sys, _) ->
+      List.iter (fun name -> System.fail sys (System.peer_by_name sys name)) victims)
+    warm;
+  List.iter
+    (fun (label, sys, before) ->
+      let after = run sys ~stream_seed:778L ~n:1000 in
+      Format.printf
+        "%-16s recall %.3f -> %.3f after %d failures  (replicated buckets: %d)@."
+        label before after (List.length victims)
+        (System.replicated_buckets sys))
+    warm

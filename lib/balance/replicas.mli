@@ -1,0 +1,44 @@
+(** Replica placement over a Chord substrate.
+
+    A hot bucket is replicated from its owner onto the owner's first [r]
+    ring successors — the same peers Chord's successor lists already track
+    for fault tolerance, so a replica is exactly where routing will look
+    when the owner disappears. This module only {e chooses} the replica
+    nodes; copying entries and serving from them is the caller's job
+    ({!P2prange.System}). *)
+
+type view = {
+  owner : Chord.Id.t -> Chord.Id.t;  (** identifier -> owning node *)
+  successors : Chord.Id.t -> int -> Chord.Id.t list;
+      (** [successors node n]: up to [n] distinct nodes clockwise after
+          [node], nearest first, never including [node] itself *)
+}
+(** A substrate-independent placement view. *)
+
+val of_ring : Chord.Ring.t -> view
+(** Static converged ring: successors read directly off the sorted node
+    array ({!Chord.Ring.successors}). *)
+
+val of_network : Chord.Network.t -> view
+(** Dynamic network: successors come from the node's live successor list
+    ({!Chord.Network.successor_list}), so placement degrades with the
+    protocol's own fault-tolerance state. Lookups on dead/unknown owners
+    yield empty successor lists. *)
+
+val replica_set :
+  view ->
+  ?alive:(Chord.Id.t -> bool) ->
+  ?group:(Chord.Id.t -> int) ->
+  identifier:Chord.Id.t ->
+  r:int ->
+  unit ->
+  Chord.Id.t list
+(** [replica_set view ~identifier ~r ()] is the owner of [identifier]
+    followed by up to [r] replica nodes walking clockwise. [alive] filters
+    candidate replicas (default: everyone); [group] maps a node to the
+    physical peer it belongs to (default: identity) so that with virtual
+    nodes the [r] replicas land on [r] {e distinct peers} — a replica on
+    another hash position of the owner's own peer would be no replica at
+    all. The owner heads the list even when dead (the caller decides how
+    to treat it); an empty list means the identifier has no owner under
+    [view]. @raise Invalid_argument when [r < 1]. *)

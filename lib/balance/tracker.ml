@@ -1,0 +1,107 @@
+type hot_policy = Absolute of int | Top_k of int
+
+type t = {
+  policy : hot_policy;
+  window : int;
+  mutable in_window : int; (* lookups recorded into [current] so far *)
+  mutable current : (int, int) Hashtbl.t; (* identifier -> hits, this window *)
+  mutable previous : (int, int) Hashtbl.t; (* last full window *)
+  peer_loads : (int, int) Hashtbl.t; (* peer -> cumulative served lookups *)
+  peer_entries : (int, int) Hashtbl.t; (* peer -> cumulative stored entries *)
+  mutable total : int;
+  (* Top-k hot sets are recomputed lazily; [revision] invalidates. *)
+  mutable revision : int;
+  mutable hot_cache : (int * (int, unit) Hashtbl.t) option;
+}
+
+let create ?(window = 1024) policy =
+  if window < 1 then invalid_arg "Tracker.create: window must be >= 1";
+  (match policy with
+  | Absolute n ->
+    if n < 1 then invalid_arg "Tracker.create: absolute threshold must be >= 1"
+  | Top_k k -> if k < 1 then invalid_arg "Tracker.create: top-k must be >= 1");
+  {
+    policy;
+    window;
+    in_window = 0;
+    current = Hashtbl.create 64;
+    previous = Hashtbl.create 64;
+    peer_loads = Hashtbl.create 64;
+    peer_entries = Hashtbl.create 64;
+    total = 0;
+    revision = 0;
+    hot_cache = None;
+  }
+
+let bump table key =
+  Hashtbl.replace table key (1 + Option.value (Hashtbl.find_opt table key) ~default:0)
+
+let record_query t ~peer ~identifier =
+  bump t.peer_loads peer;
+  bump t.current identifier;
+  t.total <- t.total + 1;
+  t.in_window <- t.in_window + 1;
+  t.revision <- t.revision + 1;
+  if t.in_window >= t.window then begin
+    let retired = t.previous in
+    t.previous <- t.current;
+    Hashtbl.reset retired;
+    t.current <- retired;
+    t.in_window <- 0
+  end
+
+let record_entry t ~peer = bump t.peer_entries peer
+
+let total_queries t = t.total
+
+let lookup_count table key =
+  Option.value (Hashtbl.find_opt table key) ~default:0
+
+let peer_load t peer = lookup_count t.peer_loads peer
+let peer_entries t peer = lookup_count t.peer_entries peer
+
+let hot_score t identifier =
+  lookup_count t.current identifier + lookup_count t.previous identifier
+
+(* All identifiers seen in either window, with their combined scores. *)
+let scored t =
+  let acc = Hashtbl.create (Hashtbl.length t.current + Hashtbl.length t.previous) in
+  let note id _ = if not (Hashtbl.mem acc id) then Hashtbl.replace acc id (hot_score t id) in
+  Hashtbl.iter note t.current;
+  Hashtbl.iter note t.previous;
+  Hashtbl.fold (fun id score l -> (id, score) :: l) acc []
+  |> List.sort (fun (ida, sa) (idb, sb) ->
+         if sa <> sb then Int.compare sb sa else Int.compare ida idb)
+
+let top_k_set t k =
+  match t.hot_cache with
+  | Some (rev, set) when rev = t.revision -> set
+  | Some _ | None ->
+    let set = Hashtbl.create k in
+    List.iteri
+      (fun i (id, score) -> if i < k && score > 0 then Hashtbl.replace set id ())
+      (scored t);
+    t.hot_cache <- Some (t.revision, set);
+    set
+
+let is_hot t identifier =
+  match t.policy with
+  | Absolute n -> hot_score t identifier >= n
+  | Top_k k -> Hashtbl.mem (top_k_set t k) identifier
+
+let hot_identifiers t =
+  List.filter_map
+    (fun (id, _) -> if is_hot t id then Some id else None)
+    (scored t)
+
+let imbalance loads =
+  match loads with
+  | [] -> 0.0
+  | _ ->
+    let total = List.fold_left ( + ) 0 loads in
+    if total = 0 then 0.0
+    else
+      let mean = float_of_int total /. float_of_int (List.length loads) in
+      float_of_int (List.fold_left Stdlib.max 0 loads) /. mean
+
+let load_imbalance t ~peers = imbalance (List.map (peer_load t) peers)

@@ -1,0 +1,6 @@
+let position_name ~name i =
+  if i = 0 then name else Printf.sprintf "%s#%d" name i
+
+let positions ~name ~v =
+  if v < 1 then invalid_arg "Virtual_nodes.positions: v must be >= 1";
+  List.init v (fun i -> Chord.Id.of_name (position_name ~name i))

@@ -1,0 +1,17 @@
+(** Virtual nodes: several ring positions per physical peer.
+
+    Chord's load imbalance (the O(log N) factor of Figure 11) comes from
+    uneven arc lengths between consecutive node hashes. Placing each peer
+    at [v] independent positions — SHA-1 of ["name"], ["name#1"], …,
+    ["name#v-1"] — averages [v] arcs per peer and narrows the per-peer
+    share of the identifier space by roughly [sqrt v]. Position 0 is the
+    plain SHA-1 of the name, so [v = 1] reproduces the paper's placement
+    exactly. *)
+
+val positions : name:string -> v:int -> Chord.Id.t list
+(** The [v] ring positions of a peer, position 0 first.
+    @raise Invalid_argument when [v < 1]. *)
+
+val position_name : name:string -> int -> string
+(** [position_name ~name i] is the string hashed for position [i]:
+    [name] itself for [i = 0], ["name#i"] beyond. *)

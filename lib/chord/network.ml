@@ -201,6 +201,17 @@ let stabilize t ~rounds =
 
 let successor t id = live_successor t (node_exn t id)
 
+let successor_list t id =
+  let n = node_exn t id in
+  let chain = live_successor t n :: n.successors in
+  let rec dedup seen = function
+    | [] -> []
+    | x :: rest ->
+      if x = id || List.mem x seen || not (alive t x) then dedup seen rest
+      else x :: dedup (x :: seen) rest
+  in
+  dedup [] chain
+
 let predecessor t id =
   match (node_exn t id).predecessor with
   | Some p when alive t p -> Some p

@@ -37,6 +37,12 @@ val successor : t -> Id.t -> Id.t
 
 val predecessor : t -> Id.t -> Id.t option
 
+val successor_list : t -> Id.t -> Id.t list
+(** The node's current backup successor list: live, distinct nodes,
+    nearest first, never including the node itself. Empty for a
+    single-node network; possibly stale mid-churn (refreshed by
+    {!stabilize_round}). @raise Invalid_argument for unknown/dead nodes. *)
+
 val stabilize_round : t -> unit
 (** One pass: every live node runs [stabilize] (verify successor via its
     predecessor pointer, adopt closer successors, refresh the successor

@@ -62,6 +62,12 @@ let predecessor t id =
   let i = node_index t.sorted id in
   t.sorted.((i + size t - 1) mod size t)
 
+let successors t id n =
+  if n < 0 then invalid_arg "Ring.successors: negative count";
+  let i = node_index t.sorted id in
+  let len = size t in
+  List.init (Stdlib.min n (len - 1)) (fun k -> t.sorted.((i + k + 1) mod len))
+
 let finger t id i =
   if i < 0 || i >= Id.bits then invalid_arg "Ring.finger: index out of range";
   t.fingers.(node_index t.sorted id).(i)

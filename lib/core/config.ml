@@ -5,6 +5,10 @@ type padding =
   | Fixed_padding of float
   | Adaptive_padding of { initial : float; step : float; target_recall : float }
 
+type replication =
+  | No_replication
+  | Replicate of { r : int; hot : Balance.Tracker.hot_policy; window : int }
+
 type t = {
   family : Lsh.Family.kind;
   k : int;
@@ -17,6 +21,8 @@ type t = {
   use_domain_cache : bool;
   store_policy : Store.policy;
   spread_identifiers : bool;
+  replication : replication;
+  virtual_nodes : int;
 }
 
 let default =
@@ -32,6 +38,8 @@ let default =
     use_domain_cache = true;
     store_policy = Store.Unbounded;
     spread_identifiers = false;
+    replication = No_replication;
+    virtual_nodes = 1;
   }
 
 let paper_quality ~family = { default with family }
@@ -51,4 +59,15 @@ let validate t =
     if f < 0.0 then invalid_arg "Config: negative padding fraction"
   | Adaptive_padding { initial; step; target_recall } ->
     if initial < 0.0 || step <= 0.0 || target_recall < 0.0 || target_recall > 1.0
-    then invalid_arg "Config: bad adaptive padding parameters")
+    then invalid_arg "Config: bad adaptive padding parameters");
+  (match t.replication with
+  | No_replication -> ()
+  | Replicate { r; hot; window } ->
+    if r < 1 then invalid_arg "Config: replication factor must be >= 1";
+    if window < 1 then invalid_arg "Config: hotness window must be >= 1";
+    (match hot with
+    | Balance.Tracker.Absolute n ->
+      if n < 1 then invalid_arg "Config: absolute hotness threshold must be >= 1"
+    | Balance.Tracker.Top_k k ->
+      if k < 1 then invalid_arg "Config: top-k hotness count must be >= 1"));
+  if t.virtual_nodes < 1 then invalid_arg "Config: virtual_nodes must be >= 1"

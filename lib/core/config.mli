@@ -19,6 +19,17 @@ type padding =
       (** the paper's future-work idea: per-system padding level nudged up
           when recent recall falls below [target_recall], down otherwise *)
 
+(** Hot-bucket replication — the load-balancing answer to the skewed
+    per-identifier query loads of Figure 11 (§5.3). *)
+type replication =
+  | No_replication
+      (** the paper's protocol exactly; query results are bit-identical to
+          builds that predate replication *)
+  | Replicate of { r : int; hot : Balance.Tracker.hot_policy; window : int }
+      (** copy a bucket judged hot (per [hot] over sliding windows of
+          [window] lookups) onto the owner's first [r] ring successors, and
+          serve lookups from the least-loaded live holder *)
+
 type t = {
   family : Lsh.Family.kind;
   k : int;  (** hash functions per group *)
@@ -44,6 +55,13 @@ type t = {
           provably unchanged, but placement spreads near-uniformly over the
           ring instead of clustering (see [ablation-spread]). Default
           [false], the paper's raw placement. *)
+  replication : replication;
+      (** hot-bucket replication and replica-aware serving (default
+          [No_replication]) *)
+  virtual_nodes : int;
+      (** ring positions per peer (SHA-1 of ["name#i"]); [1] (the default)
+          reproduces the paper's single-position placement exactly, larger
+          values smooth segment sizes at the cost of [v×] ring state *)
 }
 
 val default : t
@@ -55,4 +73,5 @@ val paper_quality : family:Lsh.Family.kind -> t
 
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical settings (k, l < 1; negative
-    padding; empty domain). *)
+    padding; empty domain; replication factor, hotness threshold, window or
+    virtual-node count < 1). *)

@@ -63,6 +63,15 @@ let source t name =
   | Some rel -> rel
   | None -> raise Not_found
 
+let fail_peer t name =
+  (* Every system shares the peer population; one physical failure takes
+     the peer out of all of them (and out of exact-match routing's ring,
+     whose owners keep answering — the exact DHT is engine-local state). *)
+  let fail_in sys = System.fail sys (System.peer_by_name sys name) in
+  List.iter (fun (_, sys) -> fail_in sys) t.systems;
+  if not (List.exists (fun (_, sys) -> sys == t.routing) t.systems) then
+    fail_in t.routing
+
 let system_for t ~relation ~attribute = List.assoc (relation, attribute) t.systems
 
 type provenance =

@@ -40,6 +40,12 @@ val source : t -> string -> Relational.Relation.t
 val system_for : t -> relation:string -> attribute:string -> System.t
 (** The range-selection system of a rangeable pair. @raise Not_found. *)
 
+val fail_peer : t -> string -> unit
+(** Permanently fails the named peer in every underlying range system (the
+    engine's systems share one peer population). Cached partitions it held
+    are only reachable afterwards where replication placed copies.
+    @raise Not_found on unknown names. *)
+
 (** How one leaf of the plan was answered. *)
 type provenance =
   | From_cache of System.query_result

@@ -51,6 +51,18 @@ let bucket t ~identifier =
   | Unbounded | Fifo _ -> ());
   List.map (fun s -> s.entry) stamped
 
+let peek_bucket t ~identifier =
+  List.map (fun s -> s.entry) (raw_bucket t identifier)
+
+let remove_bucket t ~identifier =
+  match Hashtbl.find_opt t.buckets identifier with
+  | None -> 0
+  | Some stamped ->
+    Hashtbl.remove t.buckets identifier;
+    let n = List.length stamped in
+    t.entries <- t.entries - n;
+    n
+
 let mem t ~identifier ~range =
   List.exists
     (fun s -> Rangeset.Range.equal s.entry.range range)

@@ -40,6 +40,15 @@ val bucket : t -> identifier:Chord.Id.t -> entry list
 (** Entries under one identifier; empty if none. Under [Lru] this counts as
     a use of every returned entry. *)
 
+val peek_bucket : t -> identifier:Chord.Id.t -> entry list
+(** Like {!bucket} but never refreshes LRU stamps — for maintenance reads
+    (replica copying, debugging) that must not perturb eviction order. *)
+
+val remove_bucket : t -> identifier:Chord.Id.t -> int
+(** Drops every entry under one identifier (a replica shedding a bucket it
+    no longer serves); returns how many entries were removed. Removed
+    entries do {e not} count as evictions. *)
+
 val all_entries : t -> entry list
 (** Every entry in every bucket this peer holds — what the §5.3 per-peer
     index searches. Entries stored under several identifiers appear once

@@ -1,14 +1,24 @@
 module Range = Rangeset.Range
 
+type replication_state = {
+  r : int;
+  view : Balance.Replicas.view;
+  replicas : (int, int list) Hashtbl.t; (* identifier -> replica positions *)
+  tie_rng : Prng.Splitmix.t;
+}
+
 type t = {
   config : Config.t;
   scheme : Lsh.Scheme.t;
   cache : Lsh.Domain_cache.t option;
   ring : Chord.Ring.t;
-  peers : (int, Peer.t) Hashtbl.t; (* keyed by ring id *)
+  peers : (int, Peer.t) Hashtbl.t; (* keyed by ring position *)
   by_name : (string, Peer.t) Hashtbl.t;
   peer_list : Peer.t array;
   padding : Padding.t;
+  tracker : Balance.Tracker.t;
+  replication : replication_state option;
+  dead : (int, unit) Hashtbl.t; (* physical ids of failed peers *)
 }
 
 let create_with_peers ?(config = Config.default) ~seed names =
@@ -31,17 +41,56 @@ let create_with_peers ?(config = Config.default) ~seed names =
          (fun name -> Peer.create ~policy:config.Config.store_policy ~name ())
          names)
   in
-  let peers = Hashtbl.create (Array.length peer_list) in
+  let v = config.Config.virtual_nodes in
+  let peers = Hashtbl.create (Array.length peer_list * v) in
   let by_name = Hashtbl.create (Array.length peer_list) in
   Array.iter
     (fun p ->
-      if Hashtbl.mem peers (Peer.id p) then
-        invalid_arg "System: peer identifier collision (rename a peer)";
-      Hashtbl.replace peers (Peer.id p) p;
+      List.iter
+        (fun position ->
+          if Hashtbl.mem peers position then
+            invalid_arg "System: ring position collision (rename a peer)";
+          Hashtbl.replace peers position p)
+        (Balance.Virtual_nodes.positions ~name:(Peer.name p) ~v);
       Hashtbl.replace by_name (Peer.name p) p)
     peer_list;
-  let ring = Chord.Ring.create ~ids:(Array.to_list (Array.map Peer.id peer_list)) in
-  { config; scheme; cache; ring; peers; by_name; peer_list; padding = Padding.create config.Config.padding }
+  let ring =
+    Chord.Ring.create ~ids:(Hashtbl.fold (fun id _ acc -> id :: acc) peers [])
+  in
+  let tracker =
+    match config.Config.replication with
+    | Config.Replicate { hot; window; _ } -> Balance.Tracker.create ~window hot
+    | Config.No_replication ->
+      (* Still tallies per-peer load for reporting; nothing ever goes hot. *)
+      Balance.Tracker.create (Balance.Tracker.Absolute max_int)
+  in
+  let replication =
+    match config.Config.replication with
+    | Config.No_replication -> None
+    | Config.Replicate { r; _ } ->
+      Some
+        {
+          r;
+          view = Balance.Replicas.of_ring ring;
+          replicas = Hashtbl.create 64;
+          (* Split after every other stream has been drawn, so turning
+             replication on leaves the scheme's hash functions untouched. *)
+          tie_rng = Prng.Splitmix.split rng;
+        }
+  in
+  {
+    config;
+    scheme;
+    cache;
+    ring;
+    peers;
+    by_name;
+    peer_list;
+    padding = Padding.create config.Config.padding;
+    tracker;
+    replication;
+    dead = Hashtbl.create 8;
+  }
 
 let create ?config ~seed ~n_peers () =
   if n_peers <= 0 then invalid_arg "System.create: n_peers must be positive";
@@ -61,6 +110,24 @@ let random_peer t rng =
 
 let owner_of_identifier t identifier =
   peer_by_id t (Chord.Ring.owner t.ring identifier)
+
+let tracker t = t.tracker
+
+let alive t peer = not (Hashtbl.mem t.dead (Peer.id peer))
+
+let fail t peer =
+  if not (Hashtbl.mem t.by_name (Peer.name peer)) then
+    invalid_arg "System.fail: unknown peer";
+  Hashtbl.replace t.dead (Peer.id peer) ()
+
+let load_imbalance t =
+  Balance.Tracker.load_imbalance t.tracker
+    ~peers:(Array.to_list (Array.map Peer.id t.peer_list))
+
+let replicated_buckets t =
+  match t.replication with
+  | None -> 0
+  | Some rs -> Hashtbl.length rs.replicas
 
 let m_cache_hit = Obs.Metrics.counter "lsh.domain_cache.hit"
 let m_cache_miss = Obs.Metrics.counter "lsh.domain_cache.miss"
@@ -106,25 +173,175 @@ let route_all t ~from ids =
       (identifier, peer_by_id t owner, hops))
     ids
 
-let stats_of_routes ids routes =
-  let hops = List.map (fun (_, _, h) -> h) routes in
+let stats_of_hops ids hops =
   {
     identifiers = ids;
     hops;
     messages = List.fold_left (fun acc h -> acc + h + 1) 0 hops;
   }
 
-let store_at_owners routes ~range ~partition =
-  List.iter
-    (fun (identifier, owner, _) ->
-      Store.insert (Peer.store owner) ~identifier { Store.range; partition })
-    routes
-
 let m_publishes = Obs.Metrics.counter "system.publishes"
 let m_queries = Obs.Metrics.counter "system.queries"
 let m_messages = Obs.Metrics.counter "system.messages"
 let m_cached_answers = Obs.Metrics.counter "system.cached_answers"
 let m_unmatched = Obs.Metrics.counter "system.unmatched"
+let m_replications = Obs.Metrics.counter "balance.replications"
+let m_replicated_entries = Obs.Metrics.counter "balance.replicated_entries"
+let m_replica_hits = Obs.Metrics.counter "balance.replica_hits"
+let m_failovers = Obs.Metrics.counter "balance.failovers"
+let m_replica_drops = Obs.Metrics.counter "balance.replica_drops"
+let g_imbalance = Obs.Metrics.gauge "balance.load_imbalance"
+
+let insert_tracked t peer ~identifier entry =
+  if not (Store.mem (Peer.store peer) ~identifier ~range:entry.Store.range)
+  then begin
+    Store.insert (Peer.store peer) ~identifier entry;
+    Balance.Tracker.record_entry t.tracker ~peer:(Peer.id peer)
+  end
+
+let store_at_owners t routes ~range ~partition =
+  let entry = { Store.range; partition } in
+  List.iter
+    (fun (identifier, owner, _) ->
+      if alive t owner then insert_tracked t owner ~identifier entry;
+      match t.replication with
+      | None -> ()
+      | Some rs -> (
+        (* Keep live replicas of a replicated bucket in step with it. *)
+        match Hashtbl.find_opt rs.replicas identifier with
+        | None -> ()
+        | Some positions ->
+          List.iter
+            (fun position ->
+              let rp = peer_by_id t position in
+              if alive t rp then insert_tracked t rp ~identifier entry)
+            positions))
+    routes
+
+(* Create or refresh the replica set of a hot identifier, or lazily drop
+   the replicas of one that has cooled since its last lookup. Copies are
+   pull-style: whatever the owner's bucket currently holds is mirrored to
+   any replica missing it. *)
+let maintain_replicas t rs ~identifier ~owner =
+  if Balance.Tracker.is_hot t.tracker identifier then begin
+    let desired =
+      match
+        Balance.Replicas.replica_set rs.view
+          ~alive:(fun position -> alive t (peer_by_id t position))
+          ~group:(fun position -> Peer.id (peer_by_id t position))
+          ~identifier ~r:rs.r ()
+      with
+      | [] -> []
+      | _owner :: replicas -> replicas
+    in
+    let existing =
+      Option.value (Hashtbl.find_opt rs.replicas identifier) ~default:[]
+    in
+    if desired <> [] && existing = [] then Obs.Metrics.incr m_replications;
+    if desired <> existing then Hashtbl.replace rs.replicas identifier desired;
+    if alive t owner then begin
+      (* Oldest first: insertion prepends, so the copy ends up in the
+         owner's bucket order and tie-breaks in [Matching.best] the same. *)
+      let entries = List.rev (Store.peek_bucket (Peer.store owner) ~identifier) in
+      List.iter
+        (fun position ->
+          let rp = peer_by_id t position in
+          List.iter
+            (fun (entry : Store.entry) ->
+              if
+                not
+                  (Store.mem (Peer.store rp) ~identifier
+                     ~range:entry.Store.range)
+              then begin
+                Store.insert (Peer.store rp) ~identifier entry;
+                Balance.Tracker.record_entry t.tracker ~peer:(Peer.id rp);
+                Obs.Metrics.incr m_replicated_entries
+              end)
+            entries)
+        desired
+    end
+  end
+  else
+    match Hashtbl.find_opt rs.replicas identifier with
+    | None -> ()
+    | Some positions ->
+      List.iter
+        (fun position ->
+          ignore
+            (Store.remove_bucket (Peer.store (peer_by_id t position))
+               ~identifier
+              : int))
+        positions;
+      Hashtbl.remove rs.replicas identifier;
+      Obs.Metrics.incr m_replica_drops
+
+(* Who answers the lookup for [identifier] after routing reached [owner]:
+   with replication off, the owner (nobody if it failed); with it on, the
+   least-loaded live peer among the owner and the identifier's current
+   replicas, ties broken by the dedicated replication PRNG stream. *)
+let serving_peer t ~identifier ~owner =
+  match t.replication with
+  | None -> if alive t owner then Some owner else None
+  | Some rs -> (
+    let members =
+      owner
+      :: (match Hashtbl.find_opt rs.replicas identifier with
+         | None -> []
+         | Some positions -> List.map (peer_by_id t) positions)
+      |> List.filter (alive t)
+    in
+    match members with
+    | [] -> None
+    | [ only ] -> Some only
+    | _ :: _ :: _ ->
+      let scored =
+        List.map
+          (fun p -> (Balance.Tracker.peer_load t.tracker (Peer.id p), p))
+          members
+      in
+      let min_load =
+        List.fold_left (fun acc (load, _) -> Stdlib.min acc load) max_int scored
+      in
+      let minima = List.filter (fun (load, _) -> load = min_load) scored in
+      (match minima with
+      | [ (_, p) ] -> Some p
+      | _ ->
+        Some
+          (snd
+             (List.nth minima (Prng.Splitmix.int rs.tie_rng (List.length minima))))))
+
+(* One serve per routed identifier: pick the serving peer, read its reply
+   {e before} charging the lookup and letting hotness maintenance react —
+   maintenance may wipe the very bucket just served (a cooled replica). A
+   serve by a non-owner costs one extra overlay hop (the forward from the
+   owner's segment to the chosen successor). *)
+let serve_all t ~effective routes =
+  List.map
+    (fun (identifier, owner, hops) ->
+      match serving_peer t ~identifier ~owner with
+      | None -> (identifier, hops, None)
+      | Some peer ->
+        let reply =
+          let candidates =
+            if t.config.Config.peer_index then Store.all_entries (Peer.store peer)
+            else Store.bucket (Peer.store peer) ~identifier
+          in
+          Matching.best t.config.Config.matching ~query:effective candidates
+        in
+        Balance.Tracker.record_query t.tracker ~peer:(Peer.id peer) ~identifier;
+        (match t.replication with
+        | Some rs -> maintain_replicas t rs ~identifier ~owner
+        | None -> ());
+        let hops =
+          if Peer.id peer = Peer.id owner then hops
+          else begin
+            (if alive t owner then Obs.Metrics.incr m_replica_hits
+             else Obs.Metrics.incr m_failovers);
+            hops + 1
+          end
+        in
+        (identifier, hops, reply))
+    routes
 
 let recall_bounds = Array.init 21 (fun i -> float_of_int i /. 20.0)
 let h_recall = Obs.Metrics.histogram ~bounds:recall_bounds "system.query.recall"
@@ -133,8 +350,8 @@ let h_query_messages = Obs.Metrics.histogram "system.query.messages"
 let publish t ~from ?partition range =
   let ids = identifiers t range in
   let routes = route_all t ~from ids in
-  store_at_owners routes ~range ~partition;
-  let stats = stats_of_routes ids routes in
+  store_at_owners t routes ~range ~partition;
+  let stats = stats_of_hops ids (List.map (fun (_, _, h) -> h) routes) in
   Obs.Metrics.incr m_publishes;
   Obs.Metrics.add m_messages stats.messages;
   stats
@@ -143,17 +360,10 @@ let query t ~from range =
   let effective = Padding.apply t.padding range ~domain:t.config.Config.domain in
   let ids = identifiers t effective in
   let routes = route_all t ~from ids in
-  (* Each owner replies with its best local candidate. *)
-  let replies =
-    List.filter_map
-      (fun (identifier, owner, _) ->
-        let candidates =
-          if t.config.Config.peer_index then Store.all_entries (Peer.store owner)
-          else Store.bucket (Peer.store owner) ~identifier
-        in
-        Matching.best t.config.Config.matching ~query:effective candidates)
-      routes
-  in
+  (* Each serving peer replies with its best local candidate; identifiers
+     whose owner failed with no replica to fail over to go unanswered. *)
+  let served = serve_all t ~effective routes in
+  let replies = List.filter_map (fun (_, _, reply) -> reply) served in
   let matched =
     match replies with
     | [] -> None
@@ -172,15 +382,17 @@ let query t ~from range =
     | None -> false
   in
   let cached = t.config.Config.cache_on_inexact && not exact in
-  if cached then store_at_owners routes ~range:effective ~partition:None;
+  if cached then store_at_owners t routes ~range:effective ~partition:None;
   Padding.observe t.padding ~recall;
-  let stats = stats_of_routes ids routes in
+  let stats = stats_of_hops ids (List.map (fun (_, h, _) -> h) served) in
   Obs.Metrics.incr m_queries;
   Obs.Metrics.add m_messages stats.messages;
   if cached then Obs.Metrics.incr m_cached_answers;
   (match matched with None -> Obs.Metrics.incr m_unmatched | Some _ -> ());
   Obs.Metrics.observe h_recall recall;
   Obs.Metrics.observe_int h_query_messages stats.messages;
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.set_gauge g_imbalance (load_imbalance t);
   { query = range; effective; matched; similarity; recall; stats; cached }
 
 let total_entries t =

@@ -10,6 +10,14 @@
     + the querying peer keeps the best reply; if no reply matches the range
       exactly, the queried range is cached at all [l] owners.
 
+    Two optional load-balancing extensions ride on top (see
+    {!Config.replication} and {!Config.t.virtual_nodes}): hot buckets are
+    replicated onto the owner's ring successors and lookups served by the
+    least-loaded live holder (failing over when the owner is down, see
+    {!fail}), and each peer may occupy several virtual ring positions. Both
+    are off by default, in which case query results are bit-identical to
+    builds without them.
+
     Everything is deterministic given the seed. *)
 
 type t
@@ -28,7 +36,8 @@ val peers : t -> Peer.t list
 val peer_count : t -> int
 
 val peer_by_id : t -> Chord.Id.t -> Peer.t
-(** @raise Not_found for identifiers that are not peers. *)
+(** The peer occupying a ring position (any of its virtual positions).
+    @raise Not_found for identifiers that are not positions. *)
 
 val peer_by_name : t -> string -> Peer.t
 (** @raise Not_found for unknown names. *)
@@ -79,6 +88,31 @@ val publish :
 val query : t -> from:Peer.t -> Rangeset.Range.t -> query_result
 (** Executes the full protocol for one range selection, including the
     cache-on-inexact store and adaptive-padding feedback. *)
+
+(** {1 Failures and load balance} *)
+
+val fail : t -> Peer.t -> unit
+(** Marks a peer failed: it stops answering lookups (all its virtual
+    positions at once). Routing still reaches its ring segment — the static
+    ring models converged fingers — but the data there is only served if
+    replication placed a copy on a live successor. Failures are permanent
+    for a simulation run. @raise Invalid_argument for peers of another
+    system. *)
+
+val alive : t -> Peer.t -> bool
+
+val tracker : t -> Balance.Tracker.t
+(** The system's load tracker: per-peer served-lookup and stored-entry
+    tallies plus windowed per-identifier hot scores. Always maintained
+    (replication on or off) so imbalance is reportable either way. *)
+
+val load_imbalance : t -> float
+(** Max/mean of served lookups over all peers (dead included) — the
+    Figure 11 imbalance ratio; 0 before any query. *)
+
+val replicated_buckets : t -> int
+(** How many identifiers currently have live replica sets (0 when
+    replication is off). *)
 
 val total_entries : t -> int
 (** Sum of all peers' stored entries. *)

@@ -84,3 +84,187 @@ let to_file path t =
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+exception Parse_error of string
+
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | Some x -> fail (Printf.sprintf "expected %C, found %C" c x)
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let hex4 () =
+    if !pos + 4 > len then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | None -> fail "unterminated escape"
+        | Some c ->
+          advance ();
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            (* Encode the code point as UTF-8; surrogate pairs are not
+               recombined (the emitter never writes them). *)
+            let cp = try hex4 () with Failure _ -> fail "bad \\u escape" in
+            if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+            else if cp < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+          | c -> fail (Printf.sprintf "invalid escape \\%C" c)));
+        loop ()
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < len && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then fail "malformed number"
+    in
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' in array"
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          (key, parse_value ())
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (kv :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (kv :: acc)
+          | _ -> fail "expected ',' or '}' in object"
+        in
+        Obj (fields [])
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing content after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg

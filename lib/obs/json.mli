@@ -24,3 +24,12 @@ val to_file : string -> t -> unit
 
 val member : string -> t -> t option
 (** [member key t] looks up a field of an [Obj]; [None] for other nodes. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset of JSON this module emits (which is plain
+    standard JSON): no trailing content, no comments, no unquoted keys.
+    Numbers without a fraction or exponent that fit in [int] parse as
+    [Int], all others as [Float] — matching the emitter, so a tree printed
+    by {!to_string} parses back structurally equal (floats round-trip via
+    ["%.17g"]; [nan]/[inf] were already emitted as [Null]). Errors carry a
+    byte offset. *)

@@ -17,10 +17,13 @@ type histogram = {
   mutable hi : float;
 }
 
+type gauge = { mutable value : float (* nan = never set *) }
+
 type metric =
   | Counter of counter
   | Timer of timer
   | Histogram of histogram
+  | Gauge of gauge
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
@@ -47,7 +50,7 @@ let register name mk get =
 let counter name =
   register name
     (fun () -> Counter { count = 0 })
-    (function Counter c -> Some c | Timer _ | Histogram _ -> None)
+    (function Counter c -> Some c | Timer _ | Histogram _ | Gauge _ -> None)
 
 let incr c = if !on then c.count <- c.count + 1
 let add c k = if !on then c.count <- c.count + k
@@ -56,7 +59,15 @@ let counter_value c = c.count
 let timer name =
   register name
     (fun () -> Timer { calls = 0; total_s = 0.0 })
-    (function Timer t -> Some t | Counter _ | Histogram _ -> None)
+    (function Timer t -> Some t | Counter _ | Histogram _ | Gauge _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> Gauge { value = Float.nan })
+    (function Gauge g -> Some g | Counter _ | Timer _ | Histogram _ -> None)
+
+let set_gauge g v = if !on then g.value <- v
+let gauge_value g = g.value
 
 let time t f =
   if not !on then f ()
@@ -90,7 +101,7 @@ let histogram ?(bounds = default_bounds) name =
           lo = Float.infinity;
           hi = Float.neg_infinity;
         })
-    (function Histogram h -> Some h | Counter _ | Timer _ -> None)
+    (function Histogram h -> Some h | Counter _ | Timer _ | Gauge _ -> None)
 
 (* First bucket whose upper bound covers v; the extra final slot overflows. *)
 let bucket_index bounds v =
@@ -156,7 +167,8 @@ let reset () =
         h.n <- 0;
         h.sum <- 0.0;
         h.lo <- Float.infinity;
-        h.hi <- Float.neg_infinity)
+        h.hi <- Float.neg_infinity
+      | Gauge g -> g.value <- Float.nan)
     registry
 
 let snapshot () =
@@ -170,7 +182,7 @@ let snapshot () =
   let counters =
     pick (function
       | Counter c -> Some (Json.Int c.count)
-      | Timer _ | Histogram _ -> None)
+      | Timer _ | Histogram _ | Gauge _ -> None)
   in
   let timers =
     pick (function
@@ -184,9 +196,14 @@ let snapshot () =
                  if t.calls = 0 then Json.Null
                  else Json.Float (t.total_s *. 1000.0 /. float_of_int t.calls) );
              ])
-      | Counter _ | Histogram _ -> None)
+      | Counter _ | Histogram _ | Gauge _ -> None)
   in
   let float_or_null f = if Float.is_nan f then Json.Null else Json.Float f in
+  let gauges =
+    pick (function
+      | Gauge g -> Some (float_or_null g.value)
+      | Counter _ | Timer _ | Histogram _ -> None)
+  in
   let histograms =
     pick (function
       | Histogram h ->
@@ -201,11 +218,12 @@ let snapshot () =
                ("p90", float_or_null (hist_percentile h 90.0));
                ("p99", float_or_null (hist_percentile h 99.0));
              ])
-      | Counter _ | Timer _ -> None)
+      | Counter _ | Timer _ | Gauge _ -> None)
   in
   Json.Obj
     [
       ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
       ("timers", Json.Obj timers);
       ("histograms", Json.Obj histograms);
     ]

@@ -19,6 +19,7 @@
 type counter
 type timer
 type histogram
+type gauge
 
 (** {1 Global switch} *)
 
@@ -34,6 +35,18 @@ val counter : string -> counter
 val incr : counter -> unit
 val add : counter -> int -> unit
 val counter_value : counter -> int
+
+(** {1 Gauges}
+
+    Last-write-wins point-in-time values (a load-imbalance ratio, a queue
+    depth). Unset gauges hold [nan] and render as [null] in snapshots. *)
+
+val gauge : string -> gauge
+(** Find-or-create the gauge registered under [name]. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+(** [nan] until first set (or after {!reset}). *)
 
 (** {1 Timers}
 
@@ -85,6 +98,6 @@ val reset : unit -> unit
 
 val snapshot : unit -> Json.t
 (** The whole registry as
-    [{"counters": {..}, "timers": {..}, "histograms": {..}}], with metric
-    names sorted for deterministic output. Histograms render count, mean,
-    min, max and p50/p90/p99. *)
+    [{"counters": {..}, "gauges": {..}, "timers": {..}, "histograms": {..}}],
+    with metric names sorted for deterministic output. Histograms render
+    count, mean, min, max and p50/p90/p99; unset gauges render as [null]. *)

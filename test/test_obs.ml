@@ -116,6 +116,83 @@ let json_golden () =
     "{\n  \"a\": [\n    1\n  ]\n}"
     (J.to_string (J.Obj [ ("a", J.List [ J.Int 1 ]) ]))
 
+let gauge_semantics () =
+  let g = M.gauge "test.obs.gauge" in
+  Alcotest.(check bool) "unset is NaN" true (Float.is_nan (M.gauge_value g));
+  M.set_gauge g 2.5;
+  M.set_gauge g 7.25;
+  Alcotest.(check (float 0.0)) "last write wins" 7.25 (M.gauge_value g);
+  M.disable ();
+  M.set_gauge g 99.0;
+  M.enable ();
+  Alcotest.(check (float 0.0)) "disabled set is a no-op" 7.25 (M.gauge_value g);
+  M.reset ();
+  Alcotest.(check bool) "reset unsets" true (Float.is_nan (M.gauge_value g))
+
+let json_parse_roundtrip () =
+  (* Everything the emitter can print must parse back structurally equal
+     (non-finite floats are emitted as null, so they are excluded here —
+     the golden test pins that mapping). *)
+  let doc =
+    J.Obj
+      [
+        ("name", J.String "p2p \"range\" \\ \n tab\t");
+        ("unicode", J.String "\xe2\x86\x92");
+        ("n", J.Int (-42));
+        ("big", J.Int max_int);
+        ("rate", J.Float 0.1);
+        ("tiny", J.Float 1.5e-300);
+        ("ok", J.Bool true);
+        ("no", J.Bool false);
+        ("nothing", J.Null);
+        ("items", J.List [ J.Int 1; J.Float 2.5; J.List []; J.Obj [] ]);
+      ]
+  in
+  List.iter
+    (fun indent ->
+      match J.of_string (J.to_string ~indent doc) with
+      | Ok parsed -> Alcotest.(check bool) "round-trips" true (parsed = doc)
+      | Error msg -> Alcotest.fail ("parse failed: " ^ msg))
+    [ 0; 2 ];
+  (* Escapes decode, including \u sequences. *)
+  (match J.of_string {|{"a": "x\u0041\n\u2192"}|} with
+  | Ok t -> Alcotest.(check bool) "escapes" true
+      (t = J.Obj [ ("a", J.String "xA\n\xe2\x86\x92") ])
+  | Error msg -> Alcotest.fail msg);
+  let rejects s =
+    match J.of_string s with
+    | Ok _ -> Alcotest.fail ("accepted malformed input: " ^ s)
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "{\"a\":1} x"; "\"\\q\"";
+      "nan"; "'single'" ]
+
+let snapshot_roundtrip () =
+  (* The bench's actual artifact path: a snapshot of live metrics printed
+     with the emitter must parse back equal through [of_string] — the same
+     check CI's check_bench relies on. *)
+  let c = M.counter "test.obs.rt.counter" in
+  let g = M.gauge "test.obs.rt.gauge" in
+  let unset = M.gauge "test.obs.rt.unset" in
+  let h = M.histogram "test.obs.rt.hist" in
+  ignore unset;
+  M.add c 12;
+  M.set_gauge g 0.75;
+  List.iter (M.observe h) [ 1.0; 2.0; 3.0 ];
+  let snap = M.snapshot () in
+  match J.of_string (J.to_string snap) with
+  | Error msg -> Alcotest.fail ("snapshot did not parse: " ^ msg)
+  | Ok parsed ->
+    Alcotest.(check bool) "snapshot round-trips" true (parsed = snap);
+    (match J.member "gauges" parsed with
+    | Some (J.Obj gauges) ->
+      Alcotest.(check bool) "set gauge survives" true
+        (List.assoc_opt "test.obs.rt.gauge" gauges = Some (J.Float 0.75));
+      Alcotest.(check bool) "unset gauge parses back as null" true
+        (List.assoc_opt "test.obs.rt.unset" gauges = Some J.Null)
+    | Some _ | None -> Alcotest.fail "snapshot lacks a gauges object")
+
 let snapshot_structure () =
   let c = M.counter "test.obs.snap.counter" in
   let h = M.histogram "test.obs.snap.hist" in
@@ -157,6 +234,11 @@ let suite =
       (isolated registry_type_clash);
     Alcotest.test_case "reset zeroes metrics in place" `Quick
       (isolated reset_zeroes_in_place);
+    Alcotest.test_case "gauge semantics" `Quick (isolated gauge_semantics);
     Alcotest.test_case "JSON golden rendering" `Quick (isolated json_golden);
+    Alcotest.test_case "JSON parser round-trips the emitter" `Quick
+      (isolated json_parse_roundtrip);
+    Alcotest.test_case "metric snapshot round-trips" `Quick
+      (isolated snapshot_roundtrip);
     Alcotest.test_case "snapshot structure" `Quick (isolated snapshot_structure);
   ]

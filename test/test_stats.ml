@@ -97,6 +97,22 @@ let cdf_series () =
   Alcotest.(check int) "three points" 3 (List.length s);
   Alcotest.(check (float 1e-9)) "middle" 50.0 (snd (List.nth s 1))
 
+let cdf_singleton_and_empty () =
+  let c = Stats.Cdf.of_samples [ 0.4 ] in
+  Alcotest.(check int) "one sample" 1 (Stats.Cdf.count c);
+  Alcotest.(check (float 1e-9)) "at least below" 1.0
+    (Stats.Cdf.fraction_at_least c 0.0);
+  Alcotest.(check (float 1e-9)) "at least at the sample" 1.0
+    (Stats.Cdf.fraction_at_least c 0.4);
+  Alcotest.(check (float 1e-9)) "at least above" 0.0
+    (Stats.Cdf.fraction_at_least c 0.5);
+  Alcotest.(check (float 1e-9)) "at most below" 0.0
+    (Stats.Cdf.fraction_at_most c 0.3);
+  Alcotest.(check (float 1e-9)) "at most at the sample" 1.0
+    (Stats.Cdf.fraction_at_most c 0.4);
+  Alcotest.check_raises "empty" (Invalid_argument "Cdf.of_samples: empty sample")
+    (fun () -> ignore (Stats.Cdf.of_samples []))
+
 let table_rendering () =
   let t =
     Stats.Table.create
@@ -164,6 +180,7 @@ let suite =
     Alcotest.test_case "cdf both directions" `Quick cdf_directions;
     Alcotest.test_case "cdf with ties" `Quick cdf_with_ties;
     Alcotest.test_case "cdf series" `Quick cdf_series;
+    Alcotest.test_case "cdf singleton and empty" `Quick cdf_singleton_and_empty;
     Alcotest.test_case "table rendering" `Quick table_rendering;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
   ]

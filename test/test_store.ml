@@ -104,6 +104,53 @@ let capacity_validation () =
     (Invalid_argument "Store.create: capacity must be at least 1") (fun () ->
       ignore (P2prange.Store.create ~policy:(P2prange.Store.Lru 0) ()))
 
+let all_entries_does_not_refresh_lru () =
+  (* Regression: the per-peer index scan ([all_entries]) and maintenance
+     reads ([peek_bucket]) must not count as uses, or a full-store scan
+     would reset every LRU stamp and turn eviction into FIFO. *)
+  let s = P2prange.Store.create ~policy:(P2prange.Store.Lru 3) () in
+  P2prange.Store.insert s ~identifier:1 (entry 0 10);
+  P2prange.Store.insert s ~identifier:2 (entry 20 30);
+  P2prange.Store.insert s ~identifier:3 (entry 40 50);
+  (* Make 2 the most recent, then scan; if scanning refreshed stamps the
+     victim would be decided by scan order instead. *)
+  ignore (P2prange.Store.bucket s ~identifier:2);
+  ignore (P2prange.Store.all_entries s);
+  ignore (P2prange.Store.peek_bucket s ~identifier:1);
+  P2prange.Store.insert s ~identifier:4 (entry 60 70);
+  Alcotest.(check bool) "LRU victim unchanged by scans" false
+    (P2prange.Store.mem s ~identifier:1 ~range:(mk 0 10));
+  Alcotest.(check bool) "touched entry survives" true
+    (P2prange.Store.mem s ~identifier:2 ~range:(mk 20 30))
+
+let evictions_count_across_buckets () =
+  (* The eviction counter is store-wide: victims from different buckets
+     all accumulate, and emptied buckets disappear. *)
+  let s = P2prange.Store.create ~policy:(P2prange.Store.Fifo 2) () in
+  for i = 1 to 6 do
+    P2prange.Store.insert s ~identifier:i (entry (10 * i) (10 * i + 5))
+  done;
+  Alcotest.(check int) "four dropped over four buckets" 4
+    (P2prange.Store.evictions s);
+  Alcotest.(check int) "capacity holds" 2 (P2prange.Store.entry_count s);
+  Alcotest.(check int) "emptied buckets pruned" 2
+    (P2prange.Store.bucket_count s);
+  (* Idempotent re-insert of a survivor must not evict. *)
+  P2prange.Store.insert s ~identifier:6 (entry 60 65);
+  Alcotest.(check int) "no eviction on re-insert" 4 (P2prange.Store.evictions s)
+
+let remove_bucket_is_not_an_eviction () =
+  let s = P2prange.Store.create ~policy:(P2prange.Store.Fifo 8) () in
+  P2prange.Store.insert s ~identifier:1 (entry 0 10);
+  P2prange.Store.insert s ~identifier:1 (entry 20 30);
+  P2prange.Store.insert s ~identifier:2 (entry 40 50);
+  Alcotest.(check int) "removes the whole bucket" 2
+    (P2prange.Store.remove_bucket s ~identifier:1);
+  Alcotest.(check int) "missing bucket removes nothing" 0
+    (P2prange.Store.remove_bucket s ~identifier:1);
+  Alcotest.(check int) "count adjusted" 1 (P2prange.Store.entry_count s);
+  Alcotest.(check int) "not counted as eviction" 0 (P2prange.Store.evictions s)
+
 let capacity_one () =
   let s = P2prange.Store.create ~policy:(P2prange.Store.Fifo 1) () in
   P2prange.Store.insert s ~identifier:1 (entry 0 10);
@@ -125,6 +172,12 @@ let suite =
       lru_keeps_recently_matched;
     Alcotest.test_case "FIFO ignores reads" `Quick fifo_ignores_reads;
     Alcotest.test_case "unbounded never evicts" `Quick unbounded_never_evicts;
+    Alcotest.test_case "scans do not refresh LRU stamps" `Quick
+      all_entries_does_not_refresh_lru;
+    Alcotest.test_case "evictions count across buckets" `Quick
+      evictions_count_across_buckets;
+    Alcotest.test_case "remove_bucket is not an eviction" `Quick
+      remove_bucket_is_not_an_eviction;
     Alcotest.test_case "capacity validation" `Quick capacity_validation;
     Alcotest.test_case "capacity of one" `Quick capacity_one;
   ]
