@@ -929,6 +929,133 @@ let balance_bench () =
   | _ -> assert false)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: drop rate × crash fraction, retry on vs off        *)
+(* ------------------------------------------------------------------ *)
+
+(* Headline gauges at the (drop 0.1, 10% crashed) cell — the recall the
+   retry/backoff machinery recovers is what check_bench enforces. *)
+let g_recall_retry_off = Obs.Metrics.gauge "faults.bench.recall_retry_off"
+let g_recall_retry_on = Obs.Metrics.gauge "faults.bench.recall_retry_on"
+let g_recall_gap = Obs.Metrics.gauge "faults.bench.recall_gap"
+let g_degraded_retry_off = Obs.Metrics.gauge "faults.bench.degraded_retry_off"
+let g_degraded_retry_on = Obs.Metrics.gauge "faults.bench.degraded_retry_on"
+let g_sends_per_query_off = Obs.Metrics.gauge "faults.bench.sends_per_query_off"
+let g_sends_per_query_on = Obs.Metrics.gauge "faults.bench.sends_per_query_on"
+
+let faults_bench () =
+  (* Sweep per-message drop rate × crashed-peer fraction over pairs of
+     identically-seeded systems that differ only in the retry policy:
+     [Retry.none] (faults without recovery) vs [Retry.default]. Each cell
+     streams the same uniform query workload through both; queries
+     populate the caches (cache-on-inexact), so a lost owner contact costs
+     both the answer and the cache write. l = 1 keeps a single owner per
+     range, making every lost contact visible in recall rather than
+     masked by the other four owners of the paper's l = 5. *)
+  let module System = P2prange.System in
+  let module Peer = P2prange.Peer in
+  let n_peers = 64 and n_warm = 1_000 and n_measure = 2_000 in
+  let base =
+    { Config.default with
+      matching = Config.Containment_match;
+      spread_identifiers = true;
+      l = 1;
+    }
+  in
+  let mean = function
+    | [] -> 0.0
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let sends_counter = Obs.Metrics.counter "faults.sends" in
+  let cell ~drop ~crash_fraction ~retry =
+    let config =
+      { base with
+        faults =
+          Some { Config.spec = { Faults.Plane.no_faults with drop }; retry };
+      }
+    in
+    let sys = System.create ~config ~seed ~n_peers () in
+    let plane = Option.get (System.fault_plane sys) in
+    (* Crash the first [crash_fraction] of peers (by creation order) for
+       the whole run: their segments stay owned but unanswerable. *)
+    let n_crashed =
+      int_of_float (float_of_int n_peers *. crash_fraction)
+    in
+    List.iteri
+      (fun i p -> if i < n_crashed then Faults.Plane.crash plane (Peer.id p))
+      (System.peers sys);
+    let rng = Prng.Splitmix.create seed in
+    let stream =
+      Workload.Query_workload.create Workload.Query_workload.Uniform_pairs
+        ~domain:base.Config.domain ~seed
+    in
+    let live =
+      Array.of_list (List.filter (System.responsive sys) (System.peers sys))
+    in
+    let sends0 = Obs.Metrics.counter_value sends_counter in
+    let recalls = ref [] and degraded = ref 0 in
+    for i = 1 to n_warm + n_measure do
+      let from = live.(Prng.Splitmix.int rng (Array.length live)) in
+      let result =
+        System.query sys ~from (Workload.Query_workload.next stream)
+      in
+      if i > n_warm then begin
+        recalls := result.System.recall :: !recalls;
+        if result.System.degraded then incr degraded
+      end
+    done;
+    let sends = Obs.Metrics.counter_value sends_counter - sends0 in
+    ( mean !recalls,
+      float_of_int !degraded /. float_of_int n_measure,
+      float_of_int sends /. float_of_int (n_warm + n_measure) )
+  in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("drop", Stats.Table.Right); ("crashed", Stats.Table.Right);
+          ("recall retry-off", Stats.Table.Right);
+          ("recall retry-on", Stats.Table.Right);
+          ("degraded off", Stats.Table.Right);
+          ("degraded on", Stats.Table.Right);
+          ("sends/query on", Stats.Table.Right) ]
+  in
+  let headline = ref (0.0, 0.0) in
+  List.iter
+    (fun (drop, crash_fraction) ->
+      let rec_off, deg_off, sends_off =
+        cell ~drop ~crash_fraction ~retry:Faults.Retry.none
+      in
+      let rec_on, deg_on, sends_on =
+        cell ~drop ~crash_fraction ~retry:Faults.Retry.default
+      in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%.2f" drop;
+          Printf.sprintf "%.0f%%" (crash_fraction *. 100.0);
+          Printf.sprintf "%.3f" rec_off;
+          Printf.sprintf "%.3f" rec_on;
+          Printf.sprintf "%.3f" deg_off;
+          Printf.sprintf "%.3f" deg_on;
+          Printf.sprintf "%.1f" sends_on;
+        ];
+      (* The acceptance cell: drop 0.1, 10% of peers crashed. *)
+      if drop = 0.1 && crash_fraction = 0.1 then begin
+        headline := (rec_off, rec_on);
+        Obs.Metrics.set_gauge g_recall_retry_off rec_off;
+        Obs.Metrics.set_gauge g_recall_retry_on rec_on;
+        Obs.Metrics.set_gauge g_recall_gap (rec_on -. rec_off);
+        Obs.Metrics.set_gauge g_degraded_retry_off deg_off;
+        Obs.Metrics.set_gauge g_degraded_retry_on deg_on;
+        Obs.Metrics.set_gauge g_sends_per_query_off sends_off;
+        Obs.Metrics.set_gauge g_sends_per_query_on sends_on
+      end)
+    [ (0.05, 0.0); (0.05, 0.1); (0.1, 0.0); (0.1, 0.1); (0.2, 0.0); (0.2, 0.1) ];
+  Format.printf "%a" Stats.Table.pp table;
+  let rec_off, rec_on = !headline in
+  Format.printf
+    "retry recovery at drop 0.10 / 10%% crashed: +%.3f recall (%.3f -> %.3f)@."
+    (rec_on -. rec_off) rec_off rec_on
+
+(* ------------------------------------------------------------------ *)
 (* Engine: SQL-over-P2P provenance (§2/§6)                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1209,6 +1336,8 @@ let () =
     ablation_family;
   section "balance" "hot-bucket replication and failover (lib/balance)"
     balance_bench;
+  section "faults" "fault injection: drop x crash sweep, retry on vs off"
+    faults_bench;
   section "engine-sql" "SQL-over-P2P provenance split (§2/§6)" engine_sql;
   section "baseline-can" "CAN vs Chord as the DHT substrate (§3.1)"
     baseline_can;

@@ -39,6 +39,34 @@ let check_section ~name body =
     | Some _ -> fail "section %s: total_messages is not a non-negative int" name
     | None -> fail "section %s: derived block lacks total_messages" name)
 
+(* Robustness floor for the faults section: the retry/backoff machinery
+   must recover at least this much recall over retry-disabled routing at
+   the acceptance cell (drop 0.1, 10% crashed, seed 42). *)
+let min_recall_gap = 0.15
+
+let check_faults_gauges body =
+  let gauge name =
+    match Json.member "metrics" body with
+    | None -> fail "section faults has no metrics block"
+    | Some metrics -> (
+      match Json.member "gauges" metrics with
+      | None -> fail "section faults has no gauges block"
+      | Some gauges -> (
+        match Json.member name gauges with
+        | Some (Json.Float f) when Float.is_finite f -> f
+        | Some (Json.Int i) -> float_of_int i
+        | Some Json.Null -> fail "faults gauge %s was never set" name
+        | Some _ -> fail "faults gauge %s is not a finite number" name
+        | None -> fail "faults gauge %s missing" name))
+  in
+  let off = gauge "faults.bench.recall_retry_off" in
+  let on = gauge "faults.bench.recall_retry_on" in
+  if on -. off < min_recall_gap then
+    fail
+      "faults: retry-enabled routing recovers only %.3f recall over \
+       retry-disabled (%.3f -> %.3f); floor is %.2f"
+      (on -. off) off on min_recall_gap
+
 let () =
   let file, expected =
     match Array.to_list Sys.argv with
@@ -48,14 +76,18 @@ let () =
       exit 2
   in
   let text =
+    (* Catch-all: any read failure (missing file, directory, permission,
+       I/O error) must exit 1 with a message naming the file — never look
+       like a pass or die with an unexplained backtrace. *)
     match In_channel.with_open_bin file In_channel.input_all with
     | s -> s
-    | exception Sys_error msg -> fail "%s" msg
+    | exception Sys_error msg -> fail "cannot read %s: %s" file msg
+    | exception exn -> fail "cannot read %s: %s" file (Printexc.to_string exn)
   in
   let doc =
     match Json.of_string text with
     | Ok doc -> doc
-    | Error msg -> fail "%s: %s" file msg
+    | Error msg -> fail "%s is not valid metrics JSON: %s" file msg
   in
   (match Json.member "schema_version" doc with
   | Some (Json.Int 1) -> ()
@@ -71,6 +103,8 @@ let () =
     (fun name ->
       match List.assoc_opt name sections with
       | None -> fail "expected section %s missing" name
-      | Some body -> check_section ~name body)
+      | Some body ->
+        check_section ~name body;
+        if name = "faults" then check_faults_gauges body)
     expected;
   Printf.printf "check_bench: %s ok (%s)\n" file (String.concat ", " expected)

@@ -11,6 +11,10 @@
    replication off and on — serve the same skewed query stream, lose the
    same peers, and report the recall each retains.
 
+   A third act turns on the deterministic fault plane: messages drop,
+   nodes crash and come back, and lookups survive (or don't) depending on
+   whether retry/backoff routing is enabled.
+
    Run with:  dune exec examples/churn_resilience.exe *)
 
 module Network = Chord.Network
@@ -156,4 +160,47 @@ let () =
         "%-16s recall %.3f -> %.3f after %d failures  (replicated buckets: %d)@."
         label before after (List.length victims)
         (System.replicated_buckets sys))
-    warm
+    warm;
+
+  (* ---- act three: the fault plane — drops, crashes, retries.
+
+     A fresh converged overlay under a seeded fault plane: 15% of
+     messages drop, and lookups run once without retries, then with the
+     default backoff policy. Then a node crash/recover cycle shows the
+     network routing around a silent node and re-absorbing it. *)
+  let module Plane = Faults.Plane in
+  Format.printf "@.--- act three: deterministic fault injection ---@.";
+  let net2 = Network.create ~successor_list_length:8 () in
+  let bootstrap2 = random_id () in
+  Network.add_first net2 bootstrap2;
+  for _ = 1 to 47 do
+    let id = random_id () in
+    if not (Network.alive net2 id) then begin
+      Network.join net2 id ~via:bootstrap2;
+      Network.stabilize net2 ~rounds:2
+    end
+  done;
+  Network.stabilize net2 ~rounds:10;
+  lookup_health net2 ~label:"fault-free baseline";
+  let spec = { Plane.no_faults with Plane.drop = 0.15 } in
+  Network.set_faults net2 ~retry:Faults.Retry.none
+    (Plane.create ~spec ~seed:778L ());
+  lookup_health net2 ~label:"15% drop, no retries";
+  Network.set_faults net2 ~retry:Faults.Retry.default
+    (Plane.create ~spec ~seed:778L ());
+  lookup_health net2 ~label:"15% drop, retry/backoff";
+  (* Crash a node under a clean plane: routing skirts it, then it
+     recovers and stabilization welcomes it back. *)
+  let plane = Plane.create ~seed:779L () in
+  Network.set_faults net2 plane;
+  let victim = List.nth (Network.node_ids net2) 7 in
+  Plane.crash plane victim;
+  Network.stabilize net2 ~rounds:8;
+  Format.printf "@.crashed one node (still alive, not responding)@.";
+  lookup_health net2 ~label:"routing around the crashed node";
+  Plane.recover plane victim;
+  Plane.tick plane;
+  Network.stabilize net2 ~rounds:10;
+  Format.printf "node recovered; converged again: %b@."
+    (Network.is_converged net2);
+  lookup_health net2 ~label:"after crash/recover cycle"

@@ -10,12 +10,26 @@ type node = {
 type t = {
   nodes : (int, node) Hashtbl.t;
   successor_list_length : int;
+  mutable faults : (Faults.Plane.t * Faults.Retry.policy) option;
 }
 
-let create ?(successor_list_length = 8) () =
+let create ?(successor_list_length = 8) ?faults ?(retry = Faults.Retry.default)
+    () =
   if successor_list_length < 1 then
     invalid_arg "Network.create: successor list must hold at least one entry";
-  { nodes = Hashtbl.create 64; successor_list_length }
+  Faults.Retry.validate retry;
+  {
+    nodes = Hashtbl.create 64;
+    successor_list_length;
+    faults = Option.map (fun plane -> (plane, retry)) faults;
+  }
+
+let set_faults t ?(retry = Faults.Retry.default) plane =
+  Faults.Retry.validate retry;
+  t.faults <- Some (plane, retry)
+
+let clear_faults t = t.faults <- None
+let faults t = Option.map fst t.faults
 
 let node_opt t id =
   match Hashtbl.find_opt t.nodes id with
@@ -28,6 +42,35 @@ let node_exn t id =
   | None -> invalid_arg "Network: unknown or dead node"
 
 let alive t id = node_opt t id <> None
+
+(* A node worth talking to: live, and not inside a fault-plane crash
+   window. Without a plane this is exactly [alive], so fault-free runs
+   behave bit-identically to builds that predate the plane. *)
+let responsive t id =
+  alive t id
+  &&
+  match t.faults with
+  | None -> true
+  | Some (plane, _) -> not (Faults.Plane.crashed plane id)
+
+(* One unretried protocol message (stabilize/notify traffic — periodic, so
+   a lost message just waits for the next round). *)
+let message_ok t ~src ~dst =
+  match t.faults with
+  | None -> true
+  | Some (plane, _) -> (
+    match Faults.Plane.send plane ~src ~dst with
+    | Faults.Plane.Delivered _ -> true
+    | Faults.Plane.Dropped | Faults.Plane.Unreachable -> false)
+
+(* A routed lookup hop: retried under the plane's policy. *)
+let contact_ok t ~src ~dst =
+  match t.faults with
+  | None -> true
+  | Some (plane, retry) -> (
+    match Faults.Plane.rpc plane ~retry ~src ~dst () with
+    | Ok _ -> true
+    | Error _ -> false)
 
 let size t =
   Hashtbl.fold (fun _ n acc -> if n.dead then acc else acc + 1) t.nodes 0
@@ -55,25 +98,28 @@ let add_first t id =
   Array.fill n.fingers 0 Id.bits id;
   Hashtbl.replace t.nodes id n
 
-(* First live entry of a node's successor chain; falls back to itself. *)
+(* First responsive entry of a node's successor chain; falls back to
+   itself. *)
 let live_successor t n =
   let rec first = function
     | [] -> n.id
-    | s :: rest -> if alive t s then s else first rest
+    | s :: rest -> if responsive t s then s else first rest
   in
-  let s = if alive t n.successor then n.successor else first n.successors in
+  let s =
+    if responsive t n.successor then n.successor else first n.successors
+  in
   if s <> n.successor then n.successor <- s;
   s
 
-(* Highest live finger strictly inside (n, key); [n] itself if none. The
-   descending scan returns at the first qualifying finger instead of
+(* Highest responsive finger strictly inside (n, key); [n] itself if none.
+   The descending scan returns at the first qualifying finger instead of
    walking the remaining entries of the table. *)
 let closest_preceding t n key =
   let rec scan i =
     if i < 0 then n.id
     else
       let f = n.fingers.(i) in
-      if f <> 0 && alive t f && Id.in_interval_oo f ~lo:n.id ~hi:key then f
+      if f <> 0 && responsive t f && Id.in_interval_oo f ~lo:n.id ~hi:key then f
       else scan (i - 1)
   in
   scan (Id.bits - 1)
@@ -84,6 +130,7 @@ let m_lookups = Obs.Metrics.counter "chord.net.lookups"
 let m_messages = Obs.Metrics.counter "chord.net.messages"
 let m_hop_limit = Obs.Metrics.counter "chord.net.hop_limit_exceeded"
 let m_failed = Obs.Metrics.counter "chord.net.failed_routes"
+let m_fallbacks = Obs.Metrics.counter "chord.net.fallback_hops"
 let h_hops = Obs.Metrics.histogram "chord.net.hops"
 
 let find_successor t ~from ~key =
@@ -99,7 +146,9 @@ let find_successor t ~from ~key =
         else begin
           let succ = live_successor t n in
           if Id.in_interval_oc key ~lo:n.id ~hi:succ then
-            if succ = n.id then Some (n.id, hops) else Some (succ, hops + 1)
+            if succ = n.id then Some (n.id, hops)
+            else if contact_ok t ~src:n.id ~dst:succ then Some (succ, hops + 1)
+            else None (* owner unreachable within the retry budget *)
           else begin
             let next = closest_preceding t n key in
             let next = if next = n.id then succ else next in
@@ -107,13 +156,36 @@ let find_successor t ~from ~key =
             | None -> None
             | Some next_node ->
               if next = n.id then None (* isolated: no live way forward *)
-              else route next_node (hops + 1)
+              else if contact_ok t ~src:n.id ~dst:next then
+                route next_node (hops + 1)
+              else fallback n ~failed:next hops
           end
         end
+      (* A finger timed out past its retry budget: instead of dead-ending,
+         fall back to successor-list hops — shorter strides, but they stay
+         inside (n, key] so progress toward the owner is preserved. *)
+      and fallback n ~failed hops =
+        let rec try_hops = function
+          | [] -> None
+          | s :: rest ->
+            if
+              s <> failed && s <> n.id && responsive t s
+              && Id.in_interval_oo s ~lo:n.id ~hi:key
+              && contact_ok t ~src:n.id ~dst:s
+            then begin
+              Obs.Metrics.incr m_fallbacks;
+              match node_opt t s with
+              | Some sn -> route sn (hops + 1)
+              | None -> try_hops rest
+            end
+            else try_hops rest
+        in
+        try_hops (n.successor :: n.successors)
       in
       (* A node owning the key answers locally with zero hops. *)
       (match start.predecessor with
-      | Some p when alive t p && Id.in_interval_oc key ~lo:p ~hi:start.id ->
+      | Some p when responsive t p && Id.in_interval_oc key ~lo:p ~hi:start.id
+        ->
         Some (start.id, 0)
       | Some _ | None -> route start 0)
   in
@@ -138,13 +210,32 @@ let fail t id =
   let n = node_exn t id in
   n.dead <- true
 
+(* Rejoin a previously failed node: route a fresh successor for its id via
+   a live bootstrap peer and reset all ring state, exactly as a new join
+   would. Fingers and the backup list repopulate over subsequent
+   stabilization rounds. *)
+let recover t id ~via =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> invalid_arg "Network.recover: unknown node"
+  | Some n -> (
+    if not n.dead then invalid_arg "Network.recover: node is not dead";
+    let _ = node_exn t via in
+    match find_successor t ~from:via ~key:id with
+    | None -> invalid_arg "Network.recover: bootstrap routing failed"
+    | Some (succ, _) ->
+      n.dead <- false;
+      n.successor <- succ;
+      n.successors <- [ succ ];
+      n.predecessor <- None;
+      Array.fill n.fingers 0 Id.bits 0)
+
 let notify t target candidate =
   match node_opt t target with
   | None -> ()
   | Some n ->
     let should_adopt =
       match n.predecessor with
-      | Some p when alive t p -> Id.in_interval_oo candidate ~lo:p ~hi:n.id
+      | Some p when responsive t p -> Id.in_interval_oo candidate ~lo:p ~hi:n.id
       | Some _ | None -> true
     in
     if should_adopt && (candidate <> n.id || size t = 1) then
@@ -152,26 +243,31 @@ let notify t target candidate =
 
 let stabilize_node t n =
   let succ = live_successor t n in
-  (* Adopt the successor's predecessor if it sits between us. *)
-  (match node_opt t succ with
-  | Some sn -> (
-    match sn.predecessor with
-    | Some x when alive t x && Id.in_interval_oo x ~lo:n.id ~hi:succ ->
-      n.successor <- x
-    | Some _ | None -> ())
-  | None -> ());
-  let succ = live_successor t n in
-  notify t succ n.id;
-  (* Refresh the backup list from the (new) successor's list. *)
-  (match node_opt t succ with
-  | Some sn ->
-    let chain = succ :: List.filter (alive t) sn.successors in
-    let rec take k = function
-      | [] -> []
-      | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
-    in
-    n.successors <- take t.successor_list_length chain
-  | None -> ());
+  (* The whole stabilize exchange rides on one unretried message pair with
+     the successor: if the plane drops it, this round's refresh is simply
+     skipped — stabilization is periodic, the next round tries again. *)
+  if succ = n.id || message_ok t ~src:n.id ~dst:succ then begin
+    (* Adopt the successor's predecessor if it sits between us. *)
+    (match node_opt t succ with
+    | Some sn -> (
+      match sn.predecessor with
+      | Some x when alive t x && Id.in_interval_oo x ~lo:n.id ~hi:succ ->
+        n.successor <- x
+      | Some _ | None -> ())
+    | None -> ());
+    let succ = live_successor t n in
+    notify t succ n.id;
+    (* Refresh the backup list from the (new) successor's list. *)
+    match node_opt t succ with
+    | Some sn ->
+      let chain = succ :: List.filter (alive t) sn.successors in
+      let rec take k = function
+        | [] -> []
+        | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+      in
+      n.successors <- take t.successor_list_length chain
+    | None -> ()
+  end;
   (* Drop a dead predecessor so a live one can be notified in. *)
   match n.predecessor with
   | Some p when not (alive t p) -> n.predecessor <- None
@@ -182,7 +278,13 @@ let fix_fingers_node t n =
     let target = Id.add_pow2 n.id i in
     match find_successor t ~from:n.id ~key:target with
     | Some (owner, _) -> n.fingers.(i) <- owner
-    | None -> ()
+    | None ->
+      (* Lookup dead-ended. If the cached finger itself has stopped
+         answering, clear it so routing stops considering it; a finger
+         that still responds keeps its slot (the dead end was elsewhere
+         on the path). *)
+      if n.fingers.(i) <> 0 && not (responsive t n.fingers.(i)) then
+        n.fingers.(i) <- 0
   done
 
 let live_nodes t =
@@ -190,7 +292,8 @@ let live_nodes t =
   |> List.sort (fun a b -> Int.compare a.id b.id)
 
 let stabilize_round t =
-  let nodes = live_nodes t in
+  (* A node inside a fault-plane crash window runs no periodic tasks. *)
+  let nodes = List.filter (fun n -> responsive t n.id) (live_nodes t) in
   List.iter (stabilize_node t) nodes;
   List.iter (fix_fingers_node t) nodes
 
@@ -207,14 +310,14 @@ let successor_list t id =
   let rec dedup seen = function
     | [] -> []
     | x :: rest ->
-      if x = id || List.mem x seen || not (alive t x) then dedup seen rest
+      if x = id || List.mem x seen || not (responsive t x) then dedup seen rest
       else x :: dedup (x :: seen) rest
   in
   dedup [] chain
 
 let predecessor t id =
   match (node_exn t id).predecessor with
-  | Some p when alive t p -> Some p
+  | Some p when responsive t p -> Some p
   | Some _ | None -> None
 
 let is_converged t =

@@ -4,13 +4,37 @@
     *gets* converged — the join / stabilize / notify / fix-fingers protocol
     of the Chord paper, plus successor lists for fault tolerance. It backs
     the churn example and the protocol test-suite. All "RPCs" are direct
-    in-process calls on the simulated nodes. *)
+    in-process calls on the simulated nodes.
+
+    A {!Faults.Plane.t} can be attached (at {!create} or later via
+    {!set_faults}): every lookup hop then becomes a retried RPC under the
+    plane's drop/crash/laggard model, stabilize/notify traffic becomes
+    unretried messages that can be lost, and routing falls back from
+    unreachable fingers to successor-list hops (counted on
+    [chord.net.fallback_hops]). Without a plane, behavior is bit-identical
+    to a fault-free build. *)
 
 type t
 
-val create : ?successor_list_length:int -> unit -> t
+val create :
+  ?successor_list_length:int ->
+  ?faults:Faults.Plane.t ->
+  ?retry:Faults.Retry.policy ->
+  unit ->
+  t
 (** An empty network. [successor_list_length] (default 8) bounds how many
-    consecutive node failures routing can survive. *)
+    consecutive node failures routing can survive. [faults] attaches a
+    fault plane to every message boundary; [retry] (default
+    {!Faults.Retry.default}) governs lookup-hop RPCs and is ignored
+    without a plane. *)
+
+val set_faults : t -> ?retry:Faults.Retry.policy -> Faults.Plane.t -> unit
+(** Attach (or replace) the fault plane on a running network. *)
+
+val clear_faults : t -> unit
+(** Detach the fault plane; subsequent operations are fault-free. *)
+
+val faults : t -> Faults.Plane.t option
 
 val add_first : t -> Id.t -> unit
 (** Bootstraps the network with its first node (its own successor).
@@ -25,7 +49,19 @@ val fail : t -> Id.t -> unit
 (** Abrupt departure: the node stops responding; no goodbye messages.
     Peers repair their state in subsequent {!stabilize} rounds. *)
 
+val recover : t -> Id.t -> via:Id.t -> unit
+(** Rejoin a previously {!fail}ed node: its ring state is reset and a
+    fresh successor is routed through the live bootstrap peer [via], as a
+    new join would. Fingers repopulate over later stabilization rounds.
+    @raise Invalid_argument if the node is unknown or not dead, [via] is
+    unknown/dead, or bootstrap routing dead-ends. *)
+
 val alive : t -> Id.t -> bool
+
+val responsive : t -> Id.t -> bool
+(** Alive and not inside a fault-plane crash window. Identical to
+    {!alive} when no plane is attached. *)
+
 val size : t -> int
 (** Number of live nodes. *)
 

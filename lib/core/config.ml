@@ -9,6 +9,8 @@ type replication =
   | No_replication
   | Replicate of { r : int; hot : Balance.Tracker.hot_policy; window : int }
 
+type faults = { spec : Faults.Plane.spec; retry : Faults.Retry.policy }
+
 type t = {
   family : Lsh.Family.kind;
   k : int;
@@ -23,6 +25,7 @@ type t = {
   spread_identifiers : bool;
   replication : replication;
   virtual_nodes : int;
+  faults : faults option;
 }
 
 let default =
@@ -40,6 +43,7 @@ let default =
     spread_identifiers = false;
     replication = No_replication;
     virtual_nodes = 1;
+    faults = None;
   }
 
 let paper_quality ~family = { default with family }
@@ -70,4 +74,9 @@ let validate t =
       if n < 1 then invalid_arg "Config: absolute hotness threshold must be >= 1"
     | Balance.Tracker.Top_k k ->
       if k < 1 then invalid_arg "Config: top-k hotness count must be >= 1"));
-  if t.virtual_nodes < 1 then invalid_arg "Config: virtual_nodes must be >= 1"
+  if t.virtual_nodes < 1 then invalid_arg "Config: virtual_nodes must be >= 1";
+  match t.faults with
+  | None -> ()
+  | Some { spec; retry } ->
+    Faults.Plane.validate_spec spec;
+    Faults.Retry.validate retry

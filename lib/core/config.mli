@@ -30,6 +30,17 @@ type replication =
           [window] lookups) onto the owner's first [r] ring successors, and
           serve lookups from the least-loaded live holder *)
 
+type faults = {
+  spec : Faults.Plane.spec;  (** drop/delay/laggard/crash model *)
+  retry : Faults.Retry.policy;
+      (** backoff and budget for retried contacts; use {!Faults.Retry.none}
+          to inject faults without recovery (the ablation baseline) *)
+}
+(** Deterministic fault injection at every simulated message boundary:
+    lookup hops inside Chord and the owner contacts of publish/query. The
+    plane's seed derives from the system seed, so runs replay
+    bit-identically. *)
+
 type t = {
   family : Lsh.Family.kind;
   k : int;  (** hash functions per group *)
@@ -62,6 +73,10 @@ type t = {
       (** ring positions per peer (SHA-1 of ["name#i"]); [1] (the default)
           reproduces the paper's single-position placement exactly, larger
           values smooth segment sizes at the cost of [v×] ring state *)
+  faults : faults option;
+      (** fault plane over all message boundaries; [None] (the default)
+          is the fault-free protocol, bit-identical to builds that predate
+          the plane *)
 }
 
 val default : t
@@ -74,4 +89,5 @@ val paper_quality : family:Lsh.Family.kind -> t
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical settings (k, l < 1; negative
     padding; empty domain; replication factor, hotness threshold, window or
-    virtual-node count < 1). *)
+    virtual-node count < 1; fault probabilities outside [0, 1] or a
+    nonsensical retry policy). *)

@@ -72,6 +72,14 @@ let fail_peer t name =
   if not (List.exists (fun (_, sys) -> sys == t.routing) t.systems) then
     fail_in t.routing
 
+let recover_peer t name =
+  (* Mirror of [fail_peer]: the peer comes back in every system at once,
+     serving whatever its store held when it failed. *)
+  let recover_in sys = System.recover sys (System.peer_by_name sys name) in
+  List.iter (fun (_, sys) -> recover_in sys) t.systems;
+  if not (List.exists (fun (_, sys) -> sys == t.routing) t.systems) then
+    recover_in t.routing
+
 let system_for t ~relation ~attribute = List.assoc (relation, attribute) t.systems
 
 type provenance =

@@ -41,10 +41,15 @@ val system_for : t -> relation:string -> attribute:string -> System.t
 (** The range-selection system of a rangeable pair. @raise Not_found. *)
 
 val fail_peer : t -> string -> unit
-(** Permanently fails the named peer in every underlying range system (the
-    engine's systems share one peer population). Cached partitions it held
-    are only reachable afterwards where replication placed copies.
-    @raise Not_found on unknown names. *)
+(** Fails the named peer in every underlying range system (the engine's
+    systems share one peer population). Cached partitions it held are only
+    reachable afterwards where replication placed copies. Reversible with
+    {!recover_peer}. @raise Not_found on unknown names. *)
+
+val recover_peer : t -> string -> unit
+(** Brings a {!fail_peer}ed peer back in every underlying range system,
+    serving whatever it held when it failed. @raise Not_found on unknown
+    names. *)
 
 (** How one leaf of the plan was answered. *)
 type provenance =

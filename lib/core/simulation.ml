@@ -67,3 +67,6 @@ let fraction_complete run =
 let fraction_unmatched run =
   mean_over run (fun o ->
       match o.result.System.matched with Some _ -> 0.0 | None -> 1.0)
+
+let fraction_degraded run =
+  mean_over run (fun o -> if o.result.System.degraded then 1.0 else 0.0)

@@ -19,6 +19,7 @@ type t = {
   tracker : Balance.Tracker.t;
   replication : replication_state option;
   dead : (int, unit) Hashtbl.t; (* physical ids of failed peers *)
+  faults : (Faults.Plane.t * Faults.Retry.policy) option;
 }
 
 let create_with_peers ?(config = Config.default) ~seed names =
@@ -78,6 +79,15 @@ let create_with_peers ?(config = Config.default) ~seed names =
           tie_rng = Prng.Splitmix.split rng;
         }
   in
+  let faults =
+    match config.Config.faults with
+    | None -> None
+    | Some { Config.spec; retry } ->
+      (* The plane's seed is drawn only when a plane exists, so fault-free
+         systems consume exactly the pre-plane PRNG stream. *)
+      let plane_seed = Prng.Splitmix.next_int64 rng in
+      Some (Faults.Plane.create ~spec ~seed:plane_seed (), retry)
+  in
   {
     config;
     scheme;
@@ -90,6 +100,7 @@ let create_with_peers ?(config = Config.default) ~seed names =
     tracker;
     replication;
     dead = Hashtbl.create 8;
+    faults;
   }
 
 let create ?config ~seed ~n_peers () =
@@ -115,10 +126,43 @@ let tracker t = t.tracker
 
 let alive t peer = not (Hashtbl.mem t.dead (Peer.id peer))
 
+(* Alive and outside any fault-plane crash window — the peers worth
+   contacting. Identical to [alive] when no plane is configured. *)
+let responsive t peer =
+  alive t peer
+  &&
+  match t.faults with
+  | None -> true
+  | Some (plane, _) -> not (Faults.Plane.crashed plane (Peer.id peer))
+
+let fault_plane t = Option.map fst t.faults
+
+(* One retried owner contact from the querying peer, crossing [legs]
+   overlay hops per attempt (each hop is an independent chance to lose the
+   message). True when the contact lands within the retry budget; always
+   true without a plane. *)
+let contact_peer t ~from ~peer ~legs =
+  match t.faults with
+  | None -> true
+  | Some (plane, retry) ->
+    Result.is_ok
+      (Faults.Plane.rpc plane ~retry ~src:(Peer.id from) ~dst:(Peer.id peer)
+         ~legs ())
+
+let tick_faults t =
+  match t.faults with
+  | None -> ()
+  | Some (plane, _) -> Faults.Plane.tick plane
+
 let fail t peer =
   if not (Hashtbl.mem t.by_name (Peer.name peer)) then
     invalid_arg "System.fail: unknown peer";
   Hashtbl.replace t.dead (Peer.id peer) ()
+
+let recover t peer =
+  if not (Hashtbl.mem t.by_name (Peer.name peer)) then
+    invalid_arg "System.recover: unknown peer";
+  Hashtbl.remove t.dead (Peer.id peer)
 
 let load_imbalance t =
   Balance.Tracker.load_imbalance t.tracker
@@ -162,6 +206,8 @@ type query_result = {
   recall : float;
   stats : lookup_stats;
   cached : bool;
+  responders : int;  (* owner contacts that answered within budget *)
+  degraded : bool;  (* some owner went unanswered; best-effort result *)
 }
 
 (* Route each identifier from the requesting peer; return owners with hop
@@ -203,7 +249,7 @@ let store_at_owners t routes ~range ~partition =
   let entry = { Store.range; partition } in
   List.iter
     (fun (identifier, owner, _) ->
-      if alive t owner then insert_tracked t owner ~identifier entry;
+      if responsive t owner then insert_tracked t owner ~identifier entry;
       match t.replication with
       | None -> ()
       | Some rs -> (
@@ -214,7 +260,7 @@ let store_at_owners t routes ~range ~partition =
           List.iter
             (fun position ->
               let rp = peer_by_id t position in
-              if alive t rp then insert_tracked t rp ~identifier entry)
+              if responsive t rp then insert_tracked t rp ~identifier entry)
             positions))
     routes
 
@@ -227,7 +273,7 @@ let maintain_replicas t rs ~identifier ~owner =
     let desired =
       match
         Balance.Replicas.replica_set rs.view
-          ~alive:(fun position -> alive t (peer_by_id t position))
+          ~alive:(fun position -> responsive t (peer_by_id t position))
           ~group:(fun position -> Peer.id (peer_by_id t position))
           ~identifier ~r:rs.r ()
       with
@@ -239,7 +285,7 @@ let maintain_replicas t rs ~identifier ~owner =
     in
     if desired <> [] && existing = [] then Obs.Metrics.incr m_replications;
     if desired <> existing then Hashtbl.replace rs.replicas identifier desired;
-    if alive t owner then begin
+    if responsive t owner then begin
       (* Oldest first: insertion prepends, so the copy ends up in the
          owner's bucket order and tie-breaks in [Matching.best] the same. *)
       let entries = List.rev (Store.peek_bucket (Peer.store owner) ~identifier) in
@@ -281,14 +327,14 @@ let maintain_replicas t rs ~identifier ~owner =
    replicas, ties broken by the dedicated replication PRNG stream. *)
 let serving_peer t ~identifier ~owner =
   match t.replication with
-  | None -> if alive t owner then Some owner else None
+  | None -> if responsive t owner then Some owner else None
   | Some rs -> (
     let members =
       owner
       :: (match Hashtbl.find_opt rs.replicas identifier with
          | None -> []
          | Some positions -> List.map (peer_by_id t) positions)
-      |> List.filter (alive t)
+      |> List.filter (responsive t)
     in
     match members with
     | [] -> None
@@ -310,60 +356,92 @@ let serving_peer t ~identifier ~owner =
           (snd
              (List.nth minima (Prng.Splitmix.int rs.tie_rng (List.length minima))))))
 
-(* One serve per routed identifier: pick the serving peer, read its reply
-   {e before} charging the lookup and letting hotness maintenance react —
-   maintenance may wipe the very bucket just served (a cooled replica). A
-   serve by a non-owner costs one extra overlay hop (the forward from the
-   owner's segment to the chosen successor). *)
-let serve_all t ~effective routes =
+(* One serve per routed identifier: pick the serving peer, contact it
+   across the fault plane (one retried RPC spanning the route's hops),
+   then read its reply {e before} charging the lookup and letting hotness
+   maintenance react — maintenance may wipe the very bucket just served (a
+   cooled replica). A serve by a non-owner costs one extra overlay hop
+   (the forward from the owner's segment to the chosen successor). The
+   [responded] flag distinguishes "answered with nothing matching" from
+   "never answered" — only the latter degrades the query. *)
+let serve_all t ~from ~effective routes =
   List.map
     (fun (identifier, owner, hops) ->
       match serving_peer t ~identifier ~owner with
-      | None -> (identifier, hops, None)
+      | None -> (identifier, hops, None, false)
       | Some peer ->
-        let reply =
-          let candidates =
-            if t.config.Config.peer_index then Store.all_entries (Peer.store peer)
-            else Store.bucket (Peer.store peer) ~identifier
+        if not (contact_peer t ~from ~peer ~legs:(hops + 1)) then
+          (identifier, hops, None, false)
+        else begin
+          let reply =
+            let candidates =
+              if t.config.Config.peer_index then
+                Store.all_entries (Peer.store peer)
+              else Store.bucket (Peer.store peer) ~identifier
+            in
+            Matching.best t.config.Config.matching ~query:effective candidates
           in
-          Matching.best t.config.Config.matching ~query:effective candidates
-        in
-        Balance.Tracker.record_query t.tracker ~peer:(Peer.id peer) ~identifier;
-        (match t.replication with
-        | Some rs -> maintain_replicas t rs ~identifier ~owner
-        | None -> ());
-        let hops =
-          if Peer.id peer = Peer.id owner then hops
-          else begin
-            (if alive t owner then Obs.Metrics.incr m_replica_hits
-             else Obs.Metrics.incr m_failovers);
-            hops + 1
-          end
-        in
-        (identifier, hops, reply))
+          Balance.Tracker.record_query t.tracker ~peer:(Peer.id peer)
+            ~identifier;
+          (match t.replication with
+          | Some rs -> maintain_replicas t rs ~identifier ~owner
+          | None -> ());
+          let hops =
+            if Peer.id peer = Peer.id owner then hops
+            else begin
+              (if responsive t owner then Obs.Metrics.incr m_replica_hits
+               else Obs.Metrics.incr m_failovers);
+              hops + 1
+            end
+          in
+          (identifier, hops, reply, true)
+        end)
     routes
 
 let recall_bounds = Array.init 21 (fun i -> float_of_int i /. 20.0)
 let h_recall = Obs.Metrics.histogram ~bounds:recall_bounds "system.query.recall"
 let h_query_messages = Obs.Metrics.histogram "system.query.messages"
 
+let m_degraded = Obs.Metrics.counter "system.degraded_queries"
+let m_unanswered_owners = Obs.Metrics.counter "system.unanswered_owners"
+
 let publish t ~from ?partition range =
+  tick_faults t;
   let ids = identifiers t range in
   let routes = route_all t ~from ids in
-  store_at_owners t routes ~range ~partition;
+  (* Each owner store is one retried contact across the plane; an owner
+     that never answers simply misses this publication. *)
+  let reached =
+    match t.faults with
+    | None -> routes
+    | Some _ ->
+      List.filter
+        (fun (_, owner, hops) ->
+          contact_peer t ~from ~peer:owner ~legs:(hops + 1))
+        routes
+  in
+  store_at_owners t reached ~range ~partition;
   let stats = stats_of_hops ids (List.map (fun (_, _, h) -> h) routes) in
   Obs.Metrics.incr m_publishes;
   Obs.Metrics.add m_messages stats.messages;
   stats
 
 let query t ~from range =
+  tick_faults t;
   let effective = Padding.apply t.padding range ~domain:t.config.Config.domain in
   let ids = identifiers t effective in
   let routes = route_all t ~from ids in
   (* Each serving peer replies with its best local candidate; identifiers
-     whose owner failed with no replica to fail over to go unanswered. *)
-  let served = serve_all t ~effective routes in
-  let replies = List.filter_map (fun (_, _, reply) -> reply) served in
+     whose owner failed with no replica to fail over to — or whose contact
+     ran out its retry budget — go unanswered. *)
+  let served = serve_all t ~from ~effective routes in
+  let replies = List.filter_map (fun (_, _, reply, _) -> reply) served in
+  let responders =
+    List.fold_left
+      (fun acc (_, _, _, responded) -> if responded then acc + 1 else acc)
+      0 served
+  in
+  let degraded = responders < List.length served in
   let matched =
     match replies with
     | [] -> None
@@ -382,18 +460,42 @@ let query t ~from range =
     | None -> false
   in
   let cached = t.config.Config.cache_on_inexact && not exact in
-  if cached then store_at_owners t routes ~range:effective ~partition:None;
+  (* The cache write piggybacks on the query's round-trip, so under a
+     fault plane it reaches exactly the owners that answered; fault-free
+     runs keep the original full-route behavior. *)
+  let cache_routes =
+    match t.faults with
+    | None -> routes
+    | Some _ ->
+      List.filter_map
+        (fun (route, (_, _, _, responded)) ->
+          if responded then Some route else None)
+        (List.combine routes served)
+  in
+  if cached then store_at_owners t cache_routes ~range:effective ~partition:None;
   Padding.observe t.padding ~recall;
-  let stats = stats_of_hops ids (List.map (fun (_, h, _) -> h) served) in
+  let stats = stats_of_hops ids (List.map (fun (_, h, _, _) -> h) served) in
   Obs.Metrics.incr m_queries;
   Obs.Metrics.add m_messages stats.messages;
   if cached then Obs.Metrics.incr m_cached_answers;
   (match matched with None -> Obs.Metrics.incr m_unmatched | Some _ -> ());
+  if degraded then Obs.Metrics.incr m_degraded;
+  Obs.Metrics.add m_unanswered_owners (List.length served - responders);
   Obs.Metrics.observe h_recall recall;
   Obs.Metrics.observe_int h_query_messages stats.messages;
   if Obs.Metrics.enabled () then
     Obs.Metrics.set_gauge g_imbalance (load_imbalance t);
-  { query = range; effective; matched; similarity; recall; stats; cached }
+  {
+    query = range;
+    effective;
+    matched;
+    similarity;
+    recall;
+    stats;
+    cached;
+    responders;
+    degraded;
+  }
 
 let total_entries t =
   Array.fold_left (fun acc p -> acc + Peer.load p) 0 t.peer_list

@@ -74,6 +74,13 @@ type query_result = {
           (Fig. 8–10) *)
   stats : lookup_stats;
   cached : bool;  (** whether this query's range was stored at the owners *)
+  responders : int;
+      (** owner contacts that answered within the retry budget; equals
+          the identifier count on a fault-free run *)
+  degraded : bool;
+      (** true when at least one owner went unanswered (crashed peer or
+          exhausted retry budget) — the result is best-effort over the
+          responders rather than an error *)
 }
 
 val publish :
@@ -89,17 +96,29 @@ val query : t -> from:Peer.t -> Rangeset.Range.t -> query_result
 (** Executes the full protocol for one range selection, including the
     cache-on-inexact store and adaptive-padding feedback. *)
 
-(** {1 Failures and load balance} *)
+(** {1 Failures, faults and load balance} *)
 
 val fail : t -> Peer.t -> unit
 (** Marks a peer failed: it stops answering lookups (all its virtual
     positions at once). Routing still reaches its ring segment — the static
     ring models converged fingers — but the data there is only served if
-    replication placed a copy on a live successor. Failures are permanent
-    for a simulation run. @raise Invalid_argument for peers of another
-    system. *)
+    replication placed a copy on a live successor. Reversible with
+    {!recover}. @raise Invalid_argument for peers of another system. *)
+
+val recover : t -> Peer.t -> unit
+(** Brings a {!fail}ed peer back: it resumes answering lookups with
+    whatever its store held when it failed (a no-op for live peers).
+    @raise Invalid_argument for peers of another system. *)
 
 val alive : t -> Peer.t -> bool
+
+val responsive : t -> Peer.t -> bool
+(** {!alive} and outside any fault-plane crash window; identical to
+    [alive] when {!Config.t.faults} is unset. *)
+
+val fault_plane : t -> Faults.Plane.t option
+(** The system's fault plane, for scheduling dynamic crashes or reading
+    its logical clock ([None] when faults are unset). *)
 
 val tracker : t -> Balance.Tracker.t
 (** The system's load tracker: per-peer served-lookup and stored-entry

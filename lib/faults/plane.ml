@@ -1,0 +1,203 @@
+type crash = { node : int; at : int; recover_at : int option }
+
+type spec = {
+  drop : float;
+  delay : float;
+  delay_ms : float;
+  laggard_fraction : float;
+  laggard_ms : float;
+  base_ms : float;
+  crashes : crash list;
+}
+
+let no_faults =
+  {
+    drop = 0.0;
+    delay = 0.0;
+    delay_ms = 50.0;
+    laggard_fraction = 0.0;
+    laggard_ms = 100.0;
+    base_ms = 1.0;
+    crashes = [];
+  }
+
+let probability name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Faults: %s must be in [0, 1]" name)
+
+let validate_spec s =
+  probability "drop" s.drop;
+  probability "delay" s.delay;
+  probability "laggard_fraction" s.laggard_fraction;
+  if s.delay_ms < 0.0 || s.laggard_ms < 0.0 || s.base_ms < 0.0 then
+    invalid_arg "Faults: latencies must be non-negative";
+  List.iter
+    (fun c ->
+      if c.at < 0 then invalid_arg "Faults: crash time must be non-negative";
+      match c.recover_at with
+      | Some r when r <= c.at ->
+        invalid_arg "Faults: recover_at must be after the crash time"
+      | Some _ | None -> ())
+    s.crashes
+
+type t = {
+  spec : spec;
+  rng : Prng.Splitmix.t;  (* per-message drop/delay/jitter draws *)
+  laggard_salt : int64;  (* per-node laggard status, stream-free *)
+  laggards : (int, bool) Hashtbl.t;
+  (* node -> crash windows [at, recover_at); None = never recovers. The
+     head is the most recently added window, consulted first so dynamic
+     [recover] can close it. *)
+  crashes : (int, (int * int option) list) Hashtbl.t;
+  mutable now : int;
+}
+
+let m_sends = Obs.Metrics.counter "faults.sends"
+let m_drops = Obs.Metrics.counter "faults.drops"
+let m_delayed = Obs.Metrics.counter "faults.delayed"
+let m_unreachable = Obs.Metrics.counter "faults.unreachable"
+let m_retries = Obs.Metrics.counter "faults.retries"
+let m_timeouts = Obs.Metrics.counter "faults.timeouts"
+
+let create ?(spec = no_faults) ~seed () =
+  validate_spec spec;
+  let rng = Prng.Splitmix.create seed in
+  let crashes = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let existing = Option.value (Hashtbl.find_opt crashes c.node) ~default:[] in
+      Hashtbl.replace crashes c.node ((c.at, c.recover_at) :: existing))
+    spec.crashes;
+  {
+    spec;
+    rng;
+    laggard_salt = Prng.Splitmix.next_int64 (Prng.Splitmix.create seed);
+    laggards = Hashtbl.create 16;
+    crashes;
+    now = 0;
+  }
+
+let spec t = t.spec
+let now t = t.now
+let tick t = t.now <- t.now + 1
+
+let crashed t node =
+  match Hashtbl.find_opt t.crashes node with
+  | None -> false
+  | Some windows ->
+    List.exists
+      (fun (at, recover_at) ->
+        t.now >= at
+        && match recover_at with None -> true | Some r -> t.now < r)
+      windows
+
+let crash t ?recover_at node =
+  (match recover_at with
+  | Some r when r <= t.now ->
+    invalid_arg "Faults.crash: recover_at must be in the future"
+  | Some _ | None -> ());
+  let existing = Option.value (Hashtbl.find_opt t.crashes node) ~default:[] in
+  Hashtbl.replace t.crashes node ((t.now, recover_at) :: existing)
+
+let recover t node =
+  match Hashtbl.find_opt t.crashes node with
+  | None -> ()
+  | Some windows ->
+    let closed =
+      List.map
+        (fun (at, recover_at) ->
+          let active =
+            t.now >= at
+            && match recover_at with None -> true | Some r -> t.now < r
+          in
+          if active then (at, Some t.now) else (at, recover_at))
+        windows
+    in
+    Hashtbl.replace t.crashes node closed
+
+(* Laggard status is a pure function of (seed, node) — memoized, and drawn
+   from a throwaway generator so it never perturbs the per-message
+   stream. *)
+let laggard t node =
+  t.spec.laggard_fraction > 0.0
+  &&
+  match Hashtbl.find_opt t.laggards node with
+  | Some l -> l
+  | None ->
+    let g =
+      Prng.Splitmix.create
+        (Int64.logxor t.laggard_salt
+           (Int64.mul (Int64.of_int (node + 1)) 0x9E3779B97F4A7C15L))
+    in
+    let l = Prng.Splitmix.float g < t.spec.laggard_fraction in
+    Hashtbl.replace t.laggards node l;
+    l
+
+type outcome = Delivered of float | Dropped | Unreachable
+
+let send t ~src:_ ~dst =
+  Obs.Metrics.incr m_sends;
+  if crashed t dst then begin
+    Obs.Metrics.incr m_unreachable;
+    Unreachable
+  end
+  else if Prng.Splitmix.float t.rng < t.spec.drop then begin
+    Obs.Metrics.incr m_drops;
+    Dropped
+  end
+  else begin
+    let lat = t.spec.base_ms in
+    let lat = if laggard t dst then lat +. t.spec.laggard_ms else lat in
+    let lat =
+      if t.spec.delay > 0.0 && Prng.Splitmix.float t.rng < t.spec.delay then begin
+        Obs.Metrics.incr m_delayed;
+        lat +. t.spec.delay_ms
+      end
+      else lat
+    in
+    Delivered lat
+  end
+
+let send_route t ~src ~dst ~legs =
+  if legs < 1 then invalid_arg "Faults.send_route: legs must be >= 1";
+  let rec walk i acc =
+    if i > legs then Delivered acc
+    else
+      match send t ~src ~dst with
+      | Delivered lat -> walk (i + 1) (acc +. lat)
+      | (Dropped | Unreachable) as failure -> failure
+  in
+  walk 1 0.0
+
+let rpc t ~retry ~src ~dst ?(legs = 1) () =
+  let rec attempt i elapsed =
+    match send_route t ~src ~dst ~legs with
+    | Delivered lat ->
+      let elapsed = elapsed +. lat in
+      if elapsed > retry.Retry.budget_ms then begin
+        Obs.Metrics.incr m_timeouts;
+        Error elapsed
+      end
+      else Ok elapsed
+    | Dropped | Unreachable ->
+      if i >= retry.Retry.max_attempts then begin
+        Obs.Metrics.incr m_timeouts;
+        Error elapsed
+      end
+      else begin
+        let wait =
+          Retry.backoff_ms retry ~attempt:i
+            ~jitter:(Prng.Splitmix.float t.rng)
+        in
+        let elapsed = elapsed +. wait in
+        if elapsed > retry.Retry.budget_ms then begin
+          Obs.Metrics.incr m_timeouts;
+          Error elapsed
+        end
+        else begin
+          Obs.Metrics.incr m_retries;
+          attempt (i + 1) elapsed
+        end
+      end
+  in
+  attempt 1 0.0

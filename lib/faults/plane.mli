@@ -1,0 +1,99 @@
+(** Seeded, fully deterministic fault injection for simulated RPCs.
+
+    A plane sits at every message boundary of the simulators: each [send]
+    consults per-message drop and delay probabilities, per-node
+    crash/recover schedules over a logical clock ([tick] advances it once
+    per protocol operation), and a stable set of persistently slow
+    ("laggard") nodes. All randomness comes from one SplitMix64 stream
+    created from the seed, so a run replays bit-identically; laggard
+    status is a pure function of (seed, node) and consumes nothing from
+    the stream.
+
+    Everything is observable through [Obs] counters ([faults.sends],
+    [faults.drops], [faults.delayed], [faults.unreachable],
+    [faults.retries], [faults.timeouts]). With {!no_faults} the plane
+    delivers every message at [base_ms]. *)
+
+type crash = {
+  node : int;  (** the node (Chord id or physical peer id) that crashes *)
+  at : int;  (** logical time the node stops responding *)
+  recover_at : int option;  (** when it answers again; [None] = never *)
+}
+
+type spec = {
+  drop : float;  (** per-message drop probability *)
+  delay : float;  (** per-message probability of a slow delivery *)
+  delay_ms : float;  (** extra latency of a delayed message *)
+  laggard_fraction : float;  (** fraction of nodes persistently slow *)
+  laggard_ms : float;  (** extra latency of every message to a laggard *)
+  base_ms : float;  (** latency of a normal delivery *)
+  crashes : crash list;  (** scheduled crash/recover windows *)
+}
+
+val no_faults : spec
+(** Nothing injected: no drops, no delays, no laggards, no crashes. *)
+
+val validate_spec : spec -> unit
+(** @raise Invalid_argument on probabilities outside [0, 1], negative
+    latencies, or crash windows that recover before they start. *)
+
+type t
+
+val create : ?spec:spec -> seed:int64 -> unit -> t
+(** A fresh plane at logical time 0. @raise Invalid_argument on a bad
+    spec. *)
+
+val spec : t -> spec
+
+(** {1 Logical time and crash schedules} *)
+
+val now : t -> int
+val tick : t -> unit
+(** Advance logical time by one step (call once per protocol operation so
+    crash schedules progress deterministically with the workload). *)
+
+val crashed : t -> int -> bool
+(** Whether the node is inside a crash window at the current time. *)
+
+val crash : t -> ?recover_at:int -> int -> unit
+(** Dynamically crash a node now, optionally recovering at a future time.
+    @raise Invalid_argument if [recover_at] is not in the future. *)
+
+val recover : t -> int -> unit
+(** Close every crash window the node is currently inside (no-op if it is
+    not crashed). *)
+
+val laggard : t -> int -> bool
+(** Whether the node is persistently slow under this seed. *)
+
+(** {1 Messages} *)
+
+type outcome =
+  | Delivered of float  (** delivered after this many simulated ms *)
+  | Dropped  (** lost in flight *)
+  | Unreachable  (** destination is crashed *)
+
+val send : t -> src:int -> dst:int -> outcome
+(** One message. Draws drop (and, when configured, delay) decisions from
+    the plane's stream; a crashed destination is [Unreachable] without
+    consuming a draw. *)
+
+val send_route : t -> src:int -> dst:int -> legs:int -> outcome
+(** A request that crosses [legs] overlay hops: [legs] independent [send]
+    draws, failing at the first lost leg; latencies accumulate.
+    @raise Invalid_argument if [legs < 1]. *)
+
+val rpc :
+  t ->
+  retry:Retry.policy ->
+  src:int ->
+  dst:int ->
+  ?legs:int ->
+  unit ->
+  (float, float) result
+(** A complete RPC under the retry policy: attempts [send_route] up to
+    [max_attempts] times with capped exponential backoff (jitter drawn
+    from the plane's stream), giving up when attempts or the time budget
+    run out. [Ok elapsed_ms] on delivery, [Error elapsed_ms] on timeout.
+    Retries and timeouts are counted on [faults.retries] /
+    [faults.timeouts]. *)

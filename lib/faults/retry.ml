@@ -1,0 +1,44 @@
+type policy = {
+  max_attempts : int;
+  base_backoff_ms : float;
+  max_backoff_ms : float;
+  budget_ms : float;
+}
+
+let none =
+  {
+    max_attempts = 1;
+    base_backoff_ms = 0.0;
+    max_backoff_ms = 0.0;
+    budget_ms = Float.infinity;
+  }
+
+let default =
+  {
+    max_attempts = 4;
+    base_backoff_ms = 5.0;
+    max_backoff_ms = 80.0;
+    budget_ms = 500.0;
+  }
+
+let validate p =
+  if p.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
+  if p.base_backoff_ms < 0.0 then
+    invalid_arg "Retry: base_backoff_ms must be non-negative";
+  if p.max_backoff_ms < p.base_backoff_ms then
+    invalid_arg "Retry: max_backoff_ms must be >= base_backoff_ms";
+  if not (p.budget_ms > 0.0) then
+    invalid_arg "Retry: budget_ms must be positive"
+
+(* Capped exponential with deterministic jitter: the caller supplies the
+   jitter draw (uniform in [0, 1)) so backoff consumes no hidden
+   randomness. Attempt 1 waits the base, attempt i waits base * 2^(i-1),
+   capped, then scaled into [1/2, 1) of itself — full jitter would let two
+   consecutive backoffs invert, half jitter keeps them ordered. *)
+let backoff_ms p ~attempt ~jitter =
+  if attempt < 1 then invalid_arg "Retry.backoff_ms: attempt must be >= 1";
+  let exp =
+    p.base_backoff_ms *. (2.0 ** float_of_int (attempt - 1))
+  in
+  let capped = Float.min exp p.max_backoff_ms in
+  capped *. (0.5 +. (0.5 *. jitter))

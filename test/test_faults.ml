@@ -1,0 +1,338 @@
+(* The deterministic fault plane: seeded replay, drop/delay/laggard/crash
+   semantics, retry/backoff arithmetic, and its integration with the
+   dynamic Chord network. *)
+
+module Plane = Faults.Plane
+module Retry = Faults.Retry
+
+let outcome_label = function
+  | Plane.Delivered _ -> "delivered"
+  | Plane.Dropped -> "dropped"
+  | Plane.Unreachable -> "unreachable"
+
+let same_seed_replays_bit_identically () =
+  let spec = { Plane.no_faults with drop = 0.3; delay = 0.2; delay_ms = 7.0 } in
+  let a = Plane.create ~spec ~seed:11L () in
+  let b = Plane.create ~spec ~seed:11L () in
+  for i = 0 to 499 do
+    let oa = Plane.send a ~src:0 ~dst:(i mod 17) in
+    let ob = Plane.send b ~src:0 ~dst:(i mod 17) in
+    let same =
+      match (oa, ob) with
+      | Plane.Delivered la, Plane.Delivered lb -> la = lb
+      | Plane.Dropped, Plane.Dropped -> true
+      | Plane.Unreachable, Plane.Unreachable -> true
+      | _ -> false
+    in
+    if not same then
+      Alcotest.failf "send %d diverged: %s vs %s" i (outcome_label oa)
+        (outcome_label ob)
+  done
+
+let drop_extremes () =
+  let never = Plane.create ~seed:1L () in
+  for i = 0 to 99 do
+    match Plane.send never ~src:0 ~dst:i with
+    | Plane.Delivered lat ->
+      Alcotest.(check (float 0.0)) "base latency" 1.0 lat
+    | o -> Alcotest.failf "drop=0 lost a message (%s)" (outcome_label o)
+  done;
+  let always =
+    Plane.create ~spec:{ Plane.no_faults with drop = 1.0 } ~seed:1L ()
+  in
+  for i = 0 to 99 do
+    match Plane.send always ~src:0 ~dst:i with
+    | Plane.Dropped -> ()
+    | o -> Alcotest.failf "drop=1 delivered (%s)" (outcome_label o)
+  done
+
+let crash_windows_follow_the_clock () =
+  let spec =
+    {
+      Plane.no_faults with
+      crashes =
+        [
+          { Plane.node = 7; at = 2; recover_at = Some 5 };
+          { Plane.node = 9; at = 0; recover_at = None };
+        ];
+    }
+  in
+  let p = Plane.create ~spec ~seed:3L () in
+  Alcotest.(check bool) "9 down from t=0" true (Plane.crashed p 9);
+  Alcotest.(check bool) "7 up before its window" false (Plane.crashed p 7);
+  Plane.tick p;
+  Plane.tick p;
+  Alcotest.(check bool) "7 down at t=2" true (Plane.crashed p 7);
+  (match Plane.send p ~src:0 ~dst:7 with
+  | Plane.Unreachable -> ()
+  | o -> Alcotest.failf "crashed node answered (%s)" (outcome_label o));
+  Plane.tick p;
+  Plane.tick p;
+  Plane.tick p;
+  Alcotest.(check bool) "7 recovered at t=5" false (Plane.crashed p 7);
+  Alcotest.(check bool) "9 never recovers" true (Plane.crashed p 9)
+
+let dynamic_crash_and_recover () =
+  let p = Plane.create ~seed:4L () in
+  Alcotest.(check bool) "initially up" false (Plane.crashed p 3);
+  Plane.crash p 3;
+  Alcotest.(check bool) "down after crash" true (Plane.crashed p 3);
+  Plane.recover p 3;
+  Plane.tick p;
+  Alcotest.(check bool) "up after recover" false (Plane.crashed p 3);
+  Plane.crash p ~recover_at:(Plane.now p + 2) 3;
+  Alcotest.(check bool) "down inside window" true (Plane.crashed p 3);
+  Plane.tick p;
+  Plane.tick p;
+  Alcotest.(check bool) "window expired on its own" false (Plane.crashed p 3);
+  Alcotest.check_raises "recover_at must be in the future"
+    (Invalid_argument "Faults.crash: recover_at must be in the future")
+    (fun () -> Plane.crash p ~recover_at:(Plane.now p) 3)
+
+let laggards_are_a_pure_function_of_seed () =
+  let spec = { Plane.no_faults with laggard_fraction = 0.5; laggard_ms = 9.0 } in
+  let a = Plane.create ~spec ~seed:21L () in
+  let b = Plane.create ~spec ~seed:21L () in
+  let some_laggard = ref false and some_fast = ref false in
+  for node = 0 to 63 do
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d agrees across planes" node)
+      (Plane.laggard a node) (Plane.laggard b node);
+    if Plane.laggard a node then some_laggard := true else some_fast := true
+  done;
+  Alcotest.(check bool) "fraction 0.5 marks some nodes" true !some_laggard;
+  Alcotest.(check bool) "fraction 0.5 spares some nodes" true !some_fast;
+  (* Status must not depend on how much the message stream was consumed. *)
+  let c = Plane.create ~spec ~seed:21L () in
+  for i = 0 to 99 do
+    ignore (Plane.send c ~src:0 ~dst:(i mod 5) : Plane.outcome)
+  done;
+  for node = 0 to 63 do
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d unaffected by stream position" node)
+      (Plane.laggard a node) (Plane.laggard c node)
+  done;
+  (* Laggard deliveries pay the surcharge. *)
+  let slow_node =
+    let rec find n = if Plane.laggard a n then n else find (n + 1) in
+    find 0
+  in
+  match Plane.send a ~src:0 ~dst:slow_node with
+  | Plane.Delivered lat ->
+    Alcotest.(check (float 0.0)) "base + laggard latency" 10.0 lat
+  | o -> Alcotest.failf "laggard send lost (%s)" (outcome_label o)
+
+let rpc_retries_recover_drops () =
+  let spec = { Plane.no_faults with drop = 0.5 } in
+  let p = Plane.create ~spec ~seed:7L () in
+  let retry = { Retry.default with max_attempts = 8 } in
+  let delivered = ref 0 and n = 200 in
+  for _ = 1 to n do
+    match Plane.rpc p ~retry ~src:0 ~dst:1 () with
+    | Ok elapsed ->
+      incr delivered;
+      Alcotest.(check bool) "elapsed positive" true (elapsed > 0.0)
+    | Error _ -> ()
+  done;
+  (* 8 attempts at 50% loss: ~0.4% residual failure. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "retries recover most drops (%d/%d)" !delivered n)
+    true
+    (!delivered > n * 9 / 10);
+  (* The same plane without retries loses about half. *)
+  let single = Plane.create ~spec ~seed:7L () in
+  let lone = ref 0 in
+  for _ = 1 to n do
+    match Plane.rpc single ~retry:Retry.none ~src:0 ~dst:1 () with
+    | Ok _ -> incr lone
+    | Error _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "single attempt loses many (%d/%d)" !lone n)
+    true
+    (!lone < n * 7 / 10)
+
+let rpc_respects_attempts_and_crashes () =
+  let p = Plane.create ~seed:8L () in
+  Plane.crash p 5;
+  (match Plane.rpc p ~retry:Retry.default ~src:0 ~dst:5 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rpc to a crashed node succeeded");
+  (* Multi-leg requests multiply the loss chance but still deliver on a
+     clean plane. *)
+  match Plane.rpc p ~retry:Retry.none ~src:0 ~dst:1 ~legs:4 () with
+  | Ok elapsed -> Alcotest.(check (float 0.0)) "4 legs at base" 4.0 elapsed
+  | Error _ -> Alcotest.fail "clean 4-leg rpc failed"
+
+let backoff_arithmetic () =
+  let p =
+    {
+      Retry.max_attempts = 5;
+      base_backoff_ms = 5.0;
+      max_backoff_ms = 80.0;
+      budget_ms = 500.0;
+    }
+  in
+  (* jitter = 1.0 keeps the full capped-exponential value. *)
+  Alcotest.(check (float 1e-9)) "attempt 1" 5.0
+    (Retry.backoff_ms p ~attempt:1 ~jitter:1.0);
+  Alcotest.(check (float 1e-9)) "attempt 2 doubles" 10.0
+    (Retry.backoff_ms p ~attempt:2 ~jitter:1.0);
+  Alcotest.(check (float 1e-9)) "attempt 5 caps at 80" 80.0
+    (Retry.backoff_ms p ~attempt:5 ~jitter:1.0);
+  Alcotest.(check (float 1e-9)) "jitter 0 halves" 2.5
+    (Retry.backoff_ms p ~attempt:1 ~jitter:0.0);
+  Alcotest.check_raises "attempt must be >= 1"
+    (Invalid_argument "Retry.backoff_ms: attempt must be >= 1") (fun () ->
+      ignore (Retry.backoff_ms p ~attempt:0 ~jitter:0.5 : float))
+
+let validation_rejects_nonsense () =
+  Alcotest.check_raises "drop > 1"
+    (Invalid_argument "Faults: drop must be in [0, 1]") (fun () ->
+      Plane.validate_spec { Plane.no_faults with drop = 1.5 });
+  Alcotest.check_raises "negative latency"
+    (Invalid_argument "Faults: latencies must be non-negative") (fun () ->
+      Plane.validate_spec { Plane.no_faults with base_ms = -1.0 });
+  Alcotest.check_raises "inverted crash window"
+    (Invalid_argument "Faults: recover_at must be after the crash time")
+    (fun () ->
+      Plane.validate_spec
+        {
+          Plane.no_faults with
+          crashes = [ { Plane.node = 1; at = 5; recover_at = Some 5 } ];
+        });
+  Alcotest.check_raises "zero attempts"
+    (Invalid_argument "Retry: max_attempts must be >= 1") (fun () ->
+      Retry.validate { Retry.default with max_attempts = 0 })
+
+(* ---- integration with the dynamic Chord network ---- *)
+
+let build_network ?faults ?retry ids =
+  let net = Chord.Network.create ?faults ?retry () in
+  (match ids with
+  | [] -> ()
+  | first :: rest ->
+    Chord.Network.add_first net first;
+    List.iter
+      (fun id ->
+        Chord.Network.join net id ~via:first;
+        Chord.Network.stabilize net ~rounds:2)
+      rest);
+  Chord.Network.stabilize net ~rounds:10;
+  net
+
+let ids = List.init 32 (fun i -> ((i * 2654435761) + 17) land ((1 lsl 32) - 1))
+
+let network_with_total_loss_dead_ends () =
+  (* A converged network, then every message dropped: lookups from a node
+     to keys outside its own segment must dead-end, never raise. *)
+  let net = build_network ids in
+  Chord.Network.set_faults net ~retry:Faults.Retry.none
+    (Plane.create ~spec:{ Plane.no_faults with drop = 1.0 } ~seed:5L ());
+  let rng = Prng.Splitmix.create 12L in
+  let nodes = Array.of_list (Chord.Network.node_ids net) in
+  let dead_ends = ref 0 in
+  for _ = 1 to 100 do
+    let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+    let key = Prng.Splitmix.int rng (1 lsl 32) in
+    match Chord.Network.find_successor net ~from ~key with
+    | None -> incr dead_ends
+    | Some (owner, hops) ->
+      (* Only answerable locally: zero hops from the owner itself. *)
+      Alcotest.(check int) "only local answers survive total loss" 0 hops;
+      Alcotest.(check int) "local answer is the asking node" from owner
+  done;
+  Alcotest.(check bool) "most lookups dead-end" true (!dead_ends > 50);
+  (* Detaching the plane restores clean routing. *)
+  Chord.Network.clear_faults net;
+  let ring = Chord.Network.to_ring net in
+  for _ = 1 to 100 do
+    let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+    let key = Prng.Splitmix.int rng (1 lsl 32) in
+    match Chord.Network.find_successor net ~from ~key with
+    | Some (owner, _) ->
+      Alcotest.(check int) "clean again" (Chord.Ring.owner ring key) owner
+    | None -> Alcotest.fail "dead-end after clear_faults"
+  done
+
+let network_retries_beat_drops () =
+  (* Same membership, same plane seed, 30% drop: retried routing answers
+     strictly more lookups than single-attempt routing. *)
+  let count_routed retry =
+    let net = build_network ids in
+    Chord.Network.set_faults net ~retry
+      (Plane.create ~spec:{ Plane.no_faults with drop = 0.3 } ~seed:9L ());
+    let rng = Prng.Splitmix.create 13L in
+    let nodes = Array.of_list (Chord.Network.node_ids net) in
+    let routed = ref 0 in
+    for _ = 1 to 300 do
+      let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+      let key = Prng.Splitmix.int rng (1 lsl 32) in
+      match Chord.Network.find_successor net ~from ~key with
+      | Some _ -> incr routed
+      | None -> ()
+    done;
+    !routed
+  in
+  let lone = count_routed Faults.Retry.none in
+  let retried = count_routed Faults.Retry.default in
+  Alcotest.(check bool)
+    (Printf.sprintf "retry answers more lookups (%d vs %d)" retried lone)
+    true
+    (retried > lone + 30)
+
+let network_crashed_nodes_rejoin () =
+  (* A plane-crash makes a node unresponsive without killing it; recovery
+     plus stabilization restores convergence over the full membership. *)
+  let plane = Plane.create ~seed:6L () in
+  let net = build_network ~faults:plane ids in
+  Alcotest.(check bool) "converged with a quiet plane" true
+    (Chord.Network.is_converged net);
+  let victim = List.nth (Chord.Network.node_ids net) 5 in
+  Plane.crash plane victim;
+  Alcotest.(check bool) "still alive" true (Chord.Network.alive net victim);
+  Alcotest.(check bool) "but unresponsive" false
+    (Chord.Network.responsive net victim);
+  Chord.Network.stabilize net ~rounds:8;
+  (* The ring routes around the crashed node while it is down. *)
+  let pred =
+    let sorted = Chord.Network.node_ids net in
+    let rec before prev = function
+      | [] -> prev
+      | x :: rest -> if x = victim then prev else before x rest
+    in
+    before (List.nth sorted (List.length sorted - 1)) sorted
+  in
+  Alcotest.(check bool) "predecessor skips the crashed node" true
+    (Chord.Network.successor net pred <> victim);
+  Plane.recover plane victim;
+  Plane.tick plane;
+  Chord.Network.stabilize net ~rounds:10;
+  Alcotest.(check bool) "re-converged after plane recovery" true
+    (Chord.Network.is_converged net)
+
+let suite =
+  [
+    Alcotest.test_case "same seed replays bit-identically" `Quick
+      same_seed_replays_bit_identically;
+    Alcotest.test_case "drop probability extremes" `Quick drop_extremes;
+    Alcotest.test_case "crash windows follow the logical clock" `Quick
+      crash_windows_follow_the_clock;
+    Alcotest.test_case "dynamic crash and recover" `Quick
+      dynamic_crash_and_recover;
+    Alcotest.test_case "laggards are a pure function of the seed" `Quick
+      laggards_are_a_pure_function_of_seed;
+    Alcotest.test_case "rpc retries recover drops" `Quick
+      rpc_retries_recover_drops;
+    Alcotest.test_case "rpc respects attempts and crashes" `Quick
+      rpc_respects_attempts_and_crashes;
+    Alcotest.test_case "backoff arithmetic" `Quick backoff_arithmetic;
+    Alcotest.test_case "validation rejects nonsense" `Quick
+      validation_rejects_nonsense;
+    Alcotest.test_case "network: total loss degrades to dead-ends" `Quick
+      network_with_total_loss_dead_ends;
+    Alcotest.test_case "network: retries beat drops" `Quick
+      network_retries_beat_drops;
+    Alcotest.test_case "network: crashed nodes rejoin" `Quick
+      network_crashed_nodes_rejoin;
+  ]

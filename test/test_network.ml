@@ -133,6 +133,131 @@ let routing_and_hops_match_static_ring () =
     | None -> Alcotest.fail "routing dead-ended in a converged network"
   done
 
+(* Satellite regression: routing mid-churn — joins and abrupt failures
+   interleaved with too few stabilization rounds to re-converge — must
+   never raise. A dead-end ([None]) is acceptable; an exception is not. *)
+let routing_mid_churn_never_raises () =
+  let ids = List.init 48 (fun i -> ((i * 2246822519) + 7) land ((1 lsl 32) - 1)) in
+  let net = build_network ids in
+  Chord.Network.stabilize net ~rounds:5;
+  let rng = Prng.Splitmix.create 99L in
+  let routed = ref 0 and dead_ends = ref 0 in
+  List.iteri
+    (fun round id ->
+      (* Alternate failures and under-stabilized joins. *)
+      if round mod 3 = 0 && Chord.Network.size net > 8 then
+        Chord.Network.fail net id
+      else if round mod 3 = 1 then begin
+        let fresh = (id lxor 0x5bd1e995) land ((1 lsl 32) - 1) in
+        let vias = Chord.Network.node_ids net in
+        match vias with
+        | via :: _ when not (Chord.Network.alive net fresh) -> (
+          try Chord.Network.join net fresh ~via
+          with Invalid_argument _ -> () (* bootstrap itself may dead-end *))
+        | _ -> ()
+      end;
+      (* One ragged stabilization pass every few rounds, never enough to
+         fully converge before the next membership change. *)
+      if round mod 4 = 0 then Chord.Network.stabilize net ~rounds:1;
+      let live = Array.of_list (Chord.Network.node_ids net) in
+      for _ = 1 to 10 do
+        let from = live.(Prng.Splitmix.int rng (Array.length live)) in
+        let key = Prng.Splitmix.int rng (1 lsl 32) in
+        match Chord.Network.find_successor net ~from ~key with
+        | Some (owner, _) ->
+          incr routed;
+          Alcotest.(check bool) "routed owner is live" true
+            (Chord.Network.alive net owner)
+        | None -> incr dead_ends
+      done)
+    ids;
+  Alcotest.(check bool) "some lookups routed" true (!routed > 0)
+
+(* Satellite: cascaded failures exceeding [successor_list_length]. With a
+   3-deep backup list, killing a node's successor and the next four ring
+   nodes leaves it no live backup: routing through it must degrade to a
+   dead-end (or a live detour), never loop or raise — and stabilization
+   must repair the ring afterwards. *)
+let successor_list_exhaustion_degrades_then_recovers () =
+  let ids = List.init 24 (fun i -> ((i * 40503) + 11) land ((1 lsl 24) - 1)) in
+  let net = Chord.Network.create ~successor_list_length:3 () in
+  (match List.sort Int.compare ids with
+  | first :: rest ->
+    Chord.Network.add_first net first;
+    List.iter
+      (fun id ->
+        Chord.Network.join net id ~via:first;
+        Chord.Network.stabilize net ~rounds:2)
+      rest
+  | [] -> assert false);
+  Chord.Network.stabilize net ~rounds:10;
+  Alcotest.(check bool) "converged before failures" true
+    (Chord.Network.is_converged net);
+  let sorted = Array.of_list (Chord.Network.node_ids net) in
+  let n = Array.length sorted in
+  (* Kill 5 consecutive ring nodes — deeper than the 3-entry backup list
+     of their shared predecessor. *)
+  let start = 4 in
+  for i = start to start + 4 do
+    Chord.Network.fail net sorted.(i mod n)
+  done;
+  let victim_pred = sorted.((start - 1 + n) mod n) in
+  let beyond = sorted.((start + 5) mod n) in
+  (* The predecessor's whole backup chain is dead: lookups through it for
+     keys inside the dead stretch must terminate without raising. *)
+  let key = sorted.(start mod n) in
+  (match Chord.Network.find_successor net ~from:victim_pred ~key with
+  | Some (owner, _) ->
+    Alcotest.(check bool) "any answer is a live node" true
+      (Chord.Network.alive net owner)
+  | None -> () (* dead-end is the documented degradation *));
+  Alcotest.(check bool) "successor list never lists dead nodes" true
+    (List.for_all
+       (Chord.Network.alive net)
+       (Chord.Network.successor_list net victim_pred));
+  (* Stabilization alone cannot bridge a gap deeper than the backup list —
+     the ring is genuinely partitioned at the dead stretch (this is the
+     documented Chord trade-off, not a bug). *)
+  Chord.Network.stabilize net ~rounds:12;
+  Alcotest.(check bool) "partition survives stabilize (gap > list)" false
+    (Chord.Network.is_converged net);
+  ignore beyond;
+  (* Repair: the crashed stretch rejoins, then stabilization re-absorbs
+     it. *)
+  let start_id = sorted.(start mod n) in
+  for i = start to start + 4 do
+    Chord.Network.recover net sorted.(i mod n) ~via:victim_pred
+  done;
+  Chord.Network.stabilize net ~rounds:15;
+  Alcotest.(check bool) "re-converged after the stretch rejoined" true
+    (Chord.Network.is_converged net);
+  (match Chord.Network.find_successor net ~from:victim_pred ~key with
+  | Some (owner, _) ->
+    Alcotest.(check int) "key owned by the recovered node again" start_id owner
+  | None -> Alcotest.fail "routing still dead after repair");
+  Alcotest.(check int) "backup list capped at its length" 3
+    (List.length (Chord.Network.successor_list net victim_pred))
+
+let failed_node_recovers_and_reconverges () =
+  let ids = [ 100; 5_000; 20_000; 300_000; 1_000_000 ] in
+  let net = build_network ids in
+  Chord.Network.stabilize net ~rounds:8;
+  Chord.Network.fail net 20_000;
+  Chord.Network.stabilize net ~rounds:8;
+  Alcotest.(check bool) "converged without the failed node" true
+    (Chord.Network.is_converged net);
+  Alcotest.check_raises "recover requires a dead node"
+    (Invalid_argument "Network.recover: node is not dead") (fun () ->
+      Chord.Network.recover net 100 ~via:5_000);
+  Chord.Network.recover net 20_000 ~via:100;
+  Alcotest.(check bool) "back among the living" true
+    (Chord.Network.alive net 20_000);
+  Chord.Network.stabilize net ~rounds:10;
+  Alcotest.(check bool) "re-converged with the recovered node" true
+    (Chord.Network.is_converged net);
+  Alcotest.(check int) "resumed ring position" 20_000
+    (Chord.Network.successor net 5_000)
+
 let suite =
   [
     Alcotest.test_case "bootstrap node" `Quick single_bootstrap;
@@ -146,4 +271,10 @@ let suite =
     Alcotest.test_case "hop counts bounded" `Quick hop_counts_bounded;
     Alcotest.test_case "converged 64-node routing matches the static ring"
       `Quick routing_and_hops_match_static_ring;
+    Alcotest.test_case "routing mid-churn never raises" `Quick
+      routing_mid_churn_never_raises;
+    Alcotest.test_case "successor-list exhaustion degrades then recovers"
+      `Quick successor_list_exhaustion_degrades_then_recovers;
+    Alcotest.test_case "failed node recovers and re-converges" `Quick
+      failed_node_recovers_and_reconverges;
   ]

@@ -218,6 +218,91 @@ let snapshot_structure () =
   Alcotest.(check bool) "renders non-empty" true
     (String.length (J.to_string snap) > 0)
 
+(* Property: any document the emitter can produce — nested fault-section
+   objects, gauge [null]s, finite floats, metric-name keys — parses back
+   structurally equal, at both indentations. Generated trees mimic the
+   snapshot shape rather than arbitrary JSON: that is the contract the
+   parser was written for. *)
+let gen_json =
+  let open QCheck.Gen in
+  let key =
+    map (String.concat ".")
+      (list_size (1 -- 3)
+         (oneofl
+            [ "faults"; "bench"; "recall"; "drops"; "retry_on"; "gap";
+              "sends"; "p50"; "system"; "degraded" ]))
+  in
+  (* Finite floats spanning magnitudes, the way rates and latencies do. *)
+  let finite_float =
+    map2
+      (fun m e -> float_of_int m *. (10.0 ** float_of_int e))
+      (int_range (-1_000_000) 1_000_000)
+      (int_range (-6) 6)
+  in
+  let leaf =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) int;
+        map (fun f -> J.Float f) finite_float;
+        map (fun s -> J.String s) (small_string ~gen:printable);
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 3,
+            map
+              (fun fields -> J.Obj fields)
+              (list_size (0 -- 4)
+                 (pair key (tree (depth - 1)))) );
+          (1, map (fun xs -> J.List xs) (list_size (0 -- 4) (tree (depth - 1))));
+        ]
+  in
+  (* Root shaped like a bench document: sections -> gauges with nulls. *)
+  map
+    (fun (body, gap) ->
+      J.Obj
+        [
+          ("schema_version", J.Int 1);
+          ( "sections",
+            J.Obj
+              [
+                ( "faults",
+                  J.Obj
+                    [
+                      ( "metrics",
+                        J.Obj
+                          [
+                            ( "gauges",
+                              J.Obj
+                                [
+                                  ("faults.bench.recall_gap", gap);
+                                  ("balance.bench.imbalance_off", J.Null);
+                                ] );
+                          ] );
+                      ("derived", body);
+                    ] );
+              ] );
+        ])
+    (pair (tree 3) (oneof [ return J.Null; map (fun f -> J.Float f) finite_float ]))
+
+let prop_parser_roundtrips_generated_documents =
+  QCheck.Test.make ~name:"of_string round-trips generated snapshot documents"
+    ~count:200
+    (QCheck.make ~print:(fun t -> J.to_string t) gen_json)
+    (fun doc ->
+      List.for_all
+        (fun indent ->
+          match J.of_string (J.to_string ~indent doc) with
+          | Ok parsed -> parsed = doc
+          | Error _ -> false)
+        [ 0; 2 ])
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick (isolated counter_semantics);
@@ -241,4 +326,5 @@ let suite =
     Alcotest.test_case "metric snapshot round-trips" `Quick
       (isolated snapshot_roundtrip);
     Alcotest.test_case "snapshot structure" `Quick (isolated snapshot_structure);
+    QCheck_alcotest.to_alcotest prop_parser_roundtrips_generated_documents;
   ]

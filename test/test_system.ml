@@ -194,6 +194,97 @@ let prop_published_ranges_always_found =
       result.Sys_.recall = 1.0 && result.Sys_.similarity = 1.0
       && not result.Sys_.cached)
 
+(* ---- fault plane integration ---- *)
+
+let faultless_config spec retry =
+  { P2prange.Config.default with faults = Some { P2prange.Config.spec; retry } }
+
+let zero_spec_plane_changes_nothing () =
+  (* A plane with the all-zero spec must answer every query exactly like
+     no plane at all: same matches, no degradation. (The PRNG streams are
+     consumed differently, so this checks protocol results, not bits.) *)
+  let plain = default_system () in
+  let planed =
+    default_system
+      ~config:(faultless_config Faults.Plane.no_faults Faults.Retry.default)
+      ()
+  in
+  let exercise s =
+    let from = Sys_.peer_by_name s "peer-2" in
+    ignore (Sys_.publish s ~from (mk 100 200));
+    let r = Sys_.query s ~from:(Sys_.peer_by_name s "peer-7") (mk 100 200) in
+    (r.Sys_.recall, r.Sys_.similarity, r.Sys_.responders, r.Sys_.degraded)
+  in
+  let recall_a, sim_a, responders_a, degraded_a = exercise plain in
+  let recall_b, sim_b, responders_b, degraded_b = exercise planed in
+  Alcotest.(check (float 0.0)) "same recall" recall_a recall_b;
+  Alcotest.(check (float 0.0)) "same similarity" sim_a sim_b;
+  Alcotest.(check int) "all owners respond" 5 responders_a;
+  Alcotest.(check int) "all owners respond under the quiet plane" 5
+    responders_b;
+  Alcotest.(check bool) "never degraded without faults" false
+    (degraded_a || degraded_b)
+
+let total_loss_degrades_gracefully () =
+  (* Every owner contact dropped with no retries: the query must come back
+     degraded with zero responders — and must not raise. *)
+  let spec = { Faults.Plane.no_faults with drop = 1.0 } in
+  let s = default_system ~config:(faultless_config spec Faults.Retry.none) () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  ignore (Sys_.publish s ~from (mk 10 60));
+  let r = Sys_.query s ~from (mk 10 60) in
+  Alcotest.(check int) "nobody answered" 0 r.Sys_.responders;
+  Alcotest.(check bool) "flagged degraded" true r.Sys_.degraded;
+  Alcotest.(check bool) "no match over zero responders" true
+    (r.Sys_.matched = None);
+  Alcotest.(check (float 0.0)) "recall collapses to zero" 0.0 r.Sys_.recall
+
+let retries_restore_responders () =
+  (* 30% drop: single-attempt contacts lose owners; the default retry
+     policy brings nearly all of them back. *)
+  let spec = { Faults.Plane.no_faults with drop = 0.3 } in
+  let count retry =
+    let s = default_system ~config:(faultless_config spec retry) () in
+    let from = Sys_.peer_by_name s "peer-1" in
+    let total = ref 0 in
+    for i = 0 to 39 do
+      let r = Sys_.query s ~from (mk (i * 20) ((i * 20) + 15)) in
+      total := !total + r.Sys_.responders
+    done;
+    !total
+  in
+  let lone = count Faults.Retry.none in
+  let retried = count Faults.Retry.default in
+  (* Contacts cross hops+1 legs, each an independent 30% loss, so even
+     retried contacts to far owners can exhaust their four attempts — the
+     claim is a decisive improvement, not full recovery. *)
+  let max_responders = 40 * 5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "single-attempt loses owners (%d/%d)" lone max_responders)
+    true
+    (lone < max_responders / 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "retries restore owners (%d vs %d)" retried lone)
+    true
+    (retried > 2 * lone)
+
+let crashed_peer_recovers () =
+  (* System.fail / System.recover round-trip: the peer's store survives its
+     downtime. *)
+  let s = default_system () in
+  let from = Sys_.peer_by_name s "peer-4" in
+  ignore (Sys_.publish s ~from (mk 300 400));
+  let owner =
+    Sys_.owner_of_identifier s (List.hd (Sys_.identifiers s (mk 300 400)))
+  in
+  Sys_.fail s owner;
+  Alcotest.(check bool) "down" false (Sys_.alive s owner);
+  Sys_.recover s owner;
+  Alcotest.(check bool) "back up" true (Sys_.alive s owner);
+  let r = Sys_.query s ~from (mk 300 400) in
+  Alcotest.(check (float 0.0)) "published range found after recovery" 1.0
+    r.Sys_.recall
+
 let suite =
   [
     Alcotest.test_case "construction" `Quick construction;
@@ -219,4 +310,12 @@ let suite =
     Alcotest.test_case "bounded stores enforce capacity" `Quick
       bounded_stores_enforce_capacity;
     Alcotest.test_case "deterministic per seed" `Quick deterministic_per_seed;
+    Alcotest.test_case "zero-spec fault plane changes nothing" `Quick
+      zero_spec_plane_changes_nothing;
+    Alcotest.test_case "total loss degrades gracefully" `Quick
+      total_loss_degrades_gracefully;
+    Alcotest.test_case "retries restore responders" `Quick
+      retries_restore_responders;
+    Alcotest.test_case "failed peer recovers with its store" `Quick
+      crashed_peer_recovers;
   ]
