@@ -13,6 +13,7 @@
 module Range = Rangeset.Range
 module Config = P2prange.Config
 module Simulation = P2prange.Simulation
+module Query_result = P2prange.Query_result
 module Scalability = P2prange.Scalability
 
 let seed = 42L
@@ -27,6 +28,7 @@ let json_path, section_filter =
     | [ "--json" ] ->
       prerr_endline "bench: --json requires a file argument";
       exit 2
+    | "--only" :: rest -> parse acc rest (* explicit marker; names filter *)
     | arg :: rest -> parse (arg :: acc) rest
   in
   let sections = parse [] (List.tl (Array.to_list Sys.argv)) in
@@ -296,7 +298,7 @@ let fig8 () =
 let fig9 () =
   let containment =
     quality_run
-      ~config:{ Config.default with matching = Config.Containment_match }
+      ~config:(Config.default |> Config.with_matching Config.Containment_match)
       ()
   in
   recall_table
@@ -309,15 +311,14 @@ let fig10 () =
   let padded =
     quality_run
       ~config:
-        { Config.default with
-          matching = Config.Containment_match;
-          padding = Config.Fixed_padding 0.2;
-        }
+        (Config.default
+        |> Config.with_matching Config.Containment_match
+        |> Config.with_padding (Config.Fixed_padding 0.2))
       ()
   in
   let unpadded =
     quality_run
-      ~config:{ Config.default with matching = Config.Containment_match }
+      ~config:(Config.default |> Config.with_matching Config.Containment_match)
       ()
   in
   recall_table [ ("20% padding", padded); ("no padding", unpadded) ]
@@ -514,7 +515,7 @@ let ablation_kl () =
   in
   List.iter
     (fun (k, l) ->
-      let config = { Config.default with k; l } in
+      let config = Config.default |> Config.with_kl ~k ~l in
       let run = Simulation.run ~config ~n_peers:100 ~n_queries:3000 ~seed () in
       let recalls = Simulation.recalls run in
       let mean_recall =
@@ -551,7 +552,9 @@ let ablation_padding () =
   List.iter
     (fun (label, padding) ->
       let config =
-        { Config.default with padding; matching = Config.Containment_match }
+        Config.default
+        |> Config.with_padding padding
+        |> Config.with_matching Config.Containment_match
       in
       let run = Simulation.run ~config ~n_peers:100 ~n_queries:5000 ~seed () in
       let recalls = Simulation.recalls run in
@@ -590,7 +593,9 @@ let ablation_peer_index () =
   List.iter
     (fun (label, peer_index) ->
       let config =
-        { Config.default with peer_index; matching = Config.Containment_match }
+        Config.default
+        |> Config.with_peer_index peer_index
+        |> Config.with_matching Config.Containment_match
       in
       let run = Simulation.run ~config ~n_peers:100 ~n_queries:2000 ~seed () in
       Stats.Table.add_row table
@@ -625,10 +630,9 @@ let ablation_eviction () =
   List.iter
     (fun (label, store_policy) ->
       let config =
-        { Config.default with
-          store_policy;
-          matching = Config.Containment_match;
-        }
+        Config.default
+        |> Config.with_store_policy store_policy
+        |> Config.with_matching Config.Containment_match
       in
       let run = Simulation.run ~config ~n_peers:100 ~n_queries:5000 ~seed () in
       (* Recover eviction counts by replaying on a fresh system is
@@ -672,10 +676,9 @@ let ablation_spread () =
   List.iter
     (fun (label, spread_identifiers) ->
       let config =
-        { Config.default with
-          spread_identifiers;
-          matching = Config.Containment_match;
-        }
+        Config.default
+        |> Config.with_spread_identifiers spread_identifiers
+        |> Config.with_matching Config.Containment_match
       in
       let run = Simulation.run ~config ~n_peers:100 ~n_queries:5000 ~seed () in
       (* Measure per-peer load on a replayed system with the same seed. *)
@@ -748,10 +751,9 @@ let ablation_latency () =
   List.iter
     (fun (label, spread_identifiers, rate_per_s) ->
       let config =
-        { Config.default with
-          spread_identifiers;
-          matching = Config.Containment_match;
-        }
+        Config.default
+        |> Config.with_spread_identifiers spread_identifiers
+        |> Config.with_matching Config.Containment_match
       in
       let system = P2prange.System.create ~config ~seed ~n_peers () in
       let timed = P2prange.Timed.create ~system ~seed () in
@@ -818,22 +820,19 @@ let balance_bench () =
      holder of its buckets and failover is actually load-bearing (at the
      paper's l = 5 any of five owners can answer, masking failures). *)
   let base =
-    { Config.default with
-      matching = Config.Containment_match;
-      spread_identifiers = true;
-      k = 20;
-      l = 1;
-    }
+    Config.default
+    |> Config.with_matching Config.Containment_match
+    |> Config.with_spread_identifiers true
+    |> Config.with_kl ~k:20 ~l:1
   in
   let configs =
     [
       ("replication off", base);
       ( "replication on",
-        { base with
-          replication =
-            Config.Replicate
-              { r = 2; hot = Balance.Tracker.Absolute 8; window = 2048 };
-        } );
+        base
+        |> Config.with_replication
+             (Config.Replicate
+                { r = 2; hot = Balance.Tracker.Absolute 8; window = 2048 }) );
     ]
   in
   let systems =
@@ -860,7 +859,7 @@ let balance_bench () =
       let result =
         System.query sys ~from (Workload.Query_workload.next stream)
       in
-      recalls := result.System.recall :: !recalls
+      recalls := result.Query_result.recall :: !recalls
     done;
     mean !recalls
   in
@@ -890,7 +889,7 @@ let balance_bench () =
   List.iter
     (fun (_, sys) ->
       List.iter
-        (fun name -> System.fail sys (System.peer_by_name sys name))
+        (fun name -> System.fail_peer sys (System.peer_by_name sys name))
         victims)
     systems;
   let table =
@@ -955,11 +954,10 @@ let faults_bench () =
   let module Peer = P2prange.Peer in
   let n_peers = 64 and n_warm = 1_000 and n_measure = 2_000 in
   let base =
-    { Config.default with
-      matching = Config.Containment_match;
-      spread_identifiers = true;
-      l = 1;
-    }
+    Config.default
+    |> Config.with_matching Config.Containment_match
+    |> Config.with_spread_identifiers true
+    |> Config.with_kl ~k:Config.default.Config.k ~l:1
   in
   let mean = function
     | [] -> 0.0
@@ -968,10 +966,9 @@ let faults_bench () =
   let sends_counter = Obs.Metrics.counter "faults.sends" in
   let cell ~drop ~crash_fraction ~retry =
     let config =
-      { base with
-        faults =
-          Some { Config.spec = { Faults.Plane.no_faults with drop }; retry };
-      }
+      base
+      |> Config.with_faults
+           { Config.spec = { Faults.Plane.no_faults with drop }; retry }
     in
     let sys = System.create ~config ~seed ~n_peers () in
     let plane = Option.get (System.fault_plane sys) in
@@ -999,8 +996,8 @@ let faults_bench () =
         System.query sys ~from (Workload.Query_workload.next stream)
       in
       if i > n_warm then begin
-        recalls := result.System.recall :: !recalls;
-        if result.System.degraded then incr degraded
+        recalls := result.Query_result.recall :: !recalls;
+        if result.Query_result.degraded then incr degraded
       end
     done;
     let sends = Obs.Metrics.counter_value sends_counter - sends0 in
@@ -1054,6 +1051,135 @@ let faults_bench () =
   Format.printf
     "retry recovery at drop 0.10 / 10%% crashed: +%.3f recall (%.3f -> %.3f)@."
     (rec_on -. rec_off) rec_off rec_on
+
+(* ------------------------------------------------------------------ *)
+(* Batched query pipeline: messages per query vs batch size            *)
+(* ------------------------------------------------------------------ *)
+
+(* Headline gauges at the Zipf / batch-64 cell — the acceptance numbers
+   of the batching PR (check_bench requires reduction >= 0.25, recall
+   within 0.01, and batch-of-one bit-identity). *)
+let g_msgs_unbatched = Obs.Metrics.gauge "batch.bench.msgs_per_query_unbatched"
+
+let g_msgs_batch64 =
+  Obs.Metrics.gauge "batch.bench.msgs_per_query_batch64_zipf"
+
+let g_reduction = Obs.Metrics.gauge "batch.bench.reduction"
+let g_recall_unbatched = Obs.Metrics.gauge "batch.bench.recall_unbatched"
+let g_recall_batch64 = Obs.Metrics.gauge "batch.bench.recall_batch64"
+let g_bit_identical = Obs.Metrics.gauge "batch.bench.bit_identical"
+let g_qps_batch64 = Obs.Metrics.gauge "batch.bench.qps_batch64_zipf"
+
+let batch_bench () =
+  (* One client peer issues the same 512-query stream against
+     identically-seeded systems, once query-by-query and once in batches
+     of 8 and 64. Fault-free batching never changes answers (the results
+     of the batch-of-one run are compared bit-for-bit against the
+     unbatched run), so the interesting numbers are messages per query —
+     signature memo + identifier dedupe + route cache + contact
+     coalescing — and wall-clock throughput. *)
+  let module System = P2prange.System in
+  let n_peers = 64 and n_queries = 512 in
+  let workloads =
+    [
+      ("uniform", Workload.Query_workload.Uniform_width { max_width = 64 });
+      ( "zipf",
+        Workload.Query_workload.Zipf_hotspots
+          { hotspots = 8; spread = 8; s = 1.0 } );
+    ]
+  in
+  let queries_of shape =
+    let stream =
+      Workload.Query_workload.create shape ~domain:Config.default.Config.domain
+        ~seed
+    in
+    List.init n_queries (fun _ -> Workload.Query_workload.next stream)
+  in
+  let chunks n xs =
+    let rec take k = function
+      | rest when k = 0 -> ([], rest)
+      | [] -> ([], [])
+      | x :: rest ->
+        let chunk, rest = take (k - 1) rest in
+        (x :: chunk, rest)
+    in
+    let rec split = function
+      | [] -> []
+      | xs ->
+        let chunk, rest = take n xs in
+        chunk :: split rest
+    in
+    split xs
+  in
+  let mean = function
+    | [] -> 0.0
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  (* [batch = 0] is the unbatched baseline: System.query per range. *)
+  let run shape ~batch =
+    let sys = System.create ~seed ~n_peers () in
+    let from = System.peer_by_name sys "peer-0" in
+    let queries = queries_of shape in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      if batch = 0 then List.map (fun q -> System.query sys ~from q) queries
+      else
+        List.concat_map
+          (fun chunk -> System.query_batch sys ~from chunk)
+          (chunks batch queries)
+    in
+    let elapsed = Stdlib.max 1e-9 (Unix.gettimeofday () -. t0) in
+    let msgs =
+      List.fold_left (fun acc r -> acc + Query_result.messages r) 0 results
+    in
+    ( results,
+      float_of_int msgs /. float_of_int n_queries,
+      mean (List.map (fun r -> r.Query_result.recall) results),
+      float_of_int n_queries /. elapsed )
+  in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("workload", Stats.Table.Left); ("batch", Stats.Table.Right);
+          ("msgs/query", Stats.Table.Right); ("reduction", Stats.Table.Right);
+          ("mean recall", Stats.Table.Right);
+          ("throughput q/s", Stats.Table.Right) ]
+  in
+  let identical = ref true in
+  List.iter
+    (fun (label, shape) ->
+      let base_results, base_msgs, base_recall, base_qps =
+        run shape ~batch:0
+      in
+      Stats.Table.add_row table
+        [
+          label; "-"; Printf.sprintf "%.2f" base_msgs; "-";
+          Printf.sprintf "%.3f" base_recall; Printf.sprintf "%.0f" base_qps;
+        ];
+      List.iter
+        (fun batch ->
+          let results, msgs, recall, qps = run shape ~batch in
+          if batch = 1 then identical := !identical && results = base_results;
+          let reduction = 1.0 -. (msgs /. base_msgs) in
+          Stats.Table.add_row table
+            [
+              label; string_of_int batch; Printf.sprintf "%.2f" msgs;
+              Printf.sprintf "%.1f%%" (100.0 *. reduction);
+              Printf.sprintf "%.3f" recall; Printf.sprintf "%.0f" qps;
+            ];
+          if label = "zipf" && batch = 64 then begin
+            Obs.Metrics.set_gauge g_msgs_unbatched base_msgs;
+            Obs.Metrics.set_gauge g_msgs_batch64 msgs;
+            Obs.Metrics.set_gauge g_reduction reduction;
+            Obs.Metrics.set_gauge g_recall_unbatched base_recall;
+            Obs.Metrics.set_gauge g_recall_batch64 recall;
+            Obs.Metrics.set_gauge g_qps_batch64 qps
+          end)
+        [ 1; 8; 64 ])
+    workloads;
+  Obs.Metrics.set_gauge g_bit_identical (if !identical then 1.0 else 0.0);
+  Format.printf "%a" Stats.Table.pp table;
+  Format.printf "batch-of-one bit-identical to single queries: %b@." !identical
 
 (* ------------------------------------------------------------------ *)
 (* Engine: SQL-over-P2P provenance (§2/§6)                              *)
@@ -1209,7 +1335,7 @@ let baseline_unstructured () =
      comparison); the containment row shows the paper's §5.2 configuration. *)
   List.iter
     (fun (label, matching) ->
-      let config = { Config.default with matching } in
+      let config = Config.default |> Config.with_matching matching in
       let run = Simulation.run ~config ~n_peers ~n_queries ~seed () in
       Stats.Table.add_row table
         [
@@ -1338,6 +1464,8 @@ let () =
     balance_bench;
   section "faults" "fault injection: drop x crash sweep, retry on vs off"
     faults_bench;
+  section "batch" "batched query pipeline: messages/query vs batch size"
+    batch_bench;
   section "engine-sql" "SQL-over-P2P provenance split (§2/§6)" engine_sql;
   section "baseline-can" "CAN vs Chord as the DHT substrate (§3.1)"
     baseline_can;

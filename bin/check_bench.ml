@@ -39,26 +39,27 @@ let check_section ~name body =
     | Some _ -> fail "section %s: total_messages is not a non-negative int" name
     | None -> fail "section %s: derived block lacks total_messages" name)
 
+let gauge ~section body name =
+  match Json.member "metrics" body with
+  | None -> fail "section %s has no metrics block" section
+  | Some metrics -> (
+    match Json.member "gauges" metrics with
+    | None -> fail "section %s has no gauges block" section
+    | Some gauges -> (
+      match Json.member name gauges with
+      | Some (Json.Float f) when Float.is_finite f -> f
+      | Some (Json.Int i) -> float_of_int i
+      | Some Json.Null -> fail "%s gauge %s was never set" section name
+      | Some _ -> fail "%s gauge %s is not a finite number" section name
+      | None -> fail "%s gauge %s missing" section name))
+
 (* Robustness floor for the faults section: the retry/backoff machinery
    must recover at least this much recall over retry-disabled routing at
    the acceptance cell (drop 0.1, 10% crashed, seed 42). *)
 let min_recall_gap = 0.15
 
 let check_faults_gauges body =
-  let gauge name =
-    match Json.member "metrics" body with
-    | None -> fail "section faults has no metrics block"
-    | Some metrics -> (
-      match Json.member "gauges" metrics with
-      | None -> fail "section faults has no gauges block"
-      | Some gauges -> (
-        match Json.member name gauges with
-        | Some (Json.Float f) when Float.is_finite f -> f
-        | Some (Json.Int i) -> float_of_int i
-        | Some Json.Null -> fail "faults gauge %s was never set" name
-        | Some _ -> fail "faults gauge %s is not a finite number" name
-        | None -> fail "faults gauge %s missing" name))
-  in
+  let gauge = gauge ~section:"faults" body in
   let off = gauge "faults.bench.recall_retry_off" in
   let on = gauge "faults.bench.recall_retry_on" in
   if on -. off < min_recall_gap then
@@ -66,6 +67,30 @@ let check_faults_gauges body =
       "faults: retry-enabled routing recovers only %.3f recall over \
        retry-disabled (%.3f -> %.3f); floor is %.2f"
       (on -. off) off on min_recall_gap
+
+(* Acceptance bars for the batched query pipeline at the Zipf / batch-64
+   cell (seed 42): batching must cut messages per query by at least a
+   quarter, must not move recall, and a batch of one must replay the
+   single-query path bit-for-bit. *)
+let min_batch_reduction = 0.25
+let max_batch_recall_drift = 0.01
+
+let check_batch_gauges body =
+  let gauge = gauge ~section:"batch" body in
+  let reduction = gauge "batch.bench.reduction" in
+  if reduction < min_batch_reduction then
+    fail
+      "batch: batching saves only %.1f%% of messages per query at batch 64 \
+       under Zipf; floor is %.0f%%"
+      (100.0 *. reduction)
+      (100.0 *. min_batch_reduction);
+  let unbatched = gauge "batch.bench.recall_unbatched" in
+  let batched = gauge "batch.bench.recall_batch64" in
+  if Float.abs (batched -. unbatched) > max_batch_recall_drift then
+    fail "batch: batching moved recall %.3f -> %.3f (tolerance %.2f)"
+      unbatched batched max_batch_recall_drift;
+  if gauge "batch.bench.bit_identical" <> 1.0 then
+    fail "batch: a batch of one is not bit-identical to single queries"
 
 let () =
   let file, expected =
@@ -105,6 +130,7 @@ let () =
       | None -> fail "expected section %s missing" name
       | Some body ->
         check_section ~name body;
-        if name = "faults" then check_faults_gauges body)
+        if name = "faults" then check_faults_gauges body;
+        if name = "batch" then check_batch_gauges body)
     expected;
   Printf.printf "check_bench: %s ok (%s)\n" file (String.concat ", " expected)

@@ -120,16 +120,13 @@ let build_config family k l domain_hi matching padding adaptive peer_index =
       Config.Adaptive_padding { initial = 0.0; step = 0.01; target_recall }
     | None -> if padding = 0.0 then Config.No_padding else Config.Fixed_padding padding
   in
-  {
-    Config.default with
-    family;
-    k;
-    l;
-    domain = Range.make ~lo:0 ~hi:domain_hi;
-    matching;
-    padding;
-    peer_index;
-  }
+  Config.default
+  |> Config.with_family family
+  |> Config.with_kl ~k ~l
+  |> Config.with_domain (Range.make ~lo:0 ~hi:domain_hi)
+  |> Config.with_matching matching
+  |> Config.with_padding padding
+  |> Config.with_peer_index peer_index
 
 (* --- quality command (figures 6-10) --- *)
 
@@ -268,11 +265,9 @@ let hash_cmd =
 let run_latency json seed peers queries rate spread =
   with_json json "latency" @@ fun () ->
   let config =
-    {
-      Config.default with
-      matching = Config.Containment_match;
-      spread_identifiers = spread;
-    }
+    Config.default
+    |> Config.with_matching Config.Containment_match
+    |> Config.with_spread_identifiers spread
   in
   let system = P2prange.System.create ~config ~seed ~n_peers:peers () in
   let timed = P2prange.Timed.create ~system ~seed () in

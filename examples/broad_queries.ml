@@ -38,23 +38,21 @@ let () =
     "broad-query workload: %d queries, 50 Zipf hotspots over [0, 1000]@.@."
     n_queries;
   describe "jaccard matching"
-    (run { Config.default with matching = Config.Jaccard_match });
+    (run (Config.default |> Config.with_matching Config.Jaccard_match));
   describe "containment matching"
-    (run { Config.default with matching = Config.Containment_match });
+    (run (Config.default |> Config.with_matching Config.Containment_match));
   describe "containment + 20% padding"
     (run
-       { Config.default with
-         matching = Config.Containment_match;
-         padding = Config.Fixed_padding 0.2;
-       });
+       (Config.default
+       |> Config.with_matching Config.Containment_match
+       |> Config.with_padding (Config.Fixed_padding 0.2)));
   describe "containment + adaptive pad"
     (run
-       { Config.default with
-         matching = Config.Containment_match;
-         padding =
-           Config.Adaptive_padding
-             { initial = 0.0; step = 0.01; target_recall = 0.95 };
-       });
+       (Config.default
+       |> Config.with_matching Config.Containment_match
+       |> Config.with_padding
+            (Config.Adaptive_padding
+               { initial = 0.0; step = 0.01; target_recall = 0.95 })));
   Format.printf
     "@.Containment matching chooses broader cached partitions, so more@.";
   Format.printf

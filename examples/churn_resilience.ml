@@ -90,20 +90,19 @@ let () =
      is the [replication] knob. One identifier per range (l = 1) so a
      failed owner really is the only native holder of its buckets. *)
   let module System = P2prange.System in
+  let module Query_result = P2prange.Query_result in
   let module Config = P2prange.Config in
   let base =
-    { Config.default with
-      Config.matching = Config.Containment_match;
-      spread_identifiers = true;
-      l = 1;
-    }
+    Config.default
+    |> Config.with_matching Config.Containment_match
+    |> Config.with_spread_identifiers true
+    |> Config.with_kl ~k:Config.default.Config.k ~l:1
   in
   let replicated =
-    { base with
-      Config.replication =
-        Config.Replicate
-          { r = 2; hot = Balance.Tracker.Absolute 8; window = 1024 };
-    }
+    base
+    |> Config.with_replication
+         (Config.Replicate
+            { r = 2; hot = Balance.Tracker.Absolute 8; window = 1024 })
   in
   let n_peers = 48 in
   let systems =
@@ -127,7 +126,7 @@ let () =
     for _ = 1 to n do
       let from = live.(Prng.Splitmix.int rng (Array.length live)) in
       let r = System.query sys ~from (Workload.Query_workload.next stream) in
-      total := !total +. r.System.recall
+      total := !total +. r.Query_result.recall
     done;
     !total /. float_of_int n
   in
@@ -151,7 +150,7 @@ let () =
   in
   List.iter
     (fun (_, sys, _) ->
-      List.iter (fun name -> System.fail sys (System.peer_by_name sys name)) victims)
+      List.iter (fun name -> System.fail_peer sys (System.peer_by_name sys name)) victims)
     warm;
   List.iter
     (fun (label, sys, before) ->

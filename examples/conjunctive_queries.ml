@@ -62,8 +62,8 @@ let run_experiment ~label ~config =
     in
     (match result.MA.conjuncts with
     | [ (_, age); (_, weight) ] ->
-      age_recall := !age_recall +. age.P2prange.System.recall;
-      weight_recall := !weight_recall +. weight.P2prange.System.recall
+      age_recall := !age_recall +. age.P2prange.Query_result.recall;
+      weight_recall := !weight_recall +. weight.P2prange.Query_result.recall
     | _ -> assert false);
     combined := !combined +. result.MA.combined_recall;
     if result.MA.combined_recall >= 1.0 then incr complete
@@ -78,13 +78,13 @@ let () =
     "conjunctive queries over two attributes (age: warm cache, weight: cold)@.@.";
   run_experiment ~label:"containment matching"
     ~config:
-      { P2prange.Config.default with matching = P2prange.Config.Containment_match };
+      (P2prange.Config.default
+      |> P2prange.Config.with_matching P2prange.Config.Containment_match);
   run_experiment ~label:"  + 20% padding"
     ~config:
-      { P2prange.Config.default with
-        matching = P2prange.Config.Containment_match;
-        padding = P2prange.Config.Fixed_padding 0.2;
-      };
+      (P2prange.Config.default
+      |> P2prange.Config.with_matching P2prange.Config.Containment_match
+      |> P2prange.Config.with_padding (P2prange.Config.Fixed_padding 0.2));
   Format.printf
     "@.The combined recall tracks the starved (weight) attribute — the@.";
   Format.printf

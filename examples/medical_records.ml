@@ -96,7 +96,7 @@ let glaucoma_sql ~age_lo ~age_hi =
 
 let provenance_name = function
   | Engine.From_cache qr ->
-    Printf.sprintf "cached partition (recall %.2f)" qr.P2prange.System.recall
+    Printf.sprintf "cached partition (recall %.2f)" qr.P2prange.Query_result.recall
   | Engine.From_source { published } ->
     if published then "source fetch, partition published" else "source fetch"
   | Engine.From_exact_dht { hit } ->

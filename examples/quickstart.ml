@@ -8,6 +8,7 @@
 
 module Range = Rangeset.Range
 module System = P2prange.System
+module Query_result = P2prange.Query_result
 
 let () =
   (* 1. A system of 16 peers on a 32-bit Chord ring, using the paper's
@@ -25,11 +26,11 @@ let () =
   let stats = System.publish system ~from:publisher cached in
   Format.printf "@.published partition %s under %d identifiers:@."
     (Range.to_string cached)
-    (List.length stats.System.identifiers);
+    (List.length stats.Query_result.identifiers);
   List.iter
     (fun id -> Format.printf "  identifier %08x -> peer %a@." id
         Chord.Id.pp (P2prange.Peer.id (System.owner_of_identifier system id)))
-    stats.System.identifiers;
+    stats.Query_result.identifiers;
 
   (* 3. Another peer asks for ages 30-49 — NOT the cached range, but with
         Jaccard similarity 20/21 ≈ 0.95, so with high probability at least
@@ -39,21 +40,21 @@ let () =
   let result = System.query system ~from:asker query in
   Format.printf "@.query %s from %s:@." (Range.to_string query)
     (P2prange.Peer.name asker);
-  (match result.System.matched with
+  (match result.Query_result.matched with
   | Some m ->
     Format.printf "  matched cached partition %s@."
       (Range.to_string m.P2prange.Matching.entry.P2prange.Store.range);
     Format.printf "  jaccard similarity: %.3f   recall: %.3f@."
-      result.System.similarity result.System.recall
+      result.Query_result.similarity result.Query_result.recall
   | None -> Format.printf "  no match found (unlucky hash draw)@.");
   Format.printf "  overlay hops per identifier lookup: %s@."
     (String.concat ", "
-       (List.map string_of_int result.System.stats.System.hops));
+       (List.map string_of_int result.Query_result.stats.Query_result.hops));
 
   (* 4. A dissimilar range finds nothing — and gets cached for next time. *)
   let far = Range.make ~lo:700 ~hi:800 in
   let miss = System.query system ~from:asker far in
   Format.printf "@.query %s: %s (cached for future queries: %b)@."
     (Range.to_string far)
-    (match miss.System.matched with Some _ -> "matched" | None -> "no match")
-    miss.System.cached
+    (match miss.Query_result.matched with Some _ -> "matched" | None -> "no match")
+    miss.Query_result.cached

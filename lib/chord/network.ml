@@ -165,22 +165,29 @@ let find_successor t ~from ~key =
          fall back to successor-list hops — shorter strides, but they stay
          inside (n, key] so progress toward the owner is preserved. *)
       and fallback n ~failed hops =
-        let rec try_hops = function
+        let rec try_hops tried = function
           | [] -> None
           | s :: rest ->
             if
-              s <> failed && s <> n.id && responsive t s
+              s <> failed && s <> n.id
+              && not (List.mem s tried)
+              && responsive t s
               && Id.in_interval_oo s ~lo:n.id ~hi:key
               && contact_ok t ~src:n.id ~dst:s
             then begin
               Obs.Metrics.incr m_fallbacks;
               match node_opt t s with
               | Some sn -> route sn (hops + 1)
-              | None -> try_hops rest
+              | None -> try_hops (s :: tried) rest
             end
-            else try_hops rest
+            else try_hops (s :: tried) rest
         in
-        try_hops (n.successor :: n.successors)
+        (* Stabilization keeps [n.successor] at the head of [n.successors],
+           so the raw chain names the final fallback candidate twice;
+           tracking tried nodes keeps each candidate to one retried
+           contact instead of double-charging (and double-budgeting) the
+           same hop when retries are enabled. *)
+        try_hops [] (n.successor :: n.successors)
       in
       (* A node owning the key answers locally with zero hops. *)
       (match start.predecessor with
@@ -196,6 +203,64 @@ let find_successor t ~from ~key =
     Obs.Metrics.observe_int h_hops hops
   | None -> Obs.Metrics.incr m_failed);
   result
+
+let m_batch_memo = Obs.Metrics.counter "chord.net.batch_memo_hits"
+let m_batch_direct = Obs.Metrics.counter "chord.net.batch_direct_hits"
+
+(* Resolve a whole batch of keys from one node, sharing work across the
+   round: a key already resolved this round is answered from the memo at
+   zero cost, and a key owned by a node the round has already contacted
+   (verified against that owner's predecessor interval) is fetched with
+   one direct hop instead of a fresh finger walk. Everything else falls
+   through to [find_successor], so faults compose unchanged. *)
+let find_successors t ~from keys =
+  let resolved = Hashtbl.create (List.length keys) in
+  let contacted = Hashtbl.create 16 in
+  let note = function
+    | Some (owner, _) -> Hashtbl.replace contacted owner ()
+    | None -> ()
+  in
+  List.map
+    (fun key ->
+      match Hashtbl.find_opt resolved key with
+      | Some r ->
+        Obs.Metrics.incr m_batch_memo;
+        (key, r)
+      | None ->
+        let direct_owner =
+          if node_opt t from = None then None
+          else
+            Hashtbl.fold
+              (fun c () acc ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                  match node_opt t c with
+                  | None -> None
+                  | Some cn -> (
+                    match cn.predecessor with
+                    | Some p
+                      when responsive t p
+                           && Id.in_interval_oc key ~lo:p ~hi:c ->
+                      Some cn
+                    | Some _ | None -> None)))
+              contacted None
+        in
+        let r =
+          match direct_owner with
+          | Some cn when cn.id = from -> Some (from, 0)
+          | Some cn when contact_ok t ~src:from ~dst:cn.id ->
+            Obs.Metrics.incr m_batch_direct;
+            Obs.Metrics.incr m_lookups;
+            Obs.Metrics.add m_messages 2;
+            Obs.Metrics.observe_int h_hops 1;
+            Some (cn.id, 1)
+          | Some _ | None -> find_successor t ~from ~key
+        in
+        note r;
+        Hashtbl.replace resolved key r;
+        (key, r))
+    keys
 
 let join t id ~via =
   if not (Id.is_valid id) then invalid_arg "Network.join: invalid id";

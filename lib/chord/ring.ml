@@ -87,27 +87,95 @@ let m_lookups = Obs.Metrics.counter "chord.ring.lookups"
 let m_messages = Obs.Metrics.counter "chord.ring.messages"
 let h_hops = Obs.Metrics.histogram "chord.ring.hops"
 
-let lookup t ~from ~key =
-  if not (contains t from) then invalid_arg "Ring.lookup: unknown source node";
-  let target = owner t key in
-  let result =
-    if target = from then (from, 0)
+(* The closest-preceding-finger walk shared by [lookup] and [lookup_via];
+   [learn] sees every node the route passes through (and the owner). *)
+let route_loop t ?(learn = fun (_ : int) -> ()) ~key start hops0 =
+  let rec route n hops =
+    let succ = successor t n in
+    if Id.in_interval_oc key ~lo:n ~hi:succ then begin
+      learn succ;
+      (succ, hops + 1)
+    end
     else begin
-      let rec route n hops =
-        let succ = successor t n in
-        if Id.in_interval_oc key ~lo:n ~hi:succ then (succ, hops + 1)
-        else begin
-          let next = closest_preceding_finger t n key in
-          let next = if next = n then succ else next in
-          route next (hops + 1)
-        end
-      in
-      route from 0
+      let next = closest_preceding_finger t n key in
+      let next = if next = n then succ else next in
+      learn next;
+      route next (hops + 1)
     end
   in
+  route start hops0
+
+let record result =
   let hops = snd result in
   Obs.Metrics.incr m_lookups;
   (* One message per hop plus the final reply to the requester. *)
   Obs.Metrics.add m_messages (hops + 1);
   Obs.Metrics.observe_int h_hops hops;
   result
+
+let lookup t ~from ~key =
+  if not (contains t from) then invalid_arg "Ring.lookup: unknown source node";
+  let target = owner t key in
+  record (if target = from then (from, 0) else route_loop t ~key from 0)
+
+module Route_cache = struct
+  type t = {
+    known : (int, unit) Hashtbl.t;
+    mutable shortcuts : int;
+    mutable full_walks : int;
+  }
+
+  let create () = { known = Hashtbl.create 64; shortcuts = 0; full_walks = 0 }
+  let learn t id = Hashtbl.replace t.known id ()
+  let known t = Hashtbl.length t.known
+  let shortcuts t = t.shortcuts
+  let full_walks t = t.full_walks
+
+  (* The known node that makes the most clockwise progress from [from]
+     without passing the owner — the best address to contact directly. *)
+  let best_shortcut t ~from ~target =
+    Hashtbl.fold
+      (fun c () acc ->
+        if c <> from && Id.in_interval_oc c ~lo:from ~hi:target then
+          match acc with
+          | Some b when Id.distance_cw ~from ~to_:b >= Id.distance_cw ~from ~to_:c
+            ->
+            acc
+          | Some _ | None -> Some c
+        else acc)
+      t.known None
+end
+
+let m_cached_lookups = Obs.Metrics.counter "chord.ring.cached_lookups"
+let m_shortcuts = Obs.Metrics.counter "chord.ring.shortcuts"
+
+let lookup_via t cache ~from ~key =
+  if not (contains t from) then
+    invalid_arg "Ring.lookup_via: unknown source node";
+  let target = owner t key in
+  Route_cache.learn cache from;
+  Obs.Metrics.incr m_cached_lookups;
+  let learn = Route_cache.learn cache in
+  let result =
+    if target = from then (from, 0)
+    else begin
+      (* A cached address is only worth a direct first hop when it beats
+         the finger the plain walk would take anyway — so a cached lookup
+         never routes longer than an uncached one. *)
+      let plain_step =
+        let f = closest_preceding_finger t from key in
+        if f = from then successor t from else f
+      in
+      match Route_cache.best_shortcut cache ~from ~target with
+      | Some c
+        when Id.distance_cw ~from ~to_:c > Id.distance_cw ~from ~to_:plain_step
+        ->
+        cache.Route_cache.shortcuts <- cache.Route_cache.shortcuts + 1;
+        Obs.Metrics.incr m_shortcuts;
+        if c = target then (target, 1) else route_loop t ~learn ~key c 1
+      | Some _ | None ->
+        cache.Route_cache.full_walks <- cache.Route_cache.full_walks + 1;
+        route_loop t ~learn ~key from 0
+    end
+  in
+  record result

@@ -50,3 +50,34 @@ val lookup : t -> from:Id.t -> key:Id.t -> Id.t * int
     closest-preceding-finger forwarding; returns the owner and the number of
     overlay hops traversed (0 when [from] is the owner). Mean hops in a
     converged N-node ring is ≈ ½·log₂ N. *)
+
+(** Address knowledge accumulated across the lookups of one batch round.
+
+    Iterative routing tells the querier the address of every node its
+    walks pass through; later lookups of the same round jump straight to
+    the known node closest to (and not past) the target owner instead of
+    re-walking the shared finger prefix. Purely a hop saver: owners are
+    unchanged, and a cached lookup never takes more hops than {!lookup}
+    for the same key. *)
+module Route_cache : sig
+  type t
+
+  val create : unit -> t
+
+  val learn : t -> Id.t -> unit
+  (** Record a node address (normally done by {!lookup_via} itself). *)
+
+  val known : t -> int
+  (** Distinct node addresses learned so far. *)
+
+  val shortcuts : t -> int
+  (** Lookups that jumped via a cached address. *)
+
+  val full_walks : t -> int
+  (** Lookups that routed from scratch. *)
+end
+
+val lookup_via : t -> Route_cache.t -> from:Id.t -> key:Id.t -> Id.t * int
+(** {!lookup} through a {!Route_cache}: starts from the best cached
+    address when that beats the plain first finger hop, and learns every
+    node the route touches. Same owner as [lookup], hops ≤ [lookup]'s. *)

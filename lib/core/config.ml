@@ -26,6 +26,7 @@ type t = {
   replication : replication;
   virtual_nodes : int;
   faults : faults option;
+  signature_cache : int;
 }
 
 let default =
@@ -44,9 +45,29 @@ let default =
     replication = No_replication;
     virtual_nodes = 1;
     faults = None;
+    signature_cache = 1024;
   }
 
 let paper_quality ~family = { default with family }
+
+(* Builder: each function takes the value first so configs pipe,
+   [Config.default |> with_replication r |> with_faults f]. *)
+
+let with_family family t = { t with family }
+let with_kl ~k ~l t = { t with k; l }
+let with_domain domain t = { t with domain }
+let with_matching matching t = { t with matching }
+let with_padding padding t = { t with padding }
+let with_peer_index peer_index t = { t with peer_index }
+let with_cache_on_inexact cache_on_inexact t = { t with cache_on_inexact }
+let with_domain_cache use_domain_cache t = { t with use_domain_cache }
+let with_store_policy store_policy t = { t with store_policy }
+let with_spread_identifiers spread_identifiers t = { t with spread_identifiers }
+let with_replication replication t = { t with replication }
+let with_virtual_nodes virtual_nodes t = { t with virtual_nodes }
+let with_faults faults t = { t with faults = Some faults }
+let without_faults t = { t with faults = None }
+let with_signature_cache signature_cache t = { t with signature_cache }
 
 let validate t =
   if t.k < 1 then invalid_arg "Config: k must be >= 1";
@@ -75,6 +96,8 @@ let validate t =
     | Balance.Tracker.Top_k k ->
       if k < 1 then invalid_arg "Config: top-k hotness count must be >= 1"));
   if t.virtual_nodes < 1 then invalid_arg "Config: virtual_nodes must be >= 1";
+  if t.signature_cache < 0 then
+    invalid_arg "Config: signature_cache must be >= 0 (0 disables)";
   match t.faults with
   | None -> ()
   | Some { spec; retry } ->

@@ -77,6 +77,11 @@ type t = {
       (** fault plane over all message boundaries; [None] (the default)
           is the fault-free protocol, bit-identical to builds that predate
           the plane *)
+  signature_cache : int;
+      (** capacity of the per-system LRU memo of range signatures
+          ({!Lsh.Sig_cache}); [0] disables it. Signatures are pure
+          functions of the range, so the cache never changes results —
+          default [1024]. *)
 }
 
 val default : t
@@ -89,5 +94,31 @@ val paper_quality : family:Lsh.Family.kind -> t
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical settings (k, l < 1; negative
     padding; empty domain; replication factor, hotness threshold, window or
-    virtual-node count < 1; fault probabilities outside [0, 1] or a
-    nonsensical retry policy). *)
+    virtual-node count < 1; negative signature-cache capacity; fault
+    probabilities outside [0, 1] or a nonsensical retry policy). *)
+
+(** {1 Builder}
+
+    Pipe-friendly setters so call sites stop constructing the record
+    field-by-field: [Config.default |> with_replication r |> with_faults f
+    |> with_virtual_nodes 4]. Each returns an updated copy; {!validate}
+    still runs at system creation. *)
+
+val with_family : Lsh.Family.kind -> t -> t
+val with_kl : k:int -> l:int -> t -> t
+val with_domain : Rangeset.Range.t -> t -> t
+val with_matching : matching -> t -> t
+val with_padding : padding -> t -> t
+val with_peer_index : bool -> t -> t
+val with_cache_on_inexact : bool -> t -> t
+val with_domain_cache : bool -> t -> t
+val with_store_policy : Store.policy -> t -> t
+val with_spread_identifiers : bool -> t -> t
+val with_replication : replication -> t -> t
+val with_virtual_nodes : int -> t -> t
+
+val with_faults : faults -> t -> t
+(** Sets the fault plane; see {!without_faults} to clear it. *)
+
+val without_faults : t -> t
+val with_signature_cache : int -> t -> t

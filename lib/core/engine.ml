@@ -67,7 +67,7 @@ let fail_peer t name =
   (* Every system shares the peer population; one physical failure takes
      the peer out of all of them (and out of exact-match routing's ring,
      whose owners keep answering — the exact DHT is engine-local state). *)
-  let fail_in sys = System.fail sys (System.peer_by_name sys name) in
+  let fail_in sys = System.fail_peer sys (System.peer_by_name sys name) in
   List.iter (fun (_, sys) -> fail_in sys) t.systems;
   if not (List.exists (fun (_, sys) -> sys == t.routing) t.systems) then
     fail_in t.routing
@@ -75,7 +75,7 @@ let fail_peer t name =
 let recover_peer t name =
   (* Mirror of [fail_peer]: the peer comes back in every system at once,
      serving whatever its store held when it failed. *)
-  let recover_in sys = System.recover sys (System.peer_by_name sys name) in
+  let recover_in sys = System.recover_peer sys (System.peer_by_name sys name) in
   List.iter (fun (_, sys) -> recover_in sys) t.systems;
   if not (List.exists (fun (_, sys) -> sys == t.routing) t.systems) then
     recover_in t.routing
@@ -83,7 +83,7 @@ let recover_peer t name =
 let system_for t ~relation ~attribute = List.assoc (relation, attribute) t.systems
 
 type provenance =
-  | From_cache of System.query_result
+  | From_cache of Query_result.t
   | From_source of { published : bool }
   | From_exact_dht of { hit : bool }
   | Full_relation
@@ -142,11 +142,16 @@ let answer_exact t ~from_name ~relation ~attribute ~value ~allow_source msgs =
 
 (* --- range leaves: the paper's protocol --- *)
 
-let answer_range t ~from_name ~relation ~attribute ~range ~allow_source msgs =
+let answer_range t ~from_name ~relation ~attribute ~range ?precomputed
+    ~allow_source msgs =
   let system = system_for t ~relation ~attribute in
   let from = System.peer_by_name system from_name in
-  let qres = System.query system ~from range in
-  msgs := !msgs + qres.System.stats.System.messages;
+  let qres =
+    match precomputed with
+    | Some qres -> qres
+    | None -> System.query system ~from range
+  in
+  msgs := !msgs + qres.Query_result.stats.Query_result.messages;
   let from_partition p =
     (* Ship only the overlap with the queried range. *)
     match Range.intersect (R.Partition.range p) range with
@@ -154,7 +159,7 @@ let answer_range t ~from_name ~relation ~attribute ~range ~allow_source msgs =
     | Some overlap -> Some (R.Partition.data (R.Partition.restrict p overlap))
   in
   let cached_answer =
-    match qres.System.matched with
+    match qres.Query_result.matched with
     | Some m -> (
       match m.Matching.entry.Store.partition with
       | Some p -> from_partition p
@@ -162,13 +167,13 @@ let answer_range t ~from_name ~relation ~attribute ~range ~allow_source msgs =
     | None -> None
   in
   match cached_answer with
-  | Some data -> (data, From_cache qres, qres.System.recall, 0)
+  | Some data -> (data, From_cache qres, qres.Query_result.recall, 0)
   | None ->
     let rel = source t relation in
     if allow_source then begin
       let partition = R.Partition.of_relation rel ~attribute ~range in
       let stats = System.publish system ~from ~partition range in
-      msgs := !msgs + stats.System.messages;
+      msgs := !msgs + stats.Query_result.messages;
       (R.Partition.data partition, From_source { published = true }, 1.0, 1)
     end
     else (empty_like rel, From_source { published = false }, 0.0, 0)
@@ -212,13 +217,18 @@ let record_provenance = function
   | From_exact_dht { hit = false } -> Obs.Metrics.incr m_exact_miss
   | Full_relation -> Obs.Metrics.incr m_full_relation
 
-let answer_leaf t ~from_name ~allow_source (relation, preds) msgs =
+let answer_leaf t ~from_name ~allow_source ?range_result (relation, preds) msgs
+    =
   let data, provenance, recall, fetches =
     match locatable t ~relation preds with
     | Some (`Exact (attribute, value)) ->
       answer_exact t ~from_name ~relation ~attribute ~value ~allow_source msgs
     | Some (`Range (attribute, range)) ->
-      answer_range t ~from_name ~relation ~attribute ~range ~allow_source msgs
+      let precomputed =
+        Option.bind range_result (fun fetch -> fetch ~relation ~attribute)
+      in
+      answer_range t ~from_name ~relation ~attribute ~range ?precomputed
+        ~allow_source msgs
     | None ->
       (* No selection the DHT can serve: read the whole source. *)
       let rel = source t relation in
@@ -236,16 +246,14 @@ let answer_leaf t ~from_name ~allow_source (relation, preds) msgs =
     data,
     fetches )
 
-let execute t ~from_name ?(allow_source = true) query =
-  let lookup name = R.Relation.schema (source t name) in
-  let plan = R.Planner.push_selections query ~lookup in
+let execute_plan t ~from_name ~allow_source ?range_result plan =
   let leaves = R.Planner.leaf_selections plan in
   let msgs = ref 0 in
   let reports, fetched =
     List.fold_left
       (fun (reports, fetched) leaf ->
         let report, data, fetches =
-          answer_leaf t ~from_name ~allow_source leaf msgs
+          answer_leaf t ~from_name ~allow_source ?range_result leaf msgs
         in
         ((report, fetches) :: reports, data :: fetched))
       ([], []) leaves
@@ -281,6 +289,75 @@ let execute t ~from_name ?(allow_source = true) query =
   Obs.Metrics.add m_source_fetches source_fetches;
   Obs.Metrics.observe h_recall recall_estimate;
   { result; leaves = List.map fst reports; messages = !msgs; source_fetches; recall_estimate }
+
+let plan_of t query =
+  let lookup name = R.Relation.schema (source t name) in
+  R.Planner.push_selections query ~lookup
+
+let execute t ~from_name ?(allow_source = true) query =
+  execute_plan t ~from_name ~allow_source (plan_of t query)
+
+let m_batch_execs = Obs.Metrics.counter "engine.batch.executions"
+let m_batch_range_leaves = Obs.Metrics.counter "engine.batch.range_leaves"
+
+let execute_batch t ~from_name ?(allow_source = true) queries =
+  match queries with
+  | [] -> []
+  | [ query ] -> [ execute t ~from_name ~allow_source query ]
+  | _ :: _ :: _ ->
+    Obs.Metrics.incr m_batch_execs;
+    let plans = List.map (plan_of t) queries in
+    (* Round one: collect every range leaf of the batch, grouped by its
+       (relation, attribute) system in plan order, and resolve each group
+       through one [System.query_batch] pipeline. Exact-match and
+       full-relation leaves don't route through the range systems and are
+       answered during assembly as usual. *)
+    let group_order = ref [] in
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun plan ->
+        List.iter
+          (fun (relation, preds) ->
+            match locatable t ~relation preds with
+            | Some (`Range (attribute, range)) ->
+              let key = (relation, attribute) in
+              (match Hashtbl.find_opt groups key with
+              | Some ranges -> ranges := range :: !ranges
+              | None ->
+                group_order := key :: !group_order;
+                Hashtbl.replace groups key (ref [ range ]));
+              Obs.Metrics.incr m_batch_range_leaves
+            | Some (`Exact _) | None -> ())
+          (R.Planner.leaf_selections plan))
+      plans;
+    let queues = Hashtbl.create 8 in
+    List.iter
+      (fun ((relation, attribute) as key) ->
+        let ranges = List.rev !(Hashtbl.find groups key) in
+        let system = system_for t ~relation ~attribute in
+        let from = System.peer_by_name system from_name in
+        let results = System.query_batch system ~from ranges in
+        Hashtbl.replace queues key (ref results))
+      (List.rev !group_order);
+    (* Round two: assemble each query's answer in order, feeding every
+       range leaf its precomputed result. Source fetches triggered by
+       cache misses publish after the lookup round, so a partition
+       published for one query of the batch only becomes visible to later
+       batches — the round's lookups all saw the same snapshot. *)
+    let pop ~relation ~attribute =
+      match Hashtbl.find_opt queues (relation, attribute) with
+      | None -> None
+      | Some queue -> (
+        match !queue with
+        | [] -> None
+        | qres :: rest ->
+          queue := rest;
+          Some qres)
+    in
+    List.map
+      (fun plan ->
+        execute_plan t ~from_name ~allow_source ~range_result:pop plan)
+      plans
 
 let stats_for t name =
   match Hashtbl.find_opt t.stats_cache name with

@@ -53,7 +53,7 @@ val recover_peer : t -> string -> unit
 
 (** How one leaf of the plan was answered. *)
 type provenance =
-  | From_cache of System.query_result
+  | From_cache of Query_result.t
       (** answered from a cached partition located by the protocol *)
   | From_source of { published : bool }
       (** fetched from the base relation; [published] = the partition was
@@ -87,6 +87,23 @@ val execute :
     that find no cached partition are answered with what the system has —
     possibly nothing — mimicking a user who accepts fast approximate
     answers (§5.2). @raise Not_found on unknown relations or peer names. *)
+
+val execute_batch :
+  t ->
+  from_name:string ->
+  ?allow_source:bool ->
+  Relational.Query.t list ->
+  answer list
+(** {!execute} over a batch of queries from one peer, one answer per query
+    in order. All range leaves of the batch are resolved first, grouped by
+    their (relation, attribute) system and pipelined through
+    {!System.query_batch} — sharing signature computation, identifier
+    routing and owner contacts across the batch — then each query's answer
+    is assembled as [execute] would. Exact-match and full-relation leaves
+    are answered during assembly, unchanged. Partitions published for the
+    batch's cache misses become visible to later rounds, not to the
+    batch's own lookups (all of which see one snapshot). A batch of one
+    query is identical to {!execute}. *)
 
 val execute_sql :
   t ->

@@ -25,7 +25,7 @@ let attributes t = List.map fst t.systems
 let system_for t attr = List.assoc attr t.systems
 
 type result = {
-  conjuncts : (conjunct * System.query_result) list;
+  conjuncts : (conjunct * Query_result.t) list;
   combined_recall : float;
   total_messages : int;
 }
@@ -42,12 +42,12 @@ let query t ~from_name conjuncts =
   in
   let combined_recall =
     List.fold_left
-      (fun acc (_, r) -> Stdlib.min acc r.System.recall)
+      (fun acc (_, r) -> Stdlib.min acc r.Query_result.recall)
       1.0 answered
   in
   let total_messages =
     List.fold_left
-      (fun acc (_, r) -> acc + r.System.stats.System.messages)
+      (fun acc (_, r) -> acc + r.Query_result.stats.Query_result.messages)
       0 answered
   in
   { conjuncts = answered; combined_recall; total_messages }

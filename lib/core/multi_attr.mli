@@ -31,7 +31,7 @@ val system_for : t -> string -> System.t
 (** The underlying single-attribute system. @raise Not_found. *)
 
 type result = {
-  conjuncts : (conjunct * System.query_result) list;
+  conjuncts : (conjunct * Query_result.t) list;
   combined_recall : float;
       (** min over conjunct recalls — 0 if any conjunct found no match *)
   total_messages : int;

@@ -1,4 +1,4 @@
-type outcome = { index : int; result : System.query_result }
+type outcome = { index : int; result : Query_result.t }
 
 type run = {
   config : Config.t;
@@ -37,9 +37,9 @@ let run ?(config = Config.default) ?(n_peers = 100) ?(n_queries = 10_000)
 let measured run = List.filter (fun o -> o.index >= run.warmup) run.outcomes
 
 let similarities run =
-  List.map (fun o -> o.result.System.similarity) (measured run)
+  List.map (fun o -> o.result.Query_result.similarity) (measured run)
 
-let recalls run = List.map (fun o -> o.result.System.recall) (measured run)
+let recalls run = List.map (fun o -> o.result.Query_result.recall) (measured run)
 
 let similarity_histogram ?(bins = 10) run =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins in
@@ -54,19 +54,19 @@ let mean_over run f =
 
 let mean_hops run =
   mean_over run (fun o ->
-      let hops = o.result.System.stats.System.hops in
+      let hops = o.result.Query_result.stats.Query_result.hops in
       float_of_int (List.fold_left ( + ) 0 hops)
       /. float_of_int (Stdlib.max 1 (List.length hops)))
 
 let mean_messages run =
-  mean_over run (fun o -> float_of_int o.result.System.stats.System.messages)
+  mean_over run (fun o -> float_of_int o.result.Query_result.stats.Query_result.messages)
 
 let fraction_complete run =
-  mean_over run (fun o -> if o.result.System.recall >= 1.0 then 1.0 else 0.0)
+  mean_over run (fun o -> if o.result.Query_result.recall >= 1.0 then 1.0 else 0.0)
 
 let fraction_unmatched run =
   mean_over run (fun o ->
-      match o.result.System.matched with Some _ -> 0.0 | None -> 1.0)
+      match o.result.Query_result.matched with Some _ -> 0.0 | None -> 1.0)
 
 let fraction_degraded run =
-  mean_over run (fun o -> if o.result.System.degraded then 1.0 else 0.0)
+  mean_over run (fun o -> if o.result.Query_result.degraded then 1.0 else 0.0)

@@ -7,7 +7,7 @@
 
 type outcome = {
   index : int;  (** position in the query stream, 0-based *)
-  result : System.query_result;
+  result : Query_result.t;
 }
 
 type run = {

@@ -11,6 +11,7 @@ type t = {
   config : Config.t;
   scheme : Lsh.Scheme.t;
   cache : Lsh.Domain_cache.t option;
+  sig_cache : Lsh.Sig_cache.t option;
   ring : Chord.Ring.t;
   peers : (int, Peer.t) Hashtbl.t; (* keyed by ring position *)
   by_name : (string, Peer.t) Hashtbl.t;
@@ -34,6 +35,11 @@ let create_with_peers ?(config = Config.default) ~seed names =
   let cache =
     if config.Config.use_domain_cache then
       Some (Lsh.Domain_cache.build scheme ~domain:config.Config.domain)
+    else None
+  in
+  let sig_cache =
+    if config.Config.signature_cache > 0 then
+      Some (Lsh.Sig_cache.create ~capacity:config.Config.signature_cache)
     else None
   in
   let peer_list =
@@ -92,6 +98,7 @@ let create_with_peers ?(config = Config.default) ~seed names =
     config;
     scheme;
     cache;
+    sig_cache;
     ring;
     peers;
     by_name;
@@ -154,15 +161,19 @@ let tick_faults t =
   | None -> ()
   | Some (plane, _) -> Faults.Plane.tick plane
 
-let fail t peer =
+let fail_peer t peer =
   if not (Hashtbl.mem t.by_name (Peer.name peer)) then
-    invalid_arg "System.fail: unknown peer";
+    invalid_arg "System.fail_peer: unknown peer";
   Hashtbl.replace t.dead (Peer.id peer) ()
 
-let recover t peer =
+let recover_peer t peer =
   if not (Hashtbl.mem t.by_name (Peer.name peer)) then
-    invalid_arg "System.recover: unknown peer";
+    invalid_arg "System.recover_peer: unknown peer";
   Hashtbl.remove t.dead (Peer.id peer)
+
+(* Deprecated spellings kept for one release; see the interface. *)
+let fail = fail_peer
+let recover = recover_peer
 
 let load_imbalance t =
   Balance.Tracker.load_imbalance t.tracker
@@ -176,7 +187,7 @@ let replicated_buckets t =
 let m_cache_hit = Obs.Metrics.counter "lsh.domain_cache.hit"
 let m_cache_miss = Obs.Metrics.counter "lsh.domain_cache.miss"
 
-let identifiers t range =
+let compute_identifiers t range =
   let raw =
     match t.cache with
     | Some cache
@@ -190,25 +201,22 @@ let identifiers t range =
   if t.config.Config.spread_identifiers then List.map Lsh.Mix32.mix raw
   else raw
 
+(* Identifiers are pure functions of the (canonical) range, so the LRU
+   signature memo in front never changes results — it only skips the
+   domain-cache / raw-hashing work for ranges seen recently. *)
+let identifiers t range =
+  match t.sig_cache with
+  | None -> compute_identifiers t range
+  | Some cache ->
+    Lsh.Sig_cache.find_or_compute cache ~lo:(Range.lo range) ~hi:(Range.hi range)
+      (fun () -> compute_identifiers t range)
+
+let signature_cache t = t.sig_cache
+
 let padding_fraction t = Padding.current_fraction t.padding
 
-type lookup_stats = {
-  identifiers : Chord.Id.t list;
-  hops : int list;
-  messages : int;
-}
-
-type query_result = {
-  query : Range.t;
-  effective : Range.t;
-  matched : Matching.scored option;
-  similarity : float;
-  recall : float;
-  stats : lookup_stats;
-  cached : bool;
-  responders : int;  (* owner contacts that answered within budget *)
-  degraded : bool;  (* some owner went unanswered; best-effort result *)
-}
+type lookup_stats = Query_result.lookup_stats
+type query_result = Query_result.t
 
 (* Route each identifier from the requesting peer; return owners with hop
    counts. Owners may repeat when consecutive identifiers share a segment. *)
@@ -221,7 +229,7 @@ let route_all t ~from ids =
 
 let stats_of_hops ids hops =
   {
-    identifiers = ids;
+    Query_result.identifiers = ids;
     hops;
     messages = List.fold_left (fun acc h -> acc + h + 1) 0 hops;
   }
@@ -364,14 +372,13 @@ let serving_peer t ~identifier ~owner =
    (the forward from the owner's segment to the chosen successor). The
    [responded] flag distinguishes "answered with nothing matching" from
    "never answered" — only the latter degrades the query. *)
-let serve_all t ~from ~effective routes =
+let serve_routes t ~contact ~effective routes =
   List.map
     (fun (identifier, owner, hops) ->
       match serving_peer t ~identifier ~owner with
       | None -> (identifier, hops, None, false)
       | Some peer ->
-        if not (contact_peer t ~from ~peer ~legs:(hops + 1)) then
-          (identifier, hops, None, false)
+        if not (contact peer ~hops) then (identifier, hops, None, false)
         else begin
           let reply =
             let candidates =
@@ -397,6 +404,10 @@ let serve_all t ~from ~effective routes =
           (identifier, hops, reply, true)
         end)
     routes
+
+let serve_all t ~from ~effective routes =
+  serve_routes t ~effective routes ~contact:(fun peer ~hops ->
+      contact_peer t ~from ~peer ~legs:(hops + 1))
 
 let recall_bounds = Array.init 21 (fun i -> float_of_int i /. 20.0)
 let h_recall = Obs.Metrics.histogram ~bounds:recall_bounds "system.query.recall"
@@ -426,15 +437,12 @@ let publish t ~from ?partition range =
   Obs.Metrics.add m_messages stats.messages;
   stats
 
-let query t ~from range =
-  tick_faults t;
-  let effective = Padding.apply t.padding range ~domain:t.config.Config.domain in
-  let ids = identifiers t effective in
-  let routes = route_all t ~from ids in
-  (* Each serving peer replies with its best local candidate; identifiers
-     whose owner failed with no replica to fail over to — or whose contact
-     ran out its retry budget — go unanswered. *)
-  let served = serve_all t ~from ~effective routes in
+(* Everything downstream of the owners' replies — best-reply selection,
+   cache-on-inexact write-back, padding feedback, metrics — shared verbatim
+   by the single-query and batched paths. [messages] is the overlay traffic
+   this query is charged for: Σ(hops+1) over its lookups when standalone,
+   only the newly-caused traffic inside a batch. *)
+let finish_query t ~range ~effective ~ids ~routes ~served ~messages =
   let replies = List.filter_map (fun (_, _, reply, _) -> reply) served in
   let responders =
     List.fold_left
@@ -474,19 +482,25 @@ let query t ~from range =
   in
   if cached then store_at_owners t cache_routes ~range:effective ~partition:None;
   Padding.observe t.padding ~recall;
-  let stats = stats_of_hops ids (List.map (fun (_, h, _, _) -> h) served) in
+  let stats =
+    {
+      Query_result.identifiers = ids;
+      hops = List.map (fun (_, h, _, _) -> h) served;
+      messages;
+    }
+  in
   Obs.Metrics.incr m_queries;
-  Obs.Metrics.add m_messages stats.messages;
+  Obs.Metrics.add m_messages stats.Query_result.messages;
   if cached then Obs.Metrics.incr m_cached_answers;
   (match matched with None -> Obs.Metrics.incr m_unmatched | Some _ -> ());
   if degraded then Obs.Metrics.incr m_degraded;
   Obs.Metrics.add m_unanswered_owners (List.length served - responders);
   Obs.Metrics.observe h_recall recall;
-  Obs.Metrics.observe_int h_query_messages stats.messages;
+  Obs.Metrics.observe_int h_query_messages stats.Query_result.messages;
   if Obs.Metrics.enabled () then
     Obs.Metrics.set_gauge g_imbalance (load_imbalance t);
   {
-    query = range;
+    Query_result.query = range;
     effective;
     matched;
     similarity;
@@ -496,6 +510,86 @@ let query t ~from range =
     responders;
     degraded;
   }
+
+let query t ~from range =
+  tick_faults t;
+  let effective = Padding.apply t.padding range ~domain:t.config.Config.domain in
+  let ids = identifiers t effective in
+  let routes = route_all t ~from ids in
+  (* Each serving peer replies with its best local candidate; identifiers
+     whose owner failed with no replica to fail over to — or whose contact
+     ran out its retry budget — go unanswered. *)
+  let served = serve_all t ~from ~effective routes in
+  let messages =
+    List.fold_left (fun acc (_, h, _, _) -> acc + h + 1) 0 served
+  in
+  finish_query t ~range ~effective ~ids ~routes ~served ~messages
+
+let m_batches = Obs.Metrics.counter "system.batch.batches"
+let m_batch_queries = Obs.Metrics.counter "system.batch.queries"
+let m_batch_id_hits = Obs.Metrics.counter "system.batch.identifier_hits"
+let m_batch_coalesced = Obs.Metrics.counter "system.batch.coalesced_contacts"
+
+let query_batch t ~from ranges =
+  match ranges with
+  | [] -> []
+  | [ range ] ->
+    (* A batch of one takes the single-query path by construction, so it
+       is bit-identical to [query]. *)
+    [ query t ~from range ]
+  | _ :: _ :: _ ->
+    Obs.Metrics.incr m_batches;
+    (* Shared state of this batch round: node addresses learned by earlier
+       finger walks, resolved identifier routes, and the outcome of each
+       serving-peer contact (a batch is one message round per peer — later
+       identifiers served by an already-contacted peer ride the same
+       request/reply pair for free). *)
+    let route_cache = Chord.Ring.Route_cache.create () in
+    let id_memo = Hashtbl.create 32 in
+    let contact_memo = Hashtbl.create 32 in
+    List.map
+      (fun range ->
+        tick_faults t;
+        Obs.Metrics.incr m_batch_queries;
+        let effective =
+          Padding.apply t.padding range ~domain:t.config.Config.domain
+        in
+        let ids = identifiers t effective in
+        let new_msgs = ref 0 in
+        let routes =
+          List.map
+            (fun identifier ->
+              match Hashtbl.find_opt id_memo identifier with
+              | Some (owner, hops) ->
+                Obs.Metrics.incr m_batch_id_hits;
+                (identifier, owner, hops)
+              | None ->
+                let owner_pos, hops =
+                  Chord.Ring.lookup_via t.ring route_cache
+                    ~from:(Peer.id from) ~key:identifier
+                in
+                let owner = peer_by_id t owner_pos in
+                Hashtbl.replace id_memo identifier (owner, hops);
+                new_msgs := !new_msgs + hops;
+                (identifier, owner, hops))
+            ids
+        in
+        let contact peer ~hops =
+          match Hashtbl.find_opt contact_memo (Peer.id peer) with
+          | Some ok ->
+            Obs.Metrics.incr m_batch_coalesced;
+            ok
+          | None ->
+            let ok = contact_peer t ~from ~peer ~legs:(hops + 1) in
+            Hashtbl.replace contact_memo (Peer.id peer) ok;
+            (* One request plus one reply per distinct peer per round. *)
+            new_msgs := !new_msgs + 2;
+            ok
+        in
+        let served = serve_routes t ~contact ~effective routes in
+        finish_query t ~range ~effective ~ids ~routes ~served
+          ~messages:!new_msgs)
+      ranges
 
 let total_entries t =
   Array.fold_left (fun acc p -> acc + Peer.load p) 0 t.peer_list

@@ -49,64 +49,62 @@ val owner_of_identifier : t -> Chord.Id.t -> Peer.t
 
 val identifiers : t -> Rangeset.Range.t -> Chord.Id.t list
 (** The [l] group identifiers of a range under this system's scheme (via
-    the precomputed domain cache when enabled and applicable). *)
+    the LRU signature memo when {!Config.t.signature_cache} is positive,
+    then the precomputed domain cache when enabled and applicable). *)
+
+val signature_cache : t -> Lsh.Sig_cache.t option
+(** The system's signature memo, for inspecting hit/miss/eviction tallies
+    ([None] when disabled). *)
 
 val padding_fraction : t -> float
 (** Current padding level (moves under adaptive padding). *)
-
-type lookup_stats = {
-  identifiers : Chord.Id.t list;  (** the [l] identifiers contacted *)
-  hops : int list;  (** overlay hops per identifier lookup *)
-  messages : int;
-      (** total overlay messages: each lookup costs its hops in forwarded
-          requests plus one direct reply from the owner *)
-}
-
-type query_result = {
-  query : Rangeset.Range.t;  (** the range the user asked for *)
-  effective : Rangeset.Range.t;  (** after padding *)
-  matched : Matching.scored option;
-      (** best reply across the [l] owners, scored against [effective] *)
-  similarity : float;
-      (** Jaccard between [query] and the match; 0 when unmatched (Fig. 6–7) *)
-  recall : float;
-      (** fraction of [query] covered by the match; 0 when unmatched
-          (Fig. 8–10) *)
-  stats : lookup_stats;
-  cached : bool;  (** whether this query's range was stored at the owners *)
-  responders : int;
-      (** owner contacts that answered within the retry budget; equals
-          the identifier count on a fault-free run *)
-  degraded : bool;
-      (** true when at least one owner went unanswered (crashed peer or
-          exhausted retry budget) — the result is best-effort over the
-          responders rather than an error *)
-}
 
 val publish :
   t ->
   from:Peer.t ->
   ?partition:Relational.Partition.t ->
   Rangeset.Range.t ->
-  lookup_stats
+  Query_result.lookup_stats
 (** Stores a range partition under its [l] identifiers, routing each from
     [from]. Used to seed a system with previously-computed partitions. *)
 
-val query : t -> from:Peer.t -> Rangeset.Range.t -> query_result
+val query : t -> from:Peer.t -> Rangeset.Range.t -> Query_result.t
 (** Executes the full protocol for one range selection, including the
-    cache-on-inexact store and adaptive-padding feedback. *)
+    cache-on-inexact store and adaptive-padding feedback. This is the one
+    front door for single queries; batches go through {!query_batch}. *)
+
+val query_batch : t -> from:Peer.t -> Rangeset.Range.t list -> Query_result.t list
+(** Executes a batch of range selections from one peer as a single
+    pipelined round, one result per range in order. Queries are processed
+    sequentially with the full per-query protocol (padding, serving,
+    hotness tracking, cache-on-inexact, fault composition), but the
+    batch shares the lookup work:
+
+    - signatures replay from the {!Lsh.Sig_cache} memo;
+    - an identifier already routed this batch reuses its resolved owner
+      ([system.batch.identifier_hits], zero new messages);
+    - fresh identifiers route through a {!Chord.Ring.Route_cache}, so
+      later walks jump via addresses learned by earlier ones;
+    - all lookups served by one peer share a single request/reply pair
+      ([system.batch.coalesced_contacts]) — one retried contact per
+      distinct serving peer per round under a fault plane.
+
+    Per-result [stats.messages] charges each query only the traffic it
+    newly caused, so the batch total is their sum. A batch of size 1 is
+    bit-identical to {!query}; on fault-free runs, batching never changes
+    matches or recall, only the message count. *)
 
 (** {1 Failures, faults and load balance} *)
 
-val fail : t -> Peer.t -> unit
+val fail_peer : t -> Peer.t -> unit
 (** Marks a peer failed: it stops answering lookups (all its virtual
     positions at once). Routing still reaches its ring segment — the static
     ring models converged fingers — but the data there is only served if
     replication placed a copy on a live successor. Reversible with
-    {!recover}. @raise Invalid_argument for peers of another system. *)
+    {!recover_peer}. @raise Invalid_argument for peers of another system. *)
 
-val recover : t -> Peer.t -> unit
-(** Brings a {!fail}ed peer back: it resumes answering lookups with
+val recover_peer : t -> Peer.t -> unit
+(** Brings a {!fail_peer}ed peer back: it resumes answering lookups with
     whatever its store held when it failed (a no-op for live peers).
     @raise Invalid_argument for peers of another system. *)
 
@@ -139,3 +137,22 @@ val total_entries : t -> int
 val total_evictions : t -> int
 (** Sum of entries dropped by capacity enforcement across peers (always 0
     under the default unbounded policy). *)
+
+(** {1 Deprecated compatibility shims}
+
+    Kept for one release while call sites migrate to {!Query_result} and
+    the [_peer] lifecycle names. The type aliases intentionally do not
+    re-export record fields: pattern-matching code must move to
+    [Query_result.t]. *)
+
+type lookup_stats = Query_result.lookup_stats
+[@@ocaml.deprecated "use Query_result.lookup_stats"]
+
+type query_result = Query_result.t
+[@@ocaml.deprecated "use Query_result.t"]
+
+val fail : t -> Peer.t -> unit
+[@@ocaml.deprecated "renamed to System.fail_peer"]
+
+val recover : t -> Peer.t -> unit
+[@@ocaml.deprecated "renamed to System.recover_peer"]

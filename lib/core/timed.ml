@@ -41,8 +41,8 @@ let submit t ~at ~from range =
      protocol — then replay the lookups on the simulated clock. *)
   let result = System.query t.system ~from range in
   let lookups =
-    List.combine result.System.stats.System.identifiers
-      result.System.stats.System.hops
+    List.combine result.Query_result.stats.Query_result.identifiers
+      result.Query_result.stats.Query_result.hops
   in
   let outstanding = ref (List.length lookups) in
   let finish_at = ref at in

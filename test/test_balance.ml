@@ -8,6 +8,7 @@ module Range = Rangeset.Range
 module Tracker = Balance.Tracker
 module Replicas = Balance.Replicas
 module Sys_ = P2prange.System
+module Query_result = P2prange.Query_result
 module Config = P2prange.Config
 module Peer = P2prange.Peer
 
@@ -169,7 +170,7 @@ let system_virtual_nodes () =
   let _ = Sys_.publish s ~from (mk 30 50) in
   let r = Sys_.query s ~from:(Sys_.peer_by_name s "peer-5") (mk 30 50) in
   Alcotest.(check bool) "query finds the published range" true
-    (r.Sys_.matched <> None)
+    (r.Query_result.matched <> None)
 
 (* --- System integration -------------------------------------------- *)
 
@@ -183,14 +184,14 @@ let fail_and_alive () =
   let s = Sys_.create ~seed:7L ~n_peers:8 () in
   let p = Sys_.peer_by_name s "peer-2" in
   Alcotest.(check bool) "alive initially" true (Sys_.alive s p);
-  Sys_.fail s p;
+  Sys_.fail_peer s p;
   Alcotest.(check bool) "dead after fail" false (Sys_.alive s p);
   Alcotest.(check int) "no replication, no replica sets" 0
     (Sys_.replicated_buckets s);
   let other = Sys_.create_with_peers ~seed:7L [ "alpha"; "beta" ] in
   Alcotest.check_raises "unknown peer"
-    (Invalid_argument "System.fail: unknown peer") (fun () ->
-      Sys_.fail s (Sys_.peer_by_name other "alpha"))
+    (Invalid_argument "System.fail_peer: unknown peer") (fun () ->
+      Sys_.fail_peer s (Sys_.peer_by_name other "alpha"))
 
 (* With everyone alive, replication must be invisible in results: the two
    systems differ only in the [replication] knob and must answer every
@@ -213,13 +214,13 @@ let replication_transparent_without_failures () =
     let matched_range r =
       Option.map
         (fun m -> m.P2prange.Matching.entry.P2prange.Store.range)
-        r.Sys_.matched
+        r.Query_result.matched
     in
     Alcotest.(check bool) "same match" true
       (Option.equal Range.equal (matched_range a) (matched_range b));
-    Alcotest.(check (float 0.0)) "same recall" a.Sys_.recall b.Sys_.recall;
-    Alcotest.(check (float 0.0)) "same similarity" a.Sys_.similarity
-      b.Sys_.similarity
+    Alcotest.(check (float 0.0)) "same recall" a.Query_result.recall b.Query_result.recall;
+    Alcotest.(check (float 0.0)) "same similarity" a.Query_result.similarity
+      b.Query_result.similarity
   done;
   (* The equality above must not be vacuous: replication really ran. *)
   Alcotest.(check bool) "replica sets were formed" true
@@ -247,18 +248,18 @@ let failover_serves_from_replica () =
     ignore (Sys_.query s ~from:other range)
   done;
   Alcotest.(check bool) "bucket replicated" true (Sys_.replicated_buckets s > 0);
-  Sys_.fail s owner;
+  Sys_.fail_peer s owner;
   let r = Sys_.query s ~from:other range in
-  Alcotest.(check bool) "match survives the owner" true (r.Sys_.matched <> None);
+  Alcotest.(check bool) "match survives the owner" true (r.Query_result.matched <> None);
   Alcotest.(check (float 1e-9)) "exact recall from the replica" 1.0
-    r.Sys_.recall;
+    r.Query_result.recall;
   (* Control: without replication the same failure loses the bucket. *)
   let bare = Sys_.create ~config:{ config with Config.replication = Config.No_replication }
       ~seed:7L ~n_peers:16 () in
   let _ = Sys_.publish bare ~from:(Sys_.peer_by_name bare (Peer.name other)) range in
-  Sys_.fail bare (Sys_.peer_by_name bare (Peer.name owner));
+  Sys_.fail_peer bare (Sys_.peer_by_name bare (Peer.name owner));
   let r = Sys_.query bare ~from:(Sys_.peer_by_name bare (Peer.name other)) range in
-  Alcotest.(check bool) "no replica, no answer" true (r.Sys_.matched = None)
+  Alcotest.(check bool) "no replica, no answer" true (r.Query_result.matched = None)
 
 (* The acceptance experiment, scaled down from bench/main.ml: Zipf(1.0)
    over 64 peers, identical seeds for both systems; replication must
@@ -295,7 +296,7 @@ let zipf_imbalance_and_failed_recall () =
     for _ = 1 to n do
       let from = live.(Prng.Splitmix.int rng (Array.length live)) in
       let r = Sys_.query sys ~from (Workload.Query_workload.next stream) in
-      total := !total +. r.Sys_.recall
+      total := !total +. r.Query_result.recall
     done;
     !total /. float_of_int n
   in
@@ -319,7 +320,7 @@ let zipf_imbalance_and_failed_recall () =
   in
   List.iter
     (fun sys ->
-      List.iter (fun name -> Sys_.fail sys (Sys_.peer_by_name sys name)) victims)
+      List.iter (fun name -> Sys_.fail_peer sys (Sys_.peer_by_name sys name)) victims)
     [ off; on ];
   let rec_off = run off ~stream_seed:1337L ~n:(n_queries / 4) in
   let rec_on = run on ~stream_seed:1337L ~n:(n_queries / 4) in

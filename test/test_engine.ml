@@ -90,7 +90,7 @@ let second_run_hits_cache () =
   let b = E.execute e ~from_name:"peer-3" (age_query 30 50) in
   (match (List.hd b.E.leaves).E.provenance with
   | E.From_cache qr ->
-    Alcotest.(check (float 1e-9)) "cache hit exact" 1.0 qr.P2prange.System.recall
+    Alcotest.(check (float 1e-9)) "cache hit exact" 1.0 qr.P2prange.Query_result.recall
   | E.From_source _ | E.From_exact_dht _ | E.Full_relation ->
     Alcotest.fail "identical re-query must be served from the cache");
   Alcotest.(check int) "no source fetch" 0 b.E.source_fetches

@@ -48,7 +48,7 @@ let combined_recall_is_minimum () =
       ]
   in
   let recalls =
-    List.map (fun (_, r) -> r.P2prange.System.recall) result.MA.conjuncts
+    List.map (fun (_, r) -> r.P2prange.Query_result.recall) result.MA.conjuncts
   in
   Alcotest.(check (float 1e-9)) "age conjunct exact" 1.0 (List.nth recalls 0);
   Alcotest.(check (float 1e-9)) "combined = min" 0.0 result.MA.combined_recall
@@ -72,7 +72,7 @@ let both_conjuncts_seeded () =
   Alcotest.(check bool) "messages accumulate over conjuncts" true
     (result.MA.total_messages
     >= List.fold_left
-         (fun acc (_, r) -> acc + r.P2prange.System.stats.P2prange.System.messages)
+         (fun acc (_, r) -> acc + r.P2prange.Query_result.stats.P2prange.Query_result.messages)
          0 result.MA.conjuncts)
 
 let unknown_attribute () =

@@ -258,6 +258,64 @@ let failed_node_recovers_and_reconverges () =
   Alcotest.(check int) "resumed ring position" 20_000
     (Chord.Network.successor net 5_000)
 
+(* Regression for the successor-list fallback accounting: stabilization
+   keeps [n.successor] duplicated at the head of the backup list, so the
+   fallback path used to contact the same candidate twice when its first
+   retried contact failed — charging a second full retry budget (and a
+   second round of physical messages) for one reported hop. Candidates are
+   now tried at most once; this pins routed/hop/fallback totals for a
+   seeded fault mix that exercises the path both without and with retries,
+   which shift if double contacts ever come back. *)
+let fallback_hop_accounting_under_faults () =
+  let m_fallbacks = Obs.Metrics.counter "chord.net.fallback_hops" in
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.enable ();
+  let run ~retry ~drop ~plane_seed =
+    let ids =
+      List.init 32 (fun i -> ((i + 1) * 7919 * 104729) land ((1 lsl 32) - 1))
+    in
+    let net = build_network ids in
+    Chord.Network.stabilize net ~rounds:8;
+    Alcotest.(check bool) "converged before faults" true
+      (Chord.Network.is_converged net);
+    let spec = { Faults.Plane.no_faults with Faults.Plane.drop } in
+    let plane = Faults.Plane.create ~spec ~seed:plane_seed () in
+    (* Crash a few nodes (alive but silent) so fingers toward them force
+       the successor-list fallback on most routes. *)
+    let nodes = Array.of_list (Chord.Network.node_ids net) in
+    Faults.Plane.crash plane nodes.(3);
+    Faults.Plane.crash plane nodes.(11);
+    Faults.Plane.crash plane nodes.(23);
+    Chord.Network.set_faults net ~retry plane;
+    let rng = Prng.Splitmix.create 11L in
+    let before = Obs.Metrics.counter_value m_fallbacks in
+    let routed = ref 0 and hops = ref 0 in
+    for _ = 1 to 300 do
+      let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
+      let key = Prng.Splitmix.int rng Chord.Id.modulus in
+      if Chord.Network.responsive net from then
+        match Chord.Network.find_successor net ~from ~key with
+        | Some (_, h) ->
+          incr routed;
+          hops := !hops + h
+        | None -> ()
+    done;
+    (!routed, !hops, Obs.Metrics.counter_value m_fallbacks - before)
+  in
+  let routed, hops, fallbacks =
+    run ~retry:Faults.Retry.none ~drop:0.3 ~plane_seed:404L
+  in
+  Alcotest.(check int) "routed without retries" 162 routed;
+  Alcotest.(check int) "hops without retries" 618 hops;
+  Alcotest.(check int) "fallback hops without retries" 211 fallbacks;
+  let routed, hops, fallbacks =
+    run ~retry:Faults.Retry.default ~drop:0.6 ~plane_seed:405L
+  in
+  Alcotest.(check int) "routed with retries" 238 routed;
+  Alcotest.(check int) "hops with retries" 832 hops;
+  Alcotest.(check int) "fallback hops with retries" 73 fallbacks;
+  if not was_enabled then Obs.Metrics.disable ()
+
 let suite =
   [
     Alcotest.test_case "bootstrap node" `Quick single_bootstrap;
@@ -277,4 +335,6 @@ let suite =
       `Quick successor_list_exhaustion_degrades_then_recovers;
     Alcotest.test_case "failed node recovers and re-converges" `Quick
       failed_node_recovers_and_reconverges;
+    Alcotest.test_case "fallback hop accounting pinned under faults" `Quick
+      fallback_hop_accounting_under_faults;
   ]

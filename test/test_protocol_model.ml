@@ -95,8 +95,8 @@ let agree_with_model matching =
           let ids = P2prange.System.identifiers system range in
           let expected = Model.query model ~ids ~matching range in
           let actual = P2prange.System.query system ~from range in
-          match (expected, actual.P2prange.System.matched) with
-          | None, None -> actual.P2prange.System.recall = 0.0
+          match (expected, actual.P2prange.Query_result.matched) with
+          | None, None -> actual.P2prange.Query_result.recall = 0.0
           | Some (r, s), Some m ->
             Range.equal r m.P2prange.Matching.entry.P2prange.Store.range
             && abs_float (s -. m.P2prange.Matching.score) < 1e-12

@@ -96,7 +96,7 @@ let timed_latency_composition () =
     P2prange.System.query probe ~from:(P2prange.System.peer_by_name probe "peer-0") (mk 10 60)
   in
   let max_hops =
-    List.fold_left Stdlib.max 0 probe_result.P2prange.System.stats.P2prange.System.hops
+    List.fold_left Stdlib.max 0 probe_result.P2prange.Query_result.stats.P2prange.Query_result.hops
   in
   P2prange.Timed.submit timed ~at:0.0 ~from (mk 10 60);
   P2prange.Timed.run timed;

@@ -3,6 +3,7 @@
 
 module Range = Rangeset.Range
 module Sys_ = P2prange.System
+module Query_result = P2prange.Query_result
 
 let mk lo hi = Range.make ~lo ~hi
 
@@ -55,34 +56,34 @@ let publish_then_query_exact () =
   let range = mk 30 50 in
   let _ = Sys_.publish s ~from range in
   let result = Sys_.query s ~from:(Sys_.peer_by_name s "peer-5") range in
-  (match result.Sys_.matched with
+  (match result.Query_result.matched with
   | Some m ->
     Alcotest.(check bool) "exact range found" true
       (Range.equal m.P2prange.Matching.entry.P2prange.Store.range range)
   | None -> Alcotest.fail "published range must be found by the same query");
-  Alcotest.(check (float 1e-9)) "similarity 1" 1.0 result.Sys_.similarity;
-  Alcotest.(check (float 1e-9)) "recall 1" 1.0 result.Sys_.recall;
-  Alcotest.(check bool) "exact match not re-cached" false result.Sys_.cached
+  Alcotest.(check (float 1e-9)) "similarity 1" 1.0 result.Query_result.similarity;
+  Alcotest.(check (float 1e-9)) "recall 1" 1.0 result.Query_result.recall;
+  Alcotest.(check bool) "exact match not re-cached" false result.Query_result.cached
 
 let query_empty_system_caches () =
   let s = default_system () in
   let from = Sys_.peer_by_name s "peer-0" in
   let result = Sys_.query s ~from (mk 100 200) in
   Alcotest.(check bool) "no match in empty system" true
-    (result.Sys_.matched = None);
-  Alcotest.(check (float 0.0)) "zero recall" 0.0 result.Sys_.recall;
-  Alcotest.(check bool) "range cached for the future" true result.Sys_.cached;
+    (result.Query_result.matched = None);
+  Alcotest.(check (float 0.0)) "zero recall" 0.0 result.Query_result.recall;
+  Alcotest.(check bool) "range cached for the future" true result.Query_result.cached;
   Alcotest.(check bool) "entries appeared" true (Sys_.total_entries s > 0);
   (* The identical query now finds an exact match. *)
   let again = Sys_.query s ~from (mk 100 200) in
-  Alcotest.(check (float 1e-9)) "found on retry" 1.0 again.Sys_.recall
+  Alcotest.(check (float 1e-9)) "found on retry" 1.0 again.Query_result.recall
 
 let caching_disabled () =
   let config = { P2prange.Config.default with cache_on_inexact = false } in
   let s = default_system ~config () in
   let from = Sys_.peer_by_name s "peer-0" in
   let r = Sys_.query s ~from (mk 100 200) in
-  Alcotest.(check bool) "not cached" false r.Sys_.cached;
+  Alcotest.(check bool) "not cached" false r.Query_result.cached;
   Alcotest.(check int) "still empty" 0 (Sys_.total_entries s)
 
 let stats_shape () =
@@ -90,14 +91,14 @@ let stats_shape () =
   let from = Sys_.peer_by_name s "peer-0" in
   let r = Sys_.query s ~from (mk 10 40) in
   Alcotest.(check int) "one hop count per identifier" 5
-    (List.length r.Sys_.stats.Sys_.hops);
+    (List.length r.Query_result.stats.Query_result.hops);
   Alcotest.(check int) "l identifiers" 5
-    (List.length r.Sys_.stats.Sys_.identifiers);
+    (List.length r.Query_result.stats.Query_result.identifiers);
   (* messages = Σ (hops + 1 reply) per lookup *)
   let expected =
-    List.fold_left (fun acc h -> acc + h + 1) 0 r.Sys_.stats.Sys_.hops
+    List.fold_left (fun acc h -> acc + h + 1) 0 r.Query_result.stats.Query_result.hops
   in
-  Alcotest.(check int) "message accounting" expected r.Sys_.stats.Sys_.messages
+  Alcotest.(check int) "message accounting" expected r.Query_result.stats.Query_result.messages
 
 let owners_hold_published_entries () =
   let s = default_system () in
@@ -109,7 +110,7 @@ let owners_hold_published_entries () =
       let owner = Sys_.owner_of_identifier s identifier in
       Alcotest.(check bool) "owner's bucket holds the range" true
         (P2prange.Store.mem (P2prange.Peer.store owner) ~identifier ~range))
-    stats.Sys_.identifiers
+    stats.Query_result.identifiers
 
 let padding_applied_to_effective () =
   let config =
@@ -119,8 +120,8 @@ let padding_applied_to_effective () =
   let from = Sys_.peer_by_name s "peer-0" in
   let r = Sys_.query s ~from (mk 100 199) in
   Alcotest.(check bool) "effective range padded" true
-    (Range.equal r.Sys_.effective (mk 80 219));
-  Alcotest.(check bool) "query preserved" true (Range.equal r.Sys_.query (mk 100 199))
+    (Range.equal r.Query_result.effective (mk 80 219));
+  Alcotest.(check bool) "query preserved" true (Range.equal r.Query_result.query (mk 100 199))
 
 let padded_cache_serves_inner_queries () =
   let config =
@@ -137,8 +138,8 @@ let padded_cache_serves_inner_queries () =
      identifiers collides with near-certainty (deterministic per seed), and
      the cached range contains the original query entirely. *)
   let r = Sys_.query s ~from (mk 100 198) in
-  Alcotest.(check bool) "matched" true (r.Sys_.matched <> None);
-  Alcotest.(check (float 1e-9)) "full recall via padding" 1.0 r.Sys_.recall
+  Alcotest.(check bool) "matched" true (r.Query_result.matched <> None);
+  Alcotest.(check (float 1e-9)) "full recall via padding" 1.0 r.Query_result.recall
 
 let bounded_stores_enforce_capacity () =
   let config =
@@ -162,7 +163,7 @@ let deterministic_per_seed () =
     let s = default_system () in
     let from = Sys_.peer_by_name s "peer-0" in
     let r = Sys_.query s ~from (mk 0 500) in
-    (r.Sys_.stats.Sys_.identifiers, r.Sys_.stats.Sys_.hops)
+    (r.Query_result.stats.Query_result.identifiers, r.Query_result.stats.Query_result.hops)
   in
   let a = run () and b = run () in
   Alcotest.(check bool) "identical runs" true (a = b)
@@ -191,8 +192,8 @@ let prop_published_ranges_always_found =
       let result =
         Sys_.query s ~from:(Sys_.peer_by_name s (Printf.sprintf "peer-%d" asker)) range
       in
-      result.Sys_.recall = 1.0 && result.Sys_.similarity = 1.0
-      && not result.Sys_.cached)
+      result.Query_result.recall = 1.0 && result.Query_result.similarity = 1.0
+      && not result.Query_result.cached)
 
 (* ---- fault plane integration ---- *)
 
@@ -213,7 +214,7 @@ let zero_spec_plane_changes_nothing () =
     let from = Sys_.peer_by_name s "peer-2" in
     ignore (Sys_.publish s ~from (mk 100 200));
     let r = Sys_.query s ~from:(Sys_.peer_by_name s "peer-7") (mk 100 200) in
-    (r.Sys_.recall, r.Sys_.similarity, r.Sys_.responders, r.Sys_.degraded)
+    (r.Query_result.recall, r.Query_result.similarity, r.Query_result.responders, r.Query_result.degraded)
   in
   let recall_a, sim_a, responders_a, degraded_a = exercise plain in
   let recall_b, sim_b, responders_b, degraded_b = exercise planed in
@@ -233,11 +234,11 @@ let total_loss_degrades_gracefully () =
   let from = Sys_.peer_by_name s "peer-0" in
   ignore (Sys_.publish s ~from (mk 10 60));
   let r = Sys_.query s ~from (mk 10 60) in
-  Alcotest.(check int) "nobody answered" 0 r.Sys_.responders;
-  Alcotest.(check bool) "flagged degraded" true r.Sys_.degraded;
+  Alcotest.(check int) "nobody answered" 0 r.Query_result.responders;
+  Alcotest.(check bool) "flagged degraded" true r.Query_result.degraded;
   Alcotest.(check bool) "no match over zero responders" true
-    (r.Sys_.matched = None);
-  Alcotest.(check (float 0.0)) "recall collapses to zero" 0.0 r.Sys_.recall
+    (r.Query_result.matched = None);
+  Alcotest.(check (float 0.0)) "recall collapses to zero" 0.0 r.Query_result.recall
 
 let retries_restore_responders () =
   (* 30% drop: single-attempt contacts lose owners; the default retry
@@ -249,7 +250,7 @@ let retries_restore_responders () =
     let total = ref 0 in
     for i = 0 to 39 do
       let r = Sys_.query s ~from (mk (i * 20) ((i * 20) + 15)) in
-      total := !total + r.Sys_.responders
+      total := !total + r.Query_result.responders
     done;
     !total
   in
@@ -269,7 +270,7 @@ let retries_restore_responders () =
     (retried > 2 * lone)
 
 let crashed_peer_recovers () =
-  (* System.fail / System.recover round-trip: the peer's store survives its
+  (* System.fail_peer / System.recover_peer round-trip: the peer's store survives its
      downtime. *)
   let s = default_system () in
   let from = Sys_.peer_by_name s "peer-4" in
@@ -277,13 +278,13 @@ let crashed_peer_recovers () =
   let owner =
     Sys_.owner_of_identifier s (List.hd (Sys_.identifiers s (mk 300 400)))
   in
-  Sys_.fail s owner;
+  Sys_.fail_peer s owner;
   Alcotest.(check bool) "down" false (Sys_.alive s owner);
-  Sys_.recover s owner;
+  Sys_.recover_peer s owner;
   Alcotest.(check bool) "back up" true (Sys_.alive s owner);
   let r = Sys_.query s ~from (mk 300 400) in
   Alcotest.(check (float 0.0)) "published range found after recovery" 1.0
-    r.Sys_.recall
+    r.Query_result.recall
 
 let suite =
   [
