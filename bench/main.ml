@@ -18,8 +18,8 @@ module Scalability = P2prange.Scalability
 
 let seed = 42L
 
-let json_path, section_filter =
-  let json = ref None in
+let json_path, trace_path, section_filter =
+  let json = ref None and trace = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--json" :: path :: rest ->
@@ -28,13 +28,20 @@ let json_path, section_filter =
     | [ "--json" ] ->
       prerr_endline "bench: --json requires a file argument";
       exit 2
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      parse acc rest
+    | [ "--trace" ] ->
+      prerr_endline "bench: --trace requires a file argument";
+      exit 2
     | "--only" :: rest -> parse acc rest (* explicit marker; names filter *)
     | arg :: rest -> parse (arg :: acc) rest
   in
   let sections = parse [] (List.tl (Array.to_list Sys.argv)) in
-  (!json, sections)
+  (!json, !trace, sections)
 
 let () = if json_path <> None then Obs.Metrics.enable ()
+let () = if trace_path <> None then Obs.Trace.enable ()
 
 (* (section name, metrics snapshot + derived rates), in run order. *)
 let json_sections : (string * Obs.Json.t) list ref = ref []
@@ -1472,18 +1479,19 @@ let () =
   section "baseline-unstructured" "flooding overlay vs the LSH/DHT (§1)"
     baseline_unstructured;
   Format.printf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0);
-  match json_path with
+  (match json_path with
   | None -> ()
   | Some path ->
     let doc =
-      Obs.Json.Obj
+      Obs.Report.document
         [
-          ("schema_version", Obs.Json.Int 1);
           ("bench", Obs.Json.String "p2prange");
           ("seed", Obs.Json.String (Int64.to_string seed));
-          ( "sections",
-            Obs.Json.Obj (List.rev !json_sections) );
+          ("sections", Obs.Json.Obj (List.rev !json_sections));
         ]
     in
     Obs.Json.to_file path doc;
-    Format.printf "metrics written to %s@." path
+    Format.printf "metrics written to %s@." path);
+  match trace_path with
+  | None -> ()
+  | Some path -> Obs.Report.write_trace path

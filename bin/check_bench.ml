@@ -4,7 +4,14 @@
    NaN/inf (the emitter writes those as [null], so a literal NaN in the
    file means the emitter was bypassed) or outside [0, 1].
 
-   Usage: check_bench FILE SECTION [SECTION ...] *)
+   With --baseline BASELINE.json the gate additionally requires every
+   expected section's deterministic numbers — counters, histograms,
+   gauges (except wall-clock qps gauges), and derived total_messages —
+   to be structurally identical to the committed baseline. This is the
+   tracing-overhead gate: with tracing disabled, instrumentation must
+   not change a single message count or recall value.
+
+   Usage: check_bench FILE [--baseline BASELINE] SECTION [SECTION ...] *)
 
 module Json = Obs.Json
 
@@ -92,14 +99,73 @@ let check_batch_gauges body =
   if gauge "batch.bench.bit_identical" <> 1.0 then
     fail "batch: a batch of one is not bit-identical to single queries"
 
-let () =
-  let file, expected =
-    match Array.to_list Sys.argv with
-    | _ :: file :: (_ :: _ as sections) -> (file, sections)
-    | _ ->
-      prerr_endline "usage: check_bench FILE SECTION [SECTION ...]";
-      exit 2
+(* --- baseline bit-identity (the tracing-disabled overhead gate) --- *)
+
+let contains_qps name =
+  let n = String.length name in
+  let rec go i = i + 3 <= n && (String.sub name i 3 = "qps" || go (i + 1)) in
+  go 0
+
+let obj_fields ~ctx key j =
+  match Json.member key j with
+  | Some (Json.Obj fields) -> fields
+  | Some _ -> fail "%s: %S is not an object" ctx key
+  | None -> fail "%s: missing %S" ctx key
+
+(* Structural equality on parsed trees is exact: both sides came through
+   [Json.of_string], floats were emitted with %.17g, and JSON cannot carry
+   NaN, so polymorphic compare is safe. *)
+let check_identical ~section ~what current baseline =
+  List.iter
+    (fun (key, v) ->
+      match List.assoc_opt key baseline with
+      | None -> fail "section %s: %s %s absent from baseline" section what key
+      | Some bv ->
+        if v <> bv then
+          fail "section %s: %s %s differs from baseline (%s vs %s)" section
+            what key
+            (Json.to_string ~indent:0 v)
+            (Json.to_string ~indent:0 bv))
+    current;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key current) then
+        fail "section %s: %s %s in baseline is missing" section what key)
+    baseline
+
+let check_against_baseline ~name current baseline =
+  let metrics ~ctx body =
+    match Json.member "metrics" body with
+    | Some m -> m
+    | None -> fail "%s: section %s has no metrics block" ctx name
   in
+  let cm = metrics ~ctx:"current" current
+  and bm = metrics ~ctx:"baseline" baseline in
+  let fields key j = obj_fields ~ctx:("section " ^ name) key j in
+  check_identical ~section:name ~what:"counter" (fields "counters" cm)
+    (fields "counters" bm);
+  check_identical ~section:name ~what:"histogram" (fields "histograms" cm)
+    (fields "histograms" bm);
+  (* Gauges are deterministic except throughput (qps) readings, which
+     carry wall clock; timers are wall clock entirely and are skipped. *)
+  let deterministic = List.filter (fun (key, _) -> not (contains_qps key)) in
+  check_identical ~section:name ~what:"gauge"
+    (deterministic (fields "gauges" cm))
+    (deterministic (fields "gauges" bm));
+  let total body ctx =
+    match Json.member "derived" body with
+    | None -> fail "%s: section %s has no derived block" ctx name
+    | Some derived -> (
+      match Json.member "total_messages" derived with
+      | Some (Json.Int n) -> n
+      | Some _ | None ->
+        fail "%s: section %s lacks derived total_messages" ctx name)
+  in
+  let c = total current "current" and b = total baseline "baseline" in
+  if c <> b then
+    fail "section %s: total_messages %d differs from baseline %d" name c b
+
+let load file =
   let text =
     (* Catch-all: any read failure (missing file, directory, permission,
        I/O error) must exit 1 with a message naming the file — never look
@@ -116,21 +182,52 @@ let () =
   in
   (match Json.member "schema_version" doc with
   | Some (Json.Int 1) -> ()
-  | Some _ -> fail "unsupported schema_version (expected 1)"
-  | None -> fail "missing schema_version");
-  let sections =
-    match Json.member "sections" doc with
-    | Some (Json.Obj fields) -> fields
-    | Some _ -> fail "\"sections\" is not an object"
-    | None -> fail "missing \"sections\""
+  | Some _ -> fail "%s: unsupported schema_version (expected 1)" file
+  | None -> fail "%s: missing schema_version" file);
+  match Json.member "sections" doc with
+  | Some (Json.Obj fields) -> fields
+  | Some _ -> fail "%s: \"sections\" is not an object" file
+  | None -> fail "%s: missing \"sections\"" file
+
+let () =
+  let baseline_file = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--baseline" :: path :: rest ->
+      baseline_file := Some path;
+      parse acc rest
+    | [ "--baseline" ] ->
+      prerr_endline "check_bench: --baseline requires a file argument";
+      exit 2
+    | arg :: rest -> parse (arg :: acc) rest
   in
+  let file, expected =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | file :: (_ :: _ as sections) -> (file, sections)
+    | _ ->
+      prerr_endline
+        "usage: check_bench FILE [--baseline BASELINE] SECTION [SECTION ...]";
+      exit 2
+  in
+  let sections = load file in
+  let baseline = Option.map load !baseline_file in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
       | None -> fail "expected section %s missing" name
-      | Some body ->
+      | Some body -> (
         check_section ~name body;
         if name = "faults" then check_faults_gauges body;
-        if name = "batch" then check_batch_gauges body)
+        if name = "batch" then check_batch_gauges body;
+        match baseline with
+        | None -> ()
+        | Some base -> (
+          match List.assoc_opt name base with
+          | None -> fail "baseline lacks section %s" name
+          | Some base_body -> check_against_baseline ~name body base_body)))
     expected;
-  Printf.printf "check_bench: %s ok (%s)\n" file (String.concat ", " expected)
+  Printf.printf "check_bench: %s ok%s (%s)\n" file
+    (match !baseline_file with
+    | None -> ""
+    | Some b -> Printf.sprintf ", bit-identical to %s" b)
+    (String.concat ", " expected)

@@ -29,23 +29,15 @@ let json_t =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-(* Runs [f] with metrics enabled when a JSON path was requested, then
-   snapshots the registry to that file. *)
-let with_json json command f =
-  match json with
-  | None -> f ()
-  | Some path ->
-    Obs.Metrics.enable ();
-    Obs.Metrics.reset ();
-    f ();
-    Obs.Json.to_file path
-      (Obs.Json.Obj
-         [
-           ("schema_version", Obs.Json.Int 1);
-           ("command", Obs.Json.String command);
-           ("metrics", Obs.Metrics.snapshot ());
-         ]);
-    Format.printf "metrics written to %s@." path
+let trace_t =
+  let doc =
+    "Enable the tracing plane and write the recorded spans to $(docv) \
+     (Chrome trace-event JSON for .json paths, JSONL otherwise; analyze \
+     with trace.exe)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_json json trace command f = Obs.Report.with_json ~json ~trace command f
 
 let family_t =
   let parse s =
@@ -130,9 +122,9 @@ let build_config family k l domain_hi matching padding adaptive peer_index =
 
 (* --- quality command (figures 6-10) --- *)
 
-let run_quality json seed family queries peers k l domain_hi matching padding
-    adaptive peer_index =
-  with_json json "quality" @@ fun () ->
+let run_quality json trace seed family queries peers k l domain_hi matching
+    padding adaptive peer_index =
+  with_json json trace "quality" @@ fun () ->
   let config = build_config family k l domain_hi matching padding adaptive peer_index in
   let run = Simulation.run ~config ~n_peers:peers ~n_queries:queries ~seed () in
   Format.printf "family=%s k=%d l=%d queries=%d peers=%d@."
@@ -155,9 +147,9 @@ let run_quality json seed family queries peers k l domain_hi matching padding
 let quality_cmd =
   let term =
     Term.(
-      const run_quality $ json_t $ seed_t $ family_t $ queries_t $ peers_t
-      $ k_t $ l_t $ domain_hi_t $ matching_t $ padding_t $ adaptive_t
-      $ peer_index_t)
+      const run_quality $ json_t $ trace_t $ seed_t $ family_t $ queries_t
+      $ peers_t $ k_t $ l_t $ domain_hi_t $ matching_t $ padding_t
+      $ adaptive_t $ peer_index_t)
   in
   Cmd.v
     (Cmd.info "quality"
@@ -167,8 +159,8 @@ let quality_cmd =
 
 (* --- load command (figure 11) --- *)
 
-let run_load json seed nodes unique =
-  with_json json "load" @@ fun () ->
+let run_load json trace seed nodes unique =
+  with_json json trace "load" @@ fun () ->
   let workload = Scalability.make_workload ~unique_partitions:unique ~seed () in
   let p = Scalability.load_distribution workload ~n_nodes:nodes ~seed in
   let s = p.Scalability.per_node in
@@ -186,12 +178,12 @@ let load_cmd =
   Cmd.v
     (Cmd.info "load"
        ~doc:"Partition load distribution over the ring (Figure 11).")
-    Term.(const run_load $ json_t $ seed_t $ nodes_t $ unique_t)
+    Term.(const run_load $ json_t $ trace_t $ seed_t $ nodes_t $ unique_t)
 
 (* --- paths command (figure 12) --- *)
 
-let run_paths json seed nodes lookups histogram =
-  with_json json "paths" @@ fun () ->
+let run_paths json trace seed nodes lookups histogram =
+  with_json json trace "paths" @@ fun () ->
   let workload = Scalability.make_workload ~unique_partitions:2000 ~seed () in
   let p =
     Scalability.path_lengths workload ~n_lookups:lookups ~n_nodes:nodes ~seed ()
@@ -217,7 +209,9 @@ let paths_cmd =
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"Lookup path lengths over the Chord ring (Figure 12).")
-    Term.(const run_paths $ json_t $ seed_t $ nodes_t $ lookups_t $ histogram_t)
+    Term.(
+      const run_paths $ json_t $ trace_t $ seed_t $ nodes_t $ lookups_t
+      $ histogram_t)
 
 (* --- hash command (figure 5) --- *)
 
@@ -262,8 +256,8 @@ let hash_cmd =
 
 (* --- latency command (timed replay) --- *)
 
-let run_latency json seed peers queries rate spread =
-  with_json json "latency" @@ fun () ->
+let run_latency json trace seed peers queries rate spread =
+  with_json json trace "latency" @@ fun () ->
   let config =
     Config.default
     |> Config.with_matching Config.Containment_match
@@ -315,8 +309,8 @@ let latency_cmd =
        ~doc:"Discrete-event latency replay under Poisson load (with per-peer \
              FIFO queueing).")
     Term.(
-      const run_latency $ json_t $ seed_t $ peers_t $ queries_small_t $ rate_t
-      $ spread_t)
+      const run_latency $ json_t $ trace_t $ seed_t $ peers_t
+      $ queries_small_t $ rate_t $ spread_t)
 
 (* --- amplify command --- *)
 

@@ -4,13 +4,23 @@
    for a *different but similar* range and watch locality-sensitive hashing
    route us to the cached data.
 
-   Run with:  dune exec examples/quickstart.exe *)
+   Run with:  dune exec examples/quickstart.exe
+   Pass a file argument to also record a per-query trace there (JSONL,
+   or Chrome trace-event JSON for .json paths):
+              dune exec examples/quickstart.exe trace.jsonl *)
 
 module Range = Rangeset.Range
 module System = P2prange.System
 module Query_result = P2prange.Query_result
 
+let trace_path = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None
+
 let () =
+  (match trace_path with
+  | None -> ()
+  | Some _ ->
+    Obs.Trace.enable ();
+    Obs.Trace.reset ());
   (* 1. A system of 16 peers on a 32-bit Chord ring, using the paper's
         defaults: approximate min-wise hashing, (k, l) = (20, 5), attribute
         domain [0, 1000]. Everything is deterministic in the seed. *)
@@ -57,4 +67,14 @@ let () =
   Format.printf "@.query %s: %s (cached for future queries: %b)@."
     (Range.to_string far)
     (match miss.Query_result.matched with Some _ -> "matched" | None -> "no match")
-    miss.Query_result.cached
+    miss.Query_result.cached;
+
+  (* 5. Optionally dump the trace the run recorded: every span from LSH
+        signature computation through Chord hops to result assembly, on a
+        logical clock, so the same seed yields the same bytes. *)
+  match trace_path with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.write path;
+    Format.printf "@.trace written to %s (%d spans)@." path
+      (Obs.Trace.span_count ())

@@ -134,75 +134,89 @@ let m_fallbacks = Obs.Metrics.counter "chord.net.fallback_hops"
 let h_hops = Obs.Metrics.histogram "chord.net.hops"
 
 let find_successor t ~from ~key =
-  let result =
-    match node_opt t from with
-    | None -> None
-    | Some start ->
-      let rec route n hops =
-        if hops > max_route_hops then begin
-          Obs.Metrics.incr m_hop_limit;
-          None
-        end
-        else begin
-          let succ = live_successor t n in
-          if Id.in_interval_oc key ~lo:n.id ~hi:succ then
-            if succ = n.id then Some (n.id, hops)
-            else if contact_ok t ~src:n.id ~dst:succ then Some (succ, hops + 1)
-            else None (* owner unreachable within the retry budget *)
-          else begin
-            let next = closest_preceding t n key in
-            let next = if next = n.id then succ else next in
-            match node_opt t next with
-            | None -> None
-            | Some next_node ->
-              if next = n.id then None (* isolated: no live way forward *)
-              else if contact_ok t ~src:n.id ~dst:next then
-                route next_node (hops + 1)
-              else fallback n ~failed:next hops
-          end
-        end
-      (* A finger timed out past its retry budget: instead of dead-ending,
-         fall back to successor-list hops — shorter strides, but they stay
-         inside (n, key] so progress toward the owner is preserved. *)
-      and fallback n ~failed hops =
-        let rec try_hops tried = function
-          | [] -> None
-          | s :: rest ->
-            if
-              s <> failed && s <> n.id
-              && not (List.mem s tried)
-              && responsive t s
-              && Id.in_interval_oo s ~lo:n.id ~hi:key
-              && contact_ok t ~src:n.id ~dst:s
-            then begin
-              Obs.Metrics.incr m_fallbacks;
-              match node_opt t s with
-              | Some sn -> route sn (hops + 1)
-              | None -> try_hops (s :: tried) rest
+  Obs.Trace.with_span "chord.net.lookup" (fun () ->
+      Obs.Trace.set_int "from" from;
+      Obs.Trace.set_int "key" key;
+      let result =
+        match node_opt t from with
+        | None -> None
+        | Some start ->
+          let rec route n hops =
+            if hops > max_route_hops then begin
+              Obs.Metrics.incr m_hop_limit;
+              Obs.Trace.event "hop_limit";
+              None
             end
-            else try_hops (s :: tried) rest
-        in
-        (* Stabilization keeps [n.successor] at the head of [n.successors],
-           so the raw chain names the final fallback candidate twice;
-           tracking tried nodes keeps each candidate to one retried
-           contact instead of double-charging (and double-budgeting) the
-           same hop when retries are enabled. *)
-        try_hops [] (n.successor :: n.successors)
+            else begin
+              let succ = live_successor t n in
+              if Id.in_interval_oc key ~lo:n.id ~hi:succ then
+                if succ = n.id then Some (n.id, hops)
+                else if contact_ok t ~src:n.id ~dst:succ then begin
+                  Obs.Trace.event_i "hop" "node" succ;
+                  Some (succ, hops + 1)
+                end
+                else None (* owner unreachable within the retry budget *)
+              else begin
+                let next = closest_preceding t n key in
+                let next = if next = n.id then succ else next in
+                match node_opt t next with
+                | None -> None
+                | Some next_node ->
+                  if next = n.id then None (* isolated: no live way forward *)
+                  else if contact_ok t ~src:n.id ~dst:next then begin
+                    Obs.Trace.event_i "hop" "node" next;
+                    route next_node (hops + 1)
+                  end
+                  else fallback n ~failed:next hops
+              end
+            end
+          (* A finger timed out past its retry budget: instead of dead-ending,
+             fall back to successor-list hops — shorter strides, but they stay
+             inside (n, key] so progress toward the owner is preserved. *)
+          and fallback n ~failed hops =
+            let rec try_hops tried = function
+              | [] -> None
+              | s :: rest ->
+                if
+                  s <> failed && s <> n.id
+                  && not (List.mem s tried)
+                  && responsive t s
+                  && Id.in_interval_oo s ~lo:n.id ~hi:key
+                  && contact_ok t ~src:n.id ~dst:s
+                then begin
+                  Obs.Metrics.incr m_fallbacks;
+                  Obs.Trace.event_ii "fallback_hop" "node" s "failed" failed;
+                  match node_opt t s with
+                  | Some sn -> route sn (hops + 1)
+                  | None -> try_hops (s :: tried) rest
+                end
+                else try_hops (s :: tried) rest
+            in
+            (* Stabilization keeps [n.successor] at the head of [n.successors],
+               so the raw chain names the final fallback candidate twice;
+               tracking tried nodes keeps each candidate to one retried
+               contact instead of double-charging (and double-budgeting) the
+               same hop when retries are enabled. *)
+            try_hops [] (n.successor :: n.successors)
+          in
+          (* A node owning the key answers locally with zero hops. *)
+          (match start.predecessor with
+          | Some p
+            when responsive t p && Id.in_interval_oc key ~lo:p ~hi:start.id ->
+            Some (start.id, 0)
+          | Some _ | None -> route start 0)
       in
-      (* A node owning the key answers locally with zero hops. *)
-      (match start.predecessor with
-      | Some p when responsive t p && Id.in_interval_oc key ~lo:p ~hi:start.id
-        ->
-        Some (start.id, 0)
-      | Some _ | None -> route start 0)
-  in
-  Obs.Metrics.incr m_lookups;
-  (match result with
-  | Some (_, hops) ->
-    Obs.Metrics.add m_messages (hops + 1);
-    Obs.Metrics.observe_int h_hops hops
-  | None -> Obs.Metrics.incr m_failed);
-  result
+      Obs.Metrics.incr m_lookups;
+      (match result with
+      | Some (owner, hops) ->
+        Obs.Metrics.add m_messages (hops + 1);
+        Obs.Metrics.observe_int h_hops hops;
+        Obs.Trace.set_int "owner" owner;
+        Obs.Trace.set_int "hops" hops
+      | None ->
+        Obs.Metrics.incr m_failed;
+        Obs.Trace.set_bool "failed" true);
+      result)
 
 let m_batch_memo = Obs.Metrics.counter "chord.net.batch_memo_hits"
 let m_batch_direct = Obs.Metrics.counter "chord.net.batch_direct_hits"
@@ -225,6 +239,7 @@ let find_successors t ~from keys =
       match Hashtbl.find_opt resolved key with
       | Some r ->
         Obs.Metrics.incr m_batch_memo;
+        Obs.Trace.event_i "net.batch_memo_hit" "key" key;
         (key, r)
       | None ->
         let direct_owner =
@@ -254,6 +269,7 @@ let find_successors t ~from keys =
             Obs.Metrics.incr m_lookups;
             Obs.Metrics.add m_messages 2;
             Obs.Metrics.observe_int h_hops 1;
+            Obs.Trace.event_ii "net.batch_direct_hit" "key" key "owner" cn.id;
             Some (cn.id, 1)
           | Some _ | None -> find_successor t ~from ~key
         in

@@ -94,12 +94,14 @@ let route_loop t ?(learn = fun (_ : int) -> ()) ~key start hops0 =
     let succ = successor t n in
     if Id.in_interval_oc key ~lo:n ~hi:succ then begin
       learn succ;
+      Obs.Trace.event_i "hop" "node" succ;
       (succ, hops + 1)
     end
     else begin
       let next = closest_preceding_finger t n key in
       let next = if next = n then succ else next in
       learn next;
+      Obs.Trace.event_i "hop" "node" next;
       route next (hops + 1)
     end
   in
@@ -115,8 +117,16 @@ let record result =
 
 let lookup t ~from ~key =
   if not (contains t from) then invalid_arg "Ring.lookup: unknown source node";
-  let target = owner t key in
-  record (if target = from then (from, 0) else route_loop t ~key from 0)
+  Obs.Trace.with_span "chord.lookup" (fun () ->
+      Obs.Trace.set_int "from" from;
+      Obs.Trace.set_int "key" key;
+      let target = owner t key in
+      let result =
+        if target = from then (from, 0) else route_loop t ~key from 0
+      in
+      Obs.Trace.set_int "owner" (fst result);
+      Obs.Trace.set_int "hops" (snd result);
+      record result)
 
 module Route_cache = struct
   type t = {
@@ -152,30 +162,37 @@ let m_shortcuts = Obs.Metrics.counter "chord.ring.shortcuts"
 let lookup_via t cache ~from ~key =
   if not (contains t from) then
     invalid_arg "Ring.lookup_via: unknown source node";
-  let target = owner t key in
-  Route_cache.learn cache from;
-  Obs.Metrics.incr m_cached_lookups;
-  let learn = Route_cache.learn cache in
-  let result =
-    if target = from then (from, 0)
-    else begin
-      (* A cached address is only worth a direct first hop when it beats
-         the finger the plain walk would take anyway — so a cached lookup
-         never routes longer than an uncached one. *)
-      let plain_step =
-        let f = closest_preceding_finger t from key in
-        if f = from then successor t from else f
+  Obs.Trace.with_span "chord.lookup" (fun () ->
+      Obs.Trace.set_int "from" from;
+      Obs.Trace.set_int "key" key;
+      let target = owner t key in
+      Route_cache.learn cache from;
+      Obs.Metrics.incr m_cached_lookups;
+      let learn = Route_cache.learn cache in
+      let result =
+        if target = from then (from, 0)
+        else begin
+          (* A cached address is only worth a direct first hop when it beats
+             the finger the plain walk would take anyway — so a cached lookup
+             never routes longer than an uncached one. *)
+          let plain_step =
+            let f = closest_preceding_finger t from key in
+            if f = from then successor t from else f
+          in
+          match Route_cache.best_shortcut cache ~from ~target with
+          | Some c
+            when Id.distance_cw ~from ~to_:c > Id.distance_cw ~from ~to_:plain_step
+            ->
+            cache.Route_cache.shortcuts <- cache.Route_cache.shortcuts + 1;
+            Obs.Metrics.incr m_shortcuts;
+            Obs.Trace.set_bool "shortcut" true;
+            Obs.Trace.event_i "shortcut" "node" c;
+            if c = target then (target, 1) else route_loop t ~learn ~key c 1
+          | Some _ | None ->
+            cache.Route_cache.full_walks <- cache.Route_cache.full_walks + 1;
+            route_loop t ~learn ~key from 0
+        end
       in
-      match Route_cache.best_shortcut cache ~from ~target with
-      | Some c
-        when Id.distance_cw ~from ~to_:c > Id.distance_cw ~from ~to_:plain_step
-        ->
-        cache.Route_cache.shortcuts <- cache.Route_cache.shortcuts + 1;
-        Obs.Metrics.incr m_shortcuts;
-        if c = target then (target, 1) else route_loop t ~learn ~key c 1
-      | Some _ | None ->
-        cache.Route_cache.full_walks <- cache.Route_cache.full_walks + 1;
-        route_loop t ~learn ~key from 0
-    end
-  in
-  record result
+      Obs.Trace.set_int "owner" (fst result);
+      Obs.Trace.set_int "hops" (snd result);
+      record result)

@@ -217,36 +217,50 @@ let record_provenance = function
   | From_exact_dht { hit = false } -> Obs.Metrics.incr m_exact_miss
   | Full_relation -> Obs.Metrics.incr m_full_relation
 
+let provenance_label = function
+  | From_cache _ -> "cache"
+  | From_source { published = true } -> "source_published"
+  | From_source { published = false } -> "source_skipped"
+  | From_exact_dht { hit = true } -> "exact_dht_hit"
+  | From_exact_dht { hit = false } -> "exact_dht_miss"
+  | Full_relation -> "full_relation"
+
 let answer_leaf t ~from_name ~allow_source ?range_result (relation, preds) msgs
     =
-  let data, provenance, recall, fetches =
-    match locatable t ~relation preds with
-    | Some (`Exact (attribute, value)) ->
-      answer_exact t ~from_name ~relation ~attribute ~value ~allow_source msgs
-    | Some (`Range (attribute, range)) ->
-      let precomputed =
-        Option.bind range_result (fun fetch -> fetch ~relation ~attribute)
+  Obs.Trace.with_span "engine.leaf" (fun () ->
+      Obs.Trace.set_string "relation" relation;
+      let data, provenance, recall, fetches =
+        match locatable t ~relation preds with
+        | Some (`Exact (attribute, value)) ->
+          answer_exact t ~from_name ~relation ~attribute ~value ~allow_source
+            msgs
+        | Some (`Range (attribute, range)) ->
+          let precomputed =
+            Option.bind range_result (fun fetch -> fetch ~relation ~attribute)
+          in
+          answer_range t ~from_name ~relation ~attribute ~range ?precomputed
+            ~allow_source msgs
+        | None ->
+          (* No selection the DHT can serve: read the whole source. *)
+          let rel = source t relation in
+          if allow_source then (rel, Full_relation, 1.0, 1)
+          else (empty_like rel, Full_relation, 0.0, 0)
       in
-      answer_range t ~from_name ~relation ~attribute ~range ?precomputed
-        ~allow_source msgs
-    | None ->
-      (* No selection the DHT can serve: read the whole source. *)
-      let rel = source t relation in
-      if allow_source then (rel, Full_relation, 1.0, 1)
-      else (empty_like rel, Full_relation, 0.0, 0)
-  in
-  record_provenance provenance;
-  ( {
-      relation;
-      predicates = preds;
-      provenance;
-      tuples_fetched = R.Relation.cardinality data;
-      recall_estimate = recall;
-    },
-    data,
-    fetches )
+      record_provenance provenance;
+      Obs.Trace.set_string "provenance" (provenance_label provenance);
+      Obs.Trace.set_int "tuples" (R.Relation.cardinality data);
+      ( {
+          relation;
+          predicates = preds;
+          provenance;
+          tuples_fetched = R.Relation.cardinality data;
+          recall_estimate = recall;
+        },
+        data,
+        fetches ))
 
 let execute_plan t ~from_name ~allow_source ?range_result plan =
+  Obs.Trace.with_span "engine.execute" (fun () ->
   let leaves = R.Planner.leaf_selections plan in
   let msgs = ref 0 in
   let reports, fetched =
@@ -288,7 +302,11 @@ let execute_plan t ~from_name ~allow_source ?range_result plan =
   Obs.Metrics.add m_messages !msgs;
   Obs.Metrics.add m_source_fetches source_fetches;
   Obs.Metrics.observe h_recall recall_estimate;
-  { result; leaves = List.map fst reports; messages = !msgs; source_fetches; recall_estimate }
+  Obs.Trace.set_int "leaves" (List.length reports);
+  Obs.Trace.set_int "messages" !msgs;
+  Obs.Trace.set_int "source_fetches" source_fetches;
+  Obs.Trace.set_float "recall_estimate" recall_estimate;
+  { result; leaves = List.map fst reports; messages = !msgs; source_fetches; recall_estimate })
 
 let plan_of t query =
   let lookup name = R.Relation.schema (source t name) in
@@ -305,6 +323,8 @@ let execute_batch t ~from_name ?(allow_source = true) queries =
   | [] -> []
   | [ query ] -> [ execute t ~from_name ~allow_source query ]
   | _ :: _ :: _ ->
+    Obs.Trace.with_span "engine.batch" (fun () ->
+    Obs.Trace.set_int "size" (List.length queries);
     Obs.Metrics.incr m_batch_execs;
     let plans = List.map (plan_of t) queries in
     (* Round one: collect every range leaf of the batch, grouped by its
@@ -357,7 +377,7 @@ let execute_batch t ~from_name ?(allow_source = true) queries =
     List.map
       (fun plan ->
         execute_plan t ~from_name ~allow_source ~range_result:pop plan)
-      plans
+      plans)
 
 let stats_for t name =
   match Hashtbl.find_opt t.stats_cache name with

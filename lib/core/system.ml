@@ -213,6 +213,17 @@ let identifiers t range =
 
 let signature_cache t = t.sig_cache
 
+(* The signature stage of a traced query/publish: one span covering the
+   sig-cache probe and (on a miss) the per-group hashing spans recorded
+   by [Lsh.Scheme]. *)
+let traced_identifiers t range =
+  Obs.Trace.with_span "signature" (fun () ->
+      Obs.Trace.set_int "lo" (Range.lo range);
+      Obs.Trace.set_int "hi" (Range.hi range);
+      let ids = identifiers t range in
+      Obs.Trace.set_int "identifiers" (List.length ids);
+      ids)
+
 let padding_fraction t = Padding.current_fraction t.padding
 
 type lookup_stats = Query_result.lookup_stats
@@ -348,6 +359,8 @@ let serving_peer t ~identifier ~owner =
     | [] -> None
     | [ only ] -> Some only
     | _ :: _ :: _ ->
+      Obs.Trace.event_ii "balance.candidates" "identifier" identifier "count"
+        (List.length members);
       let scored =
         List.map
           (fun p -> (Balance.Tracker.peer_load t.tracker (Peer.id p), p))
@@ -372,41 +385,72 @@ let serving_peer t ~identifier ~owner =
    (the forward from the owner's segment to the chosen successor). The
    [responded] flag distinguishes "answered with nothing matching" from
    "never answered" — only the latter degrades the query. *)
-let serve_routes t ~contact ~effective routes =
+(* [batched] only affects trace attribution: a standalone query charges
+   each serve [hops + 1] messages, so its serve span carries that as
+   "msgs"; inside a batch the per-query cost is the fresh route hops and
+   fresh contacts recorded by [query_batch], so serve spans carry none. *)
+let serve_routes t ~contact ~effective ~batched routes =
   List.map
     (fun (identifier, owner, hops) ->
-      match serving_peer t ~identifier ~owner with
-      | None -> (identifier, hops, None, false)
-      | Some peer ->
-        if not (contact peer ~hops) then (identifier, hops, None, false)
-        else begin
-          let reply =
-            let candidates =
-              if t.config.Config.peer_index then
-                Store.all_entries (Peer.store peer)
-              else Store.bucket (Peer.store peer) ~identifier
-            in
-            Matching.best t.config.Config.matching ~query:effective candidates
+      Obs.Trace.with_span "serve" (fun () ->
+          Obs.Trace.set_int "identifier" identifier;
+          Obs.Trace.set_int "owner" (Peer.id owner);
+          Obs.Trace.set_int "route_hops" hops;
+          let result =
+            match serving_peer t ~identifier ~owner with
+            | None ->
+              Obs.Trace.set_bool "responded" false;
+              (identifier, hops, None, false)
+            | Some peer ->
+              Obs.Trace.set_int "peer" (Peer.id peer);
+              if not (contact peer ~hops) then begin
+                Obs.Trace.set_bool "responded" false;
+                (identifier, hops, None, false)
+              end
+              else begin
+                let reply =
+                  let candidates =
+                    if t.config.Config.peer_index then
+                      Store.all_entries (Peer.store peer)
+                    else Store.bucket (Peer.store peer) ~identifier
+                  in
+                  Matching.best t.config.Config.matching ~query:effective
+                    candidates
+                in
+                Balance.Tracker.record_query t.tracker ~peer:(Peer.id peer)
+                  ~identifier;
+                (match t.replication with
+                | Some rs -> maintain_replicas t rs ~identifier ~owner
+                | None -> ());
+                let hops =
+                  if Peer.id peer = Peer.id owner then hops
+                  else begin
+                    (if responsive t owner then begin
+                       Obs.Metrics.incr m_replica_hits;
+                       Obs.Trace.event_ii "balance.replica_hit" "owner"
+                         (Peer.id owner) "serving" (Peer.id peer)
+                     end
+                     else begin
+                       Obs.Metrics.incr m_failovers;
+                       Obs.Trace.event_ii "balance.failover" "owner"
+                         (Peer.id owner) "serving" (Peer.id peer)
+                     end);
+                    Obs.Trace.set_bool "forwarded" true;
+                    hops + 1
+                  end
+                in
+                Obs.Trace.set_bool "responded" true;
+                (identifier, hops, reply, true)
+              end
           in
-          Balance.Tracker.record_query t.tracker ~peer:(Peer.id peer)
-            ~identifier;
-          (match t.replication with
-          | Some rs -> maintain_replicas t rs ~identifier ~owner
-          | None -> ());
-          let hops =
-            if Peer.id peer = Peer.id owner then hops
-            else begin
-              (if responsive t owner then Obs.Metrics.incr m_replica_hits
-               else Obs.Metrics.incr m_failovers);
-              hops + 1
-            end
-          in
-          (identifier, hops, reply, true)
-        end)
+          (if not batched then
+             let _, served_hops, _, _ = result in
+             Obs.Trace.set_int "msgs" (served_hops + 1));
+          result))
     routes
 
 let serve_all t ~from ~effective routes =
-  serve_routes t ~effective routes ~contact:(fun peer ~hops ->
+  serve_routes t ~effective ~batched:false routes ~contact:(fun peer ~hops ->
       contact_peer t ~from ~peer ~legs:(hops + 1))
 
 let recall_bounds = Array.init 21 (fun i -> float_of_int i /. 20.0)
@@ -417,32 +461,37 @@ let m_degraded = Obs.Metrics.counter "system.degraded_queries"
 let m_unanswered_owners = Obs.Metrics.counter "system.unanswered_owners"
 
 let publish t ~from ?partition range =
-  tick_faults t;
-  let ids = identifiers t range in
-  let routes = route_all t ~from ids in
-  (* Each owner store is one retried contact across the plane; an owner
-     that never answers simply misses this publication. *)
-  let reached =
-    match t.faults with
-    | None -> routes
-    | Some _ ->
-      List.filter
-        (fun (_, owner, hops) ->
-          contact_peer t ~from ~peer:owner ~legs:(hops + 1))
-        routes
-  in
-  store_at_owners t reached ~range ~partition;
-  let stats = stats_of_hops ids (List.map (fun (_, _, h) -> h) routes) in
-  Obs.Metrics.incr m_publishes;
-  Obs.Metrics.add m_messages stats.messages;
-  stats
+  Obs.Trace.with_span "publish" (fun () ->
+      Obs.Trace.set_string "from" (Peer.name from);
+      Obs.Trace.set_int "lo" (Range.lo range);
+      Obs.Trace.set_int "hi" (Range.hi range);
+      tick_faults t;
+      let ids = traced_identifiers t range in
+      let routes = route_all t ~from ids in
+      (* Each owner store is one retried contact across the plane; an owner
+         that never answers simply misses this publication. *)
+      let reached =
+        match t.faults with
+        | None -> routes
+        | Some _ ->
+          List.filter
+            (fun (_, owner, hops) ->
+              contact_peer t ~from ~peer:owner ~legs:(hops + 1))
+            routes
+      in
+      store_at_owners t reached ~range ~partition;
+      let stats = stats_of_hops ids (List.map (fun (_, _, h) -> h) routes) in
+      Obs.Metrics.incr m_publishes;
+      Obs.Metrics.add m_messages stats.messages;
+      Obs.Trace.set_int "messages" stats.messages;
+      stats)
 
 (* Everything downstream of the owners' replies — best-reply selection,
    cache-on-inexact write-back, padding feedback, metrics — shared verbatim
    by the single-query and batched paths. [messages] is the overlay traffic
    this query is charged for: Σ(hops+1) over its lookups when standalone,
    only the newly-caused traffic inside a batch. *)
-let finish_query t ~range ~effective ~ids ~routes ~served ~messages =
+let finish_query_untraced t ~range ~effective ~ids ~routes ~served ~messages =
   let replies = List.filter_map (fun (_, _, reply, _) -> reply) served in
   let responders =
     List.fold_left
@@ -511,19 +560,42 @@ let finish_query t ~range ~effective ~ids ~routes ~served ~messages =
     degraded;
   }
 
-let query t ~from range =
-  tick_faults t;
-  let effective = Padding.apply t.padding range ~domain:t.config.Config.domain in
-  let ids = identifiers t effective in
-  let routes = route_all t ~from ids in
-  (* Each serving peer replies with its best local candidate; identifiers
-     whose owner failed with no replica to fail over to — or whose contact
-     ran out its retry budget — go unanswered. *)
-  let served = serve_all t ~from ~effective routes in
-  let messages =
-    List.fold_left (fun acc (_, h, _, _) -> acc + h + 1) 0 served
+let finish_query t ~range ~effective ~ids ~routes ~served ~messages =
+  let result =
+    Obs.Trace.with_span "assemble" (fun () ->
+        finish_query_untraced t ~range ~effective ~ids ~routes ~served ~messages)
   in
-  finish_query t ~range ~effective ~ids ~routes ~served ~messages
+  (* Query-level verdicts go on the enclosing "query" span (the caller
+     always opens one), where bin/trace.exe reads them back: the
+     "messages" attribute is what the span-level "msgs" attribution must
+     sum to. *)
+  Obs.Trace.set_int "messages" result.Query_result.stats.Query_result.messages;
+  Obs.Trace.set_float "recall" result.Query_result.recall;
+  Obs.Trace.set_bool "degraded" result.Query_result.degraded;
+  Obs.Trace.set_int "responders" result.Query_result.responders;
+  Obs.Trace.set_bool "matched" (Option.is_some result.Query_result.matched);
+  Obs.Trace.set_bool "cached" result.Query_result.cached;
+  result
+
+let query t ~from range =
+  Obs.Trace.with_span "query" (fun () ->
+      Obs.Trace.set_string "from" (Peer.name from);
+      Obs.Trace.set_int "lo" (Range.lo range);
+      Obs.Trace.set_int "hi" (Range.hi range);
+      tick_faults t;
+      let effective =
+        Padding.apply t.padding range ~domain:t.config.Config.domain
+      in
+      let ids = traced_identifiers t effective in
+      let routes = route_all t ~from ids in
+      (* Each serving peer replies with its best local candidate; identifiers
+         whose owner failed with no replica to fail over to — or whose contact
+         ran out its retry budget — go unanswered. *)
+      let served = serve_all t ~from ~effective routes in
+      let messages =
+        List.fold_left (fun acc (_, h, _, _) -> acc + h + 1) 0 served
+      in
+      finish_query t ~range ~effective ~ids ~routes ~served ~messages)
 
 let m_batches = Obs.Metrics.counter "system.batch.batches"
 let m_batch_queries = Obs.Metrics.counter "system.batch.queries"
@@ -538,58 +610,81 @@ let query_batch t ~from ranges =
        is bit-identical to [query]. *)
     [ query t ~from range ]
   | _ :: _ :: _ ->
-    Obs.Metrics.incr m_batches;
-    (* Shared state of this batch round: node addresses learned by earlier
-       finger walks, resolved identifier routes, and the outcome of each
-       serving-peer contact (a batch is one message round per peer — later
-       identifiers served by an already-contacted peer ride the same
-       request/reply pair for free). *)
-    let route_cache = Chord.Ring.Route_cache.create () in
-    let id_memo = Hashtbl.create 32 in
-    let contact_memo = Hashtbl.create 32 in
-    List.map
-      (fun range ->
-        tick_faults t;
-        Obs.Metrics.incr m_batch_queries;
-        let effective =
-          Padding.apply t.padding range ~domain:t.config.Config.domain
-        in
-        let ids = identifiers t effective in
-        let new_msgs = ref 0 in
-        let routes =
-          List.map
-            (fun identifier ->
-              match Hashtbl.find_opt id_memo identifier with
-              | Some (owner, hops) ->
-                Obs.Metrics.incr m_batch_id_hits;
-                (identifier, owner, hops)
-              | None ->
-                let owner_pos, hops =
-                  Chord.Ring.lookup_via t.ring route_cache
-                    ~from:(Peer.id from) ~key:identifier
+    Obs.Trace.with_span "batch" (fun () ->
+        Obs.Trace.set_int "size" (List.length ranges);
+        Obs.Metrics.incr m_batches;
+        (* Shared state of this batch round: node addresses learned by earlier
+           finger walks, resolved identifier routes, and the outcome of each
+           serving-peer contact (a batch is one message round per peer — later
+           identifiers served by an already-contacted peer ride the same
+           request/reply pair for free). Memos remember the span that paid
+           for the shared work, so later queries' trace events can point
+           back at it instead of re-recording the cost. *)
+        let route_cache = Chord.Ring.Route_cache.create () in
+        let id_memo = Hashtbl.create 32 in
+        let contact_memo = Hashtbl.create 32 in
+        let here () = Option.value (Obs.Trace.current_id ()) ~default:0 in
+        List.mapi
+          (fun index range ->
+            Obs.Trace.with_span "query" (fun () ->
+                Obs.Trace.set_string "from" (Peer.name from);
+                Obs.Trace.set_int "lo" (Range.lo range);
+                Obs.Trace.set_int "hi" (Range.hi range);
+                Obs.Trace.set_int "batch_index" index;
+                tick_faults t;
+                Obs.Metrics.incr m_batch_queries;
+                let effective =
+                  Padding.apply t.padding range ~domain:t.config.Config.domain
                 in
-                let owner = peer_by_id t owner_pos in
-                Hashtbl.replace id_memo identifier (owner, hops);
-                new_msgs := !new_msgs + hops;
-                (identifier, owner, hops))
-            ids
-        in
-        let contact peer ~hops =
-          match Hashtbl.find_opt contact_memo (Peer.id peer) with
-          | Some ok ->
-            Obs.Metrics.incr m_batch_coalesced;
-            ok
-          | None ->
-            let ok = contact_peer t ~from ~peer ~legs:(hops + 1) in
-            Hashtbl.replace contact_memo (Peer.id peer) ok;
-            (* One request plus one reply per distinct peer per round. *)
-            new_msgs := !new_msgs + 2;
-            ok
-        in
-        let served = serve_routes t ~contact ~effective routes in
-        finish_query t ~range ~effective ~ids ~routes ~served
-          ~messages:!new_msgs)
-      ranges
+                let ids = traced_identifiers t effective in
+                let new_msgs = ref 0 in
+                let routes =
+                  List.map
+                    (fun identifier ->
+                      match Hashtbl.find_opt id_memo identifier with
+                      | Some (owner, hops, resolved_in) ->
+                        Obs.Metrics.incr m_batch_id_hits;
+                        Obs.Trace.event_ii "batch.id_memo_hit" "identifier"
+                          identifier "resolved_in" resolved_in;
+                        (identifier, owner, hops)
+                      | None ->
+                        Obs.Trace.with_span "route" (fun () ->
+                            Obs.Trace.set_int "identifier" identifier;
+                            let owner_pos, hops =
+                              Chord.Ring.lookup_via t.ring route_cache
+                                ~from:(Peer.id from) ~key:identifier
+                            in
+                            let owner = peer_by_id t owner_pos in
+                            Hashtbl.replace id_memo identifier
+                              (owner, hops, here ());
+                            new_msgs := !new_msgs + hops;
+                            Obs.Trace.set_int "hops" hops;
+                            Obs.Trace.set_int "msgs" hops;
+                            (identifier, owner, hops)))
+                    ids
+                in
+                let contact peer ~hops =
+                  match Hashtbl.find_opt contact_memo (Peer.id peer) with
+                  | Some (ok, first_in) ->
+                    Obs.Metrics.incr m_batch_coalesced;
+                    Obs.Trace.event_ii "batch.contact_coalesced" "peer"
+                      (Peer.id peer) "first_in" first_in;
+                    ok
+                  | None ->
+                    let ok = contact_peer t ~from ~peer ~legs:(hops + 1) in
+                    Hashtbl.replace contact_memo (Peer.id peer) (ok, here ());
+                    (* One request plus one reply per distinct peer per
+                       round. *)
+                    new_msgs := !new_msgs + 2;
+                    Obs.Trace.event_ii "contact" "peer" (Peer.id peer) "msgs" 2;
+                    ok
+                in
+                let served =
+                  serve_routes t ~contact ~effective ~batched:true routes
+                in
+                finish_query t ~range ~effective ~ids ~routes ~served
+                  ~messages:!new_msgs))
+          ranges)
 
 let total_entries t =
   Array.fold_left (fun acc p -> acc + Peer.load p) 0 t.peer_list

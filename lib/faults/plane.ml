@@ -170,34 +170,52 @@ let send_route t ~src ~dst ~legs =
   walk 1 0.0
 
 let rpc t ~retry ~src ~dst ?(legs = 1) () =
-  let rec attempt i elapsed =
-    match send_route t ~src ~dst ~legs with
-    | Delivered lat ->
-      let elapsed = elapsed +. lat in
-      if elapsed > retry.Retry.budget_ms then begin
-        Obs.Metrics.incr m_timeouts;
-        Error elapsed
-      end
-      else Ok elapsed
-    | Dropped | Unreachable ->
-      if i >= retry.Retry.max_attempts then begin
-        Obs.Metrics.incr m_timeouts;
-        Error elapsed
-      end
-      else begin
-        let wait =
-          Retry.backoff_ms retry ~attempt:i
-            ~jitter:(Prng.Splitmix.float t.rng)
-        in
-        let elapsed = elapsed +. wait in
-        if elapsed > retry.Retry.budget_ms then begin
-          Obs.Metrics.incr m_timeouts;
-          Error elapsed
-        end
-        else begin
-          Obs.Metrics.incr m_retries;
-          attempt (i + 1) elapsed
-        end
-      end
-  in
-  attempt 1 0.0
+  (* Tracing here must stay out of the PRNG: every draw below happens in
+     both the traced and untraced paths, so seeded runs are unchanged. *)
+  Obs.Trace.with_span "rpc" (fun () ->
+      Obs.Trace.set_int "src" src;
+      Obs.Trace.set_int "dst" dst;
+      Obs.Trace.set_int "legs" legs;
+      let finish i outcome =
+        Obs.Trace.set_int "attempts" i;
+        (match outcome with
+        | Ok elapsed ->
+          Obs.Trace.set_bool "ok" true;
+          Obs.Trace.set_float "elapsed_ms" elapsed
+        | Error elapsed ->
+          Obs.Trace.set_bool "ok" false;
+          Obs.Trace.set_float "elapsed_ms" elapsed);
+        outcome
+      in
+      let rec attempt i elapsed =
+        match send_route t ~src ~dst ~legs with
+        | Delivered lat ->
+          let elapsed = elapsed +. lat in
+          if elapsed > retry.Retry.budget_ms then begin
+            Obs.Metrics.incr m_timeouts;
+            finish i (Error elapsed)
+          end
+          else finish i (Ok elapsed)
+        | Dropped | Unreachable ->
+          if i >= retry.Retry.max_attempts then begin
+            Obs.Metrics.incr m_timeouts;
+            finish i (Error elapsed)
+          end
+          else begin
+            let wait =
+              Retry.backoff_ms retry ~attempt:i
+                ~jitter:(Prng.Splitmix.float t.rng)
+            in
+            Obs.Trace.event_if "retry.backoff" "attempt" i "wait_ms" wait;
+            let elapsed = elapsed +. wait in
+            if elapsed > retry.Retry.budget_ms then begin
+              Obs.Metrics.incr m_timeouts;
+              finish i (Error elapsed)
+            end
+            else begin
+              Obs.Metrics.incr m_retries;
+              attempt (i + 1) elapsed
+            end
+          end
+      in
+      attempt 1 0.0)

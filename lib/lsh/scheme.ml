@@ -34,25 +34,35 @@ let identifier_of_group combine group minhash =
   | Sum_mod ->
     Array.fold_left (fun acc fn -> acc + minhash fn) 0 group land mask32
 
+(* Per-(k,l)-group spans live behind an explicit [Trace.enabled] guard:
+   this loop is the figure-5 timing kernel, so the disabled path must not
+   even allocate the span closures. *)
+let traced_groups t minhash =
+  List.init t.l (fun gi ->
+      Obs.Trace.with_span "lsh.group" (fun () ->
+          Obs.Trace.set_int "group" gi;
+          Obs.Trace.set_int "k" t.k;
+          let id = identifier_of_group t.combine t.groups.(gi) minhash in
+          Obs.Trace.set_int "identifier" id;
+          id))
+
 let identifiers_of_range t range =
   Obs.Metrics.incr m_batches;
   Obs.Metrics.add m_evals (t.k * t.l);
-  Array.to_list
-    (Array.map
-       (fun group ->
-         identifier_of_group t.combine group (fun fn ->
-             Family.minhash_range fn range))
-       t.groups)
+  let minhash fn = Family.minhash_range fn range in
+  if Obs.Trace.enabled () then traced_groups t minhash
+  else
+    Array.to_list
+      (Array.map (fun group -> identifier_of_group t.combine group minhash) t.groups)
 
 let identifiers_of_set t set =
   Obs.Metrics.incr m_batches;
   Obs.Metrics.add m_evals (t.k * t.l);
-  Array.to_list
-    (Array.map
-       (fun group ->
-         identifier_of_group t.combine group (fun fn ->
-             Family.minhash_set fn set))
-       t.groups)
+  let minhash fn = Family.minhash_set fn set in
+  if Obs.Trace.enabled () then traced_groups t minhash
+  else
+    Array.to_list
+      (Array.map (fun group -> identifier_of_group t.combine group minhash) t.groups)
 
 let amplification ~k ~l p =
   1.0 -. ((1.0 -. (p ** float_of_int k)) ** float_of_int l)

@@ -60,12 +60,14 @@ let find t ~lo ~hi =
   | Some n ->
     t.hits <- t.hits + 1;
     Obs.Metrics.incr c_hit;
+    Obs.Trace.event_ii "sig_cache.hit" "lo" lo "hi" hi;
     unlink t n;
     push_front t n;
     Some n.ids
   | None ->
     t.misses <- t.misses + 1;
     Obs.Metrics.incr c_miss;
+    Obs.Trace.event_ii "sig_cache.miss" "lo" lo "hi" hi;
     None
 
 let add t ~lo ~hi ids =

@@ -198,7 +198,12 @@ let snapshot () =
              ])
       | Counter _ | Histogram _ | Gauge _ -> None)
   in
-  let float_or_null f = if Float.is_nan f then Json.Null else Json.Float f in
+  (* Consistent null-ing of everything JSON cannot represent: NaN (the
+     empty-histogram percentiles/mean/min/max) and the infinities (an
+     observed [infinity] would otherwise put a [Json.Float inf] node in
+     the tree, which prints as "null" but breaks structural round-trips
+     through [Json.of_string]). *)
+  let float_or_null f = if Float.is_finite f then Json.Float f else Json.Null in
   let gauges =
     pick (function
       | Gauge g -> Some (float_or_null g.value)

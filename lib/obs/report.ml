@@ -1,0 +1,38 @@
+(* Shared snapshot-emission plumbing for the CLI drivers: bin/repro and
+   bench/main both wrap a run in "enable registries, reset, run, snapshot,
+   write versioned JSON", and with the tracing plane the same wrapper also
+   owns trace emission. *)
+
+let schema_version = 1
+
+let document ?command fields =
+  let fields =
+    match command with
+    | None -> fields
+    | Some c -> ("command", Json.String c) :: fields
+  in
+  Json.Obj (("schema_version", Json.Int schema_version) :: fields)
+
+let write_metrics path ~command =
+  Json.to_file path (document ~command [ ("metrics", Metrics.snapshot ()) ]);
+  Format.printf "metrics written to %s@." path
+
+let write_trace path =
+  Trace.write path;
+  Format.printf "trace written to %s (%d spans, %d dropped)@." path
+    (Trace.span_count ()) (Trace.dropped ())
+
+let with_json ~json ~trace command f =
+  (match json with
+  | None -> ()
+  | Some _ ->
+    Metrics.enable ();
+    Metrics.reset ());
+  (match trace with
+  | None -> ()
+  | Some _ ->
+    Trace.enable ();
+    Trace.reset ());
+  f ();
+  (match json with None -> () | Some path -> write_metrics path ~command);
+  match trace with None -> () | Some path -> write_trace path

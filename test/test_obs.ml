@@ -291,6 +291,118 @@ let gen_json =
         ])
     (pair (tree 3) (oneof [ return J.Null; map (fun f -> J.Float f) finite_float ]))
 
+(* Regression: an empty histogram's snapshot must emit [null] for every
+   statistic (NaN has no JSON encoding), never raise, and still parse
+   back structurally equal. *)
+let empty_histogram_snapshot_nulls () =
+  let _ = M.histogram "test.obs.hist.empty_json" in
+  let snap = M.snapshot () in
+  (match J.member "histograms" snap with
+  | Some (J.Obj hists) -> (
+    match List.assoc_opt "test.obs.hist.empty_json" hists with
+    | Some (J.Obj fields) ->
+      Alcotest.(check bool) "count is zero" true
+        (List.assoc_opt "count" fields = Some (J.Int 0));
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " is null") true
+            (List.assoc_opt key fields = Some J.Null))
+        [ "mean"; "min"; "max"; "p50"; "p90"; "p99" ]
+    | Some _ | None -> Alcotest.fail "empty histogram missing from snapshot")
+  | Some _ | None -> Alcotest.fail "snapshot lacks a histograms object");
+  match J.of_string (J.to_string snap) with
+  | Ok parsed ->
+    Alcotest.(check bool) "empty-histogram snapshot round-trips" true
+      (parsed = snap)
+  | Error msg -> Alcotest.fail ("snapshot did not parse: " ^ msg)
+
+(* An observed infinity must null the affected statistics the same way —
+   [Json.Float infinity] would print as "null" but break structural
+   round-trips. *)
+let infinite_observation_nulls () =
+  let h = M.histogram "test.obs.hist.inf" in
+  M.observe h Float.infinity;
+  let snap = M.snapshot () in
+  (match J.member "histograms" snap with
+  | Some (J.Obj hists) -> (
+    match List.assoc_opt "test.obs.hist.inf" hists with
+    | Some (J.Obj fields) ->
+      Alcotest.(check bool) "count is one" true
+        (List.assoc_opt "count" fields = Some (J.Int 1));
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " is null") true
+            (List.assoc_opt key fields = Some J.Null))
+        [ "mean"; "max"; "p50"; "p90"; "p99" ]
+    | Some _ | None -> Alcotest.fail "histogram missing from snapshot")
+  | Some _ | None -> Alcotest.fail "snapshot lacks a histograms object");
+  match J.of_string (J.to_string snap) with
+  | Ok parsed ->
+    Alcotest.(check bool) "infinite-observation snapshot round-trips" true
+      (parsed = snap)
+  | Error msg -> Alcotest.fail ("snapshot did not parse: " ^ msg)
+
+(* Seeded torture round-trip: deep nesting, escape-heavy strings (quotes,
+   backslashes, control characters, multi-byte UTF-8, text that looks
+   like escape sequences), and ints near [max_int]. Deterministic in the
+   Splitmix seed, so a failure reproduces exactly. *)
+let seeded_roundtrip_torture () =
+  let rng = Prng.Splitmix.create 2003L in
+  let nasty_string () =
+    let len = Prng.Splitmix.int rng 24 in
+    let buf = Buffer.create len in
+    for _ = 1 to len do
+      match Prng.Splitmix.int rng 6 with
+      | 0 -> Buffer.add_char buf '"'
+      | 1 -> Buffer.add_char buf '\\'
+      | 2 -> Buffer.add_char buf (Char.chr (Prng.Splitmix.int rng 32))
+      | 3 -> Buffer.add_string buf "\xe2\x86\x92"
+      | 4 -> Buffer.add_char buf (Char.chr (32 + Prng.Splitmix.int rng 95))
+      | _ -> Buffer.add_string buf "\\u0041"
+    done;
+    Buffer.contents buf
+  in
+  let big_int () =
+    let near = max_int - Prng.Splitmix.int rng 1000 in
+    if Prng.Splitmix.bool rng then near else -near
+  in
+  let leaf () =
+    match Prng.Splitmix.int rng 5 with
+    | 0 -> J.Null
+    | 1 -> J.Bool (Prng.Splitmix.bool rng)
+    | 2 -> J.Int (big_int ())
+    | 3 -> J.Float ((Prng.Splitmix.float rng -. 0.5) *. 1e6)
+    | _ -> J.String (nasty_string ())
+  in
+  let rec tree depth =
+    if depth = 0 then leaf ()
+    else
+      match Prng.Splitmix.int rng 3 with
+      | 0 -> leaf ()
+      | 1 ->
+        J.List
+          (List.init (1 + Prng.Splitmix.int rng 3) (fun _ -> tree (depth - 1)))
+      | _ ->
+        (* The index suffix keeps keys unique within one object. *)
+        J.Obj
+          (List.init
+             (1 + Prng.Splitmix.int rng 3)
+             (fun i ->
+               (Printf.sprintf "%s#%d" (nasty_string ()) i, tree (depth - 1))))
+  in
+  for case = 1 to 200 do
+    let doc = tree 8 in
+    List.iter
+      (fun indent ->
+        match J.of_string (J.to_string ~indent doc) with
+        | Ok parsed ->
+          if parsed <> doc then
+            Alcotest.failf "case %d (indent %d): reparse differs" case indent
+        | Error msg ->
+          Alcotest.failf "case %d (indent %d): %s" case indent msg)
+      [ 0; 2 ]
+  done
+
 let prop_parser_roundtrips_generated_documents =
   QCheck.Test.make ~name:"of_string round-trips generated snapshot documents"
     ~count:200
@@ -326,5 +438,11 @@ let suite =
     Alcotest.test_case "metric snapshot round-trips" `Quick
       (isolated snapshot_roundtrip);
     Alcotest.test_case "snapshot structure" `Quick (isolated snapshot_structure);
+    Alcotest.test_case "empty histogram snapshot emits nulls" `Quick
+      (isolated empty_histogram_snapshot_nulls);
+    Alcotest.test_case "infinite observation nulls the statistics" `Quick
+      (isolated infinite_observation_nulls);
+    Alcotest.test_case "seeded deep/escape/max_int round-trip" `Quick
+      (isolated seeded_roundtrip_torture);
     QCheck_alcotest.to_alcotest prop_parser_roundtrips_generated_documents;
   ]
