@@ -837,7 +837,7 @@ let balance_bench () =
       ("replication off", base);
       ( "replication on",
         base
-        |> Config.with_replication
+        |> Config.with_balancing
              (Config.Replicate
                 { r = 2; hot = Balance.Tracker.Absolute 8; window = 2048 }) );
     ]
@@ -933,6 +933,182 @@ let balance_bench () =
       "failed peers: %d   imbalance off/on: %.2f/%.2f   recall under failures off/on: %.3f/%.3f@."
       (List.length victims) imb_off imb_on rec_off rec_on
   | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Load balance: range migration vs replication (lib/balance)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The policy lattice head to head: imbalance and msgs/query for
+   No_balancing / Replicate / Migrate / Replicate_and_migrate under the
+   same Zipf stream, plus a flash-crowd phase on fresh systems. *)
+let g_mig_imbalance_off = Obs.Metrics.gauge "migration.bench.imbalance_off"
+
+let g_mig_imbalance_replicate =
+  Obs.Metrics.gauge "migration.bench.imbalance_replicate"
+
+let g_mig_imbalance_migrate =
+  Obs.Metrics.gauge "migration.bench.imbalance_migrate"
+
+let g_mig_imbalance_both = Obs.Metrics.gauge "migration.bench.imbalance_both"
+let g_mig_msgs_off = Obs.Metrics.gauge "migration.bench.msgs_per_query_off"
+
+let g_mig_msgs_replicate =
+  Obs.Metrics.gauge "migration.bench.msgs_per_query_replicate"
+
+let g_mig_msgs_migrate = Obs.Metrics.gauge "migration.bench.msgs_per_query_migrate"
+let g_mig_msgs_both = Obs.Metrics.gauge "migration.bench.msgs_per_query_both"
+let g_mig_recall_off = Obs.Metrics.gauge "migration.bench.recall_off"
+let g_mig_recall_migrate = Obs.Metrics.gauge "migration.bench.recall_migrate"
+let g_mig_migrations = Obs.Metrics.gauge "migration.bench.migrations"
+
+let g_mig_flash_imbalance_off =
+  Obs.Metrics.gauge "migration.bench.flash_imbalance_off"
+
+let g_mig_flash_imbalance_migrate =
+  Obs.Metrics.gauge "migration.bench.flash_imbalance_migrate"
+
+let migration_bench () =
+  (* Four identically-seeded systems — one per point of the
+     Config.balancing lattice — fed the same Zipf-skewed stream used by
+     the replication bench, so the imbalance figures are directly
+     comparable. Fault-free, migration must not change any answer, so the
+     recall columns double as a transparency check (check_bench enforces
+     drift <= 0.01); what it buys is a lower imbalance ratio, paid for in
+     redirect forwards visible in msgs/query. A second, flash-crowd phase
+     (a single extreme hotspot) reruns off-vs-migrate on fresh systems. *)
+  let module System = P2prange.System in
+  let n_peers = 64 and n_queries = 8_000 in
+  (* Raw placement (no Mix32 spread): peers own the uneven segments that
+     SHA-1 positions produce, so part of the imbalance is segment
+     clustering — the component migration can actually fix by handing
+     half a segment away. Single ultra-hot identifiers are replication's
+     half of the lattice; [both] composes the two. *)
+  let base =
+    Config.default
+    |> Config.with_matching Config.Containment_match
+    |> Config.with_kl ~k:20 ~l:1
+  in
+  let replicate_spec =
+    { Config.r = 2; hot = Balance.Tracker.Absolute 8; window = 2048 }
+  in
+  let migrate_spec =
+    { Config.check_every = 256;
+      overload = 1.2;
+      cooldown = 1;
+      min_share = 16;
+      window = 2048;
+    }
+  in
+  let configs =
+    [
+      ("off", base);
+      ("replicate", { base with Config.balancing = Config.Replicate replicate_spec });
+      ("migrate", { base with Config.balancing = Config.Migrate migrate_spec });
+      ( "both",
+        { base with
+          Config.balancing =
+            Config.Replicate_and_migrate
+              { replicate = replicate_spec; migrate = migrate_spec };
+        } );
+    ]
+  in
+  let mean = function
+    | [] -> 0.0
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let run_queries sys ~shape ~stream_seed ~n =
+    let rng = Prng.Splitmix.create stream_seed in
+    let stream =
+      Workload.Query_workload.create shape ~domain:base.Config.domain
+        ~seed:stream_seed
+    in
+    let peers = Array.of_list (System.peers sys) in
+    let recalls = ref [] and msgs = ref [] in
+    for _ = 1 to n do
+      let from = peers.(Prng.Splitmix.int rng (Array.length peers)) in
+      let result =
+        System.query sys ~from (Workload.Query_workload.next stream)
+      in
+      recalls := result.Query_result.recall :: !recalls;
+      msgs :=
+        float_of_int result.Query_result.stats.Query_result.messages :: !msgs
+    done;
+    (mean !recalls, mean !msgs)
+  in
+  let zipf =
+    Workload.Query_workload.Zipf_hotspots { hotspots = 8; spread = 8; s = 1.0 }
+  in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("policy", Stats.Table.Left); ("imbalance (max/mean)", Stats.Table.Right);
+          ("msgs/query", Stats.Table.Right); ("mean recall", Stats.Table.Right);
+          ("migrations", Stats.Table.Right);
+          ("replicated buckets", Stats.Table.Right) ]
+  in
+  let results =
+    List.map
+      (fun (label, config) ->
+        let sys = System.create ~config ~seed ~n_peers () in
+        let recall, msgs =
+          run_queries sys ~shape:zipf ~stream_seed:seed ~n:n_queries
+        in
+        let imbalance = System.load_imbalance sys in
+        Stats.Table.add_row table
+          [
+            label;
+            Printf.sprintf "%.2f" imbalance;
+            Printf.sprintf "%.2f" msgs;
+            Printf.sprintf "%.3f" recall;
+            string_of_int (System.migrations sys);
+            string_of_int (System.replicated_buckets sys);
+          ];
+        (label, imbalance, msgs, recall, System.migrations sys))
+      configs
+  in
+  (match results with
+  | [
+   (_, imb_off, m_off, rec_off, _);
+   (_, imb_rep, m_rep, _, _);
+   (_, imb_mig, m_mig, rec_mig, migrations);
+   (_, imb_both, m_both, _, _);
+  ] ->
+    Obs.Metrics.set_gauge g_mig_imbalance_off imb_off;
+    Obs.Metrics.set_gauge g_mig_imbalance_replicate imb_rep;
+    Obs.Metrics.set_gauge g_mig_imbalance_migrate imb_mig;
+    Obs.Metrics.set_gauge g_mig_imbalance_both imb_both;
+    Obs.Metrics.set_gauge g_mig_msgs_off m_off;
+    Obs.Metrics.set_gauge g_mig_msgs_replicate m_rep;
+    Obs.Metrics.set_gauge g_mig_msgs_migrate m_mig;
+    Obs.Metrics.set_gauge g_mig_msgs_both m_both;
+    Obs.Metrics.set_gauge g_mig_recall_off rec_off;
+    Obs.Metrics.set_gauge g_mig_recall_migrate rec_mig;
+    Obs.Metrics.set_gauge g_mig_migrations (float_of_int migrations)
+  | _ -> assert false);
+  Format.printf "%a" Stats.Table.pp table;
+  (* Flash crowd: one extreme hotspot, fresh systems so the cumulative
+     imbalance ratio reflects this phase alone. *)
+  let flash =
+    Workload.Query_workload.Zipf_hotspots { hotspots = 1; spread = 4; s = 2.0 }
+  in
+  let flash_of config =
+    let sys = System.create ~config ~seed ~n_peers () in
+    let _ = run_queries sys ~shape:flash ~stream_seed:7L ~n:(n_queries / 2) in
+    System.load_imbalance sys
+  in
+  let f_off = flash_of base in
+  let f_mig =
+    flash_of { base with Config.balancing = Config.Migrate migrate_spec }
+  in
+  Obs.Metrics.set_gauge g_mig_flash_imbalance_off f_off;
+  Obs.Metrics.set_gauge g_mig_flash_imbalance_migrate f_mig;
+  Format.printf
+    "flash crowd imbalance off/migrate: %.2f/%.2f   zipf imbalance off/replicate/migrate/both: %.2f/%.2f/%.2f/%.2f@."
+    f_off f_mig
+    (match results with (_, i, _, _, _) :: _ -> i | [] -> 0.0)
+    (match results with _ :: (_, i, _, _, _) :: _ -> i | _ -> 0.0)
+    (match results with _ :: _ :: (_, i, _, _, _) :: _ -> i | _ -> 0.0)
+    (match results with [ _; _; _; (_, i, _, _, _) ] -> i | _ -> 0.0)
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection: drop rate × crash fraction, retry on vs off        *)
@@ -1469,6 +1645,8 @@ let () =
     ablation_family;
   section "balance" "hot-bucket replication and failover (lib/balance)"
     balance_bench;
+  section "migration" "range migration vs replication (lib/balance)"
+    migration_bench;
   section "faults" "fault injection: drop x crash sweep, retry on vs off"
     faults_bench;
   section "batch" "batched query pipeline: messages/query vs batch size"

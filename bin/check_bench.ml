@@ -99,6 +99,35 @@ let check_batch_gauges body =
   if gauge "batch.bench.bit_identical" <> 1.0 then
     fail "batch: a batch of one is not bit-identical to single queries"
 
+(* Acceptance bars for range migration under Zipf at seed 42: migrating
+   slices must genuinely flatten load (below the unbalanced run, and —
+   alone or composed with replication — at or below the replication-only
+   figure), while staying invisible in answers: fault-free recall may
+   not drift from the unbalanced run by more than a hair. *)
+let max_migration_recall_drift = 0.01
+
+let check_migration_gauges body =
+  let gauge = gauge ~section:"migration" body in
+  if gauge "migration.bench.migrations" < 1.0 then
+    fail "migration: the planner never migrated a slice";
+  let imb_off = gauge "migration.bench.imbalance_off" in
+  let imb_replicate = gauge "migration.bench.imbalance_replicate" in
+  let imb_migrate = gauge "migration.bench.imbalance_migrate" in
+  let imb_both = gauge "migration.bench.imbalance_both" in
+  if imb_migrate >= imb_off then
+    fail "migration: imbalance %.2f not improved over unbalanced %.2f"
+      imb_migrate imb_off;
+  if Float.min imb_migrate imb_both > imb_replicate then
+    fail
+      "migration: neither migrate (%.2f) nor replicate-and-migrate (%.2f) \
+       reaches the replication-only imbalance %.2f"
+      imb_migrate imb_both imb_replicate;
+  let rec_off = gauge "migration.bench.recall_off" in
+  let rec_migrate = gauge "migration.bench.recall_migrate" in
+  if Float.abs (rec_migrate -. rec_off) > max_migration_recall_drift then
+    fail "migration: migration moved recall %.3f -> %.3f (tolerance %.2f)"
+      rec_off rec_migrate max_migration_recall_drift
+
 (* --- baseline bit-identity (the tracing-disabled overhead gate) --- *)
 
 let contains_qps name =
@@ -219,6 +248,7 @@ let () =
         check_section ~name body;
         if name = "faults" then check_faults_gauges body;
         if name = "batch" then check_batch_gauges body;
+        if name = "migration" then check_migration_gauges body;
         match baseline with
         | None -> ()
         | Some base -> (

@@ -100,7 +100,7 @@ let () =
   in
   let replicated =
     base
-    |> Config.with_replication
+    |> Config.with_balancing
          (Config.Replicate
             { r = 2; hot = Balance.Tracker.Absolute 8; window = 1024 })
   in

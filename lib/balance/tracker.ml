@@ -1,5 +1,16 @@
 type hot_policy = Absolute of int | Top_k of int
 
+(* Cached top-k hot set. [floor] is the (score, id) rank of the weakest
+   member at compute time when the set was full (k members), [None] when
+   every positive-score identifier already fit. Member scores only grow
+   between window rotations, so a newcomer that does not beat the stored
+   floor cannot beat the live one either. *)
+type cache = {
+  rev : int;
+  set : (int, unit) Hashtbl.t;
+  floor : (int * int) option;
+}
+
 type t = {
   policy : hot_policy;
   window : int;
@@ -11,7 +22,8 @@ type t = {
   mutable total : int;
   (* Top-k hot sets are recomputed lazily; [revision] invalidates. *)
   mutable revision : int;
-  mutable hot_cache : (int * (int, unit) Hashtbl.t) option;
+  mutable hot_cache : cache option;
+  mutable recomputations : int;
 }
 
 let create ?(window = 1024) policy =
@@ -31,37 +43,59 @@ let create ?(window = 1024) policy =
     total = 0;
     revision = 0;
     hot_cache = None;
+    recomputations = 0;
   }
 
 let bump table key =
   Hashtbl.replace table key (1 + Option.value (Hashtbl.find_opt table key) ~default:0)
+
+let lookup_count table key =
+  Option.value (Hashtbl.find_opt table key) ~default:0
+
+let hot_score t identifier =
+  lookup_count t.current identifier + lookup_count t.previous identifier
+
+(* Rank order used everywhere: score descending, identifier ascending. *)
+let outranks (sa, ida) (sb, idb) = sa > sb || (sa = sb && ida < idb)
+
+let invalidate t = t.revision <- t.revision + 1
+
+(* A recorded lookup can only change the top-k set when the identifier is
+   outside it: members gaining score stay members, and nobody else moved.
+   A newcomer enters only when the set was underfull or its bumped score
+   now outranks the cached floor — everything else keeps the cache. *)
+let note_recorded t identifier =
+  match t.hot_cache with
+  | Some c when c.rev = t.revision ->
+    if not (Hashtbl.mem c.set identifier) then begin
+      match c.floor with
+      | None -> invalidate t
+      | Some floor ->
+        if outranks (hot_score t identifier, identifier) floor then invalidate t
+    end
+  | Some _ | None -> ()
 
 let record_query t ~peer ~identifier =
   bump t.peer_loads peer;
   bump t.current identifier;
   t.total <- t.total + 1;
   t.in_window <- t.in_window + 1;
-  t.revision <- t.revision + 1;
+  note_recorded t identifier;
   if t.in_window >= t.window then begin
     let retired = t.previous in
     t.previous <- t.current;
     Hashtbl.reset retired;
     t.current <- retired;
-    t.in_window <- 0
+    t.in_window <- 0;
+    invalidate t
   end
 
 let record_entry t ~peer = bump t.peer_entries peer
 
 let total_queries t = t.total
 
-let lookup_count table key =
-  Option.value (Hashtbl.find_opt table key) ~default:0
-
 let peer_load t peer = lookup_count t.peer_loads peer
 let peer_entries t peer = lookup_count t.peer_entries peer
-
-let hot_score t identifier =
-  lookup_count t.current identifier + lookup_count t.previous identifier
 
 (* All identifiers seen in either window, with their combined scores. *)
 let scored t =
@@ -73,16 +107,29 @@ let scored t =
   |> List.sort (fun (ida, sa) (idb, sb) ->
          if sa <> sb then Int.compare sb sa else Int.compare ida idb)
 
+let windowed_scores t = scored t
+
 let top_k_set t k =
   match t.hot_cache with
-  | Some (rev, set) when rev = t.revision -> set
+  | Some c when c.rev = t.revision -> c.set
   | Some _ | None ->
+    t.recomputations <- t.recomputations + 1;
     let set = Hashtbl.create k in
+    let members = ref 0 in
+    let weakest = ref None in
     List.iteri
-      (fun i (id, score) -> if i < k && score > 0 then Hashtbl.replace set id ())
+      (fun i (id, score) ->
+        if i < k && score > 0 then begin
+          Hashtbl.replace set id ();
+          incr members;
+          weakest := Some (score, id)
+        end)
       (scored t);
-    t.hot_cache <- Some (t.revision, set);
+    let floor = if !members = k then !weakest else None in
+    t.hot_cache <- Some { rev = t.revision; set; floor };
     set
+
+let recomputations t = t.recomputations
 
 let is_hot t identifier =
   match t.policy with

@@ -50,7 +50,21 @@ val peer_entries : t -> int -> int
 val hot_score : t -> int -> int
 (** The identifier's count over the current plus previous window. *)
 
+val windowed_scores : t -> (int * int) list
+(** Every identifier seen in either window with its combined score,
+    sorted by score descending (ties toward smaller identifiers) — the
+    same ranking {!is_hot} judges [Top_k] membership by. Consumed by the
+    migration planner to decide which half of a range slice is hotter. *)
+
 val is_hot : t -> int -> bool
+
+val recomputations : t -> int
+(** How many times the lazy [Top_k] hot set has been rebuilt from
+    scratch. The cache is invalidated only when window contents can
+    actually change the set (a window rotation, or a recorded identifier
+    outside the set whose new score outranks the weakest member), so on
+    stable workloads this stays flat while [is_hot] checks keep coming —
+    exposed so tests can pin that. *)
 
 val hot_identifiers : t -> int list
 (** Identifiers currently hot, by descending score (ties ascending). *)

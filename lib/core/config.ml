@@ -5,9 +5,24 @@ type padding =
   | Fixed_padding of float
   | Adaptive_padding of { initial : float; step : float; target_recall : float }
 
-type replication =
-  | No_replication
-  | Replicate of { r : int; hot : Balance.Tracker.hot_policy; window : int }
+type replicate = { r : int; hot : Balance.Tracker.hot_policy; window : int }
+
+type migrate = {
+  check_every : int;
+  overload : float;
+  cooldown : int;
+  min_share : int;
+  window : int;
+}
+
+type balancing =
+  | No_balancing
+  | Replicate of replicate
+  | Migrate of migrate
+  | Replicate_and_migrate of { replicate : replicate; migrate : migrate }
+
+let default_migrate =
+  { check_every = 256; overload = 1.5; cooldown = 2; min_share = 16; window = 2048 }
 
 type faults = { spec : Faults.Plane.spec; retry : Faults.Retry.policy }
 
@@ -23,7 +38,7 @@ type t = {
   use_domain_cache : bool;
   store_policy : Store.policy;
   spread_identifiers : bool;
-  replication : replication;
+  balancing : balancing;
   virtual_nodes : int;
   faults : faults option;
   signature_cache : int;
@@ -42,7 +57,7 @@ let default =
     use_domain_cache = true;
     store_policy = Store.Unbounded;
     spread_identifiers = false;
-    replication = No_replication;
+    balancing = No_balancing;
     virtual_nodes = 1;
     faults = None;
     signature_cache = 1024;
@@ -51,7 +66,7 @@ let default =
 let paper_quality ~family = { default with family }
 
 (* Builder: each function takes the value first so configs pipe,
-   [Config.default |> with_replication r |> with_faults f]. *)
+   [Config.default |> with_balancing b |> with_faults f]. *)
 
 let with_family family t = { t with family }
 let with_kl ~k ~l t = { t with k; l }
@@ -63,11 +78,28 @@ let with_cache_on_inexact cache_on_inexact t = { t with cache_on_inexact }
 let with_domain_cache use_domain_cache t = { t with use_domain_cache }
 let with_store_policy store_policy t = { t with store_policy }
 let with_spread_identifiers spread_identifiers t = { t with spread_identifiers }
-let with_replication replication t = { t with replication }
+let with_balancing balancing t = { t with balancing }
 let with_virtual_nodes virtual_nodes t = { t with virtual_nodes }
 let with_faults faults t = { t with faults = Some faults }
 let without_faults t = { t with faults = None }
 let with_signature_cache signature_cache t = { t with signature_cache }
+
+let validate_replicate { r; hot; window } =
+  if r < 1 then invalid_arg "Config: replication factor must be >= 1";
+  if window < 1 then invalid_arg "Config: hotness window must be >= 1";
+  match hot with
+  | Balance.Tracker.Absolute n ->
+    if n < 1 then invalid_arg "Config: absolute hotness threshold must be >= 1"
+  | Balance.Tracker.Top_k k ->
+    if k < 1 then invalid_arg "Config: top-k hotness count must be >= 1"
+
+let validate_migrate { check_every; overload; cooldown; min_share; window } =
+  if check_every < 1 then invalid_arg "Config: migration check_every must be >= 1";
+  if not (Float.is_finite overload) || overload <= 1.0 then
+    invalid_arg "Config: migration overload factor must exceed 1.0";
+  if cooldown < 0 then invalid_arg "Config: migration cooldown must be >= 0";
+  if min_share < 1 then invalid_arg "Config: migration min_share must be >= 1";
+  if window < 1 then invalid_arg "Config: migration window must be >= 1"
 
 let validate t =
   if t.k < 1 then invalid_arg "Config: k must be >= 1";
@@ -85,16 +117,13 @@ let validate t =
   | Adaptive_padding { initial; step; target_recall } ->
     if initial < 0.0 || step <= 0.0 || target_recall < 0.0 || target_recall > 1.0
     then invalid_arg "Config: bad adaptive padding parameters");
-  (match t.replication with
-  | No_replication -> ()
-  | Replicate { r; hot; window } ->
-    if r < 1 then invalid_arg "Config: replication factor must be >= 1";
-    if window < 1 then invalid_arg "Config: hotness window must be >= 1";
-    (match hot with
-    | Balance.Tracker.Absolute n ->
-      if n < 1 then invalid_arg "Config: absolute hotness threshold must be >= 1"
-    | Balance.Tracker.Top_k k ->
-      if k < 1 then invalid_arg "Config: top-k hotness count must be >= 1"));
+  (match t.balancing with
+  | No_balancing -> ()
+  | Replicate r -> validate_replicate r
+  | Migrate m -> validate_migrate m
+  | Replicate_and_migrate { replicate; migrate } ->
+    validate_replicate replicate;
+    validate_migrate migrate);
   if t.virtual_nodes < 1 then invalid_arg "Config: virtual_nodes must be >= 1";
   if t.signature_cache < 0 then
     invalid_arg "Config: signature_cache must be >= 0 (0 disables)";

@@ -19,16 +19,52 @@ type padding =
       (** the paper's future-work idea: per-system padding level nudged up
           when recent recall falls below [target_recall], down otherwise *)
 
-(** Hot-bucket replication — the load-balancing answer to the skewed
-    per-identifier query loads of Figure 11 (§5.3). *)
-type replication =
-  | No_replication
+type replicate = { r : int; hot : Balance.Tracker.hot_policy; window : int }
+(** Hot-bucket replication (§5.3): copy a bucket judged hot (per [hot]
+    over sliding windows of [window] lookups) onto the owner's first [r]
+    ring successors, and serve lookups from the least-loaded live
+    holder. *)
+
+type migrate = {
+  check_every : int;
+      (** planner period: one balancing round every this many queries on
+          the system's logical clock *)
+  overload : float;
+      (** a peer is overloaded when its round load reaches [overload ×]
+          the mean round load (must exceed 1.0) *)
+  cooldown : int;
+      (** hysteresis: rounds both parties of a migration sit out before
+          they can migrate again *)
+  min_share : int;
+      (** minimum round load before a peer can be judged overloaded —
+          keeps near-idle systems from thrashing slices around *)
+  window : int;
+      (** hotness window (in recorded lookups) backing the per-identifier
+          scores that pick the hotter half of a split segment *)
+}
+(** Range migration (Chawachat & Fakcharoenphol): an overloaded peer
+    hands a contiguous half of its hottest ring segment to the
+    least-loaded live peer. Planned on the logical clock with no
+    randomness, so seeded runs are byte-identical. *)
+
+(** The load-balancing policy lattice. Replication multiplies hot state;
+    migration moves it; the two compose (migrate the bulk, replicate the
+    spikes). *)
+type balancing =
+  | No_balancing
       (** the paper's protocol exactly; query results are bit-identical to
-          builds that predate replication *)
-  | Replicate of { r : int; hot : Balance.Tracker.hot_policy; window : int }
-      (** copy a bucket judged hot (per [hot] over sliding windows of
-          [window] lookups) onto the owner's first [r] ring successors, and
-          serve lookups from the least-loaded live holder *)
+          builds that predate balancing *)
+  | Replicate of replicate
+  | Migrate of migrate
+  | Replicate_and_migrate of { replicate : replicate; migrate : migrate }
+      (** both at once: migrated slices are served by their new holder,
+          whose hot buckets replicate onwards as usual. The hotness
+          tracker uses [replicate.window]. *)
+
+val default_migrate : migrate
+(** A starting point tuned for the bench workloads: check every 256
+    queries, 1.5× overload trigger, 2-round cooldown, 16-lookup minimum
+    share, 2048-lookup hotness window. *)
 
 type faults = {
   spec : Faults.Plane.spec;  (** drop/delay/laggard/crash model *)
@@ -66,9 +102,9 @@ type t = {
           provably unchanged, but placement spreads near-uniformly over the
           ring instead of clustering (see [ablation-spread]). Default
           [false], the paper's raw placement. *)
-  replication : replication;
-      (** hot-bucket replication and replica-aware serving (default
-          [No_replication]) *)
+  balancing : balancing;
+      (** load-balancing policy: hot-bucket replication, range migration,
+          or both (default [No_balancing]) *)
   virtual_nodes : int;
       (** ring positions per peer (SHA-1 of ["name#i"]); [1] (the default)
           reproduces the paper's single-position placement exactly, larger
@@ -94,13 +130,14 @@ val paper_quality : family:Lsh.Family.kind -> t
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical settings (k, l < 1; negative
     padding; empty domain; replication factor, hotness threshold, window or
-    virtual-node count < 1; negative signature-cache capacity; fault
+    virtual-node count < 1; migration period, minimum share or window < 1,
+    overload factor <= 1; negative signature-cache capacity; fault
     probabilities outside [0, 1] or a nonsensical retry policy). *)
 
 (** {1 Builder}
 
     Pipe-friendly setters so call sites stop constructing the record
-    field-by-field: [Config.default |> with_replication r |> with_faults f
+    field-by-field: [Config.default |> with_balancing b |> with_faults f
     |> with_virtual_nodes 4]. Each returns an updated copy; {!validate}
     still runs at system creation. *)
 
@@ -114,7 +151,7 @@ val with_cache_on_inexact : bool -> t -> t
 val with_domain_cache : bool -> t -> t
 val with_store_policy : Store.policy -> t -> t
 val with_spread_identifiers : bool -> t -> t
-val with_replication : replication -> t -> t
+val with_balancing : balancing -> t -> t
 val with_virtual_nodes : int -> t -> t
 
 val with_faults : faults -> t -> t

@@ -99,6 +99,10 @@ let insert t ~identifier entry =
     t.entries <- t.entries + 1
   end
 
+let identifiers t =
+  Hashtbl.fold (fun identifier _ acc -> identifier :: acc) t.buckets []
+  |> List.sort Int.compare
+
 let all_entries t =
   Hashtbl.fold
     (fun _ stamped acc -> List.rev_append (List.map (fun s -> s.entry) stamped) acc)

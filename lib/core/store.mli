@@ -49,6 +49,12 @@ val remove_bucket : t -> identifier:Chord.Id.t -> int
     no longer serves); returns how many entries were removed. Removed
     entries do {e not} count as evictions. *)
 
+val identifiers : t -> Chord.Id.t list
+(** Identifiers of every non-empty bucket, sorted ascending — a
+    deterministic iteration order for maintenance sweeps (range
+    migration walks this to find buckets inside a migrated slice). Does
+    not refresh LRU stamps. *)
+
 val all_entries : t -> entry list
 (** Every entry in every bucket this peer holds — what the §5.3 per-peer
     index searches. Entries stored under several identifiers appear once

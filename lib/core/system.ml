@@ -19,6 +19,7 @@ type t = {
   padding : Padding.t;
   tracker : Balance.Tracker.t;
   replication : replication_state option;
+  migration : Balance.Migration.t option;
   dead : (int, unit) Hashtbl.t; (* physical ids of failed peers *)
   faults : (Faults.Plane.t * Faults.Retry.policy) option;
 }
@@ -65,16 +66,23 @@ let create_with_peers ?(config = Config.default) ~seed names =
     Chord.Ring.create ~ids:(Hashtbl.fold (fun id _ acc -> id :: acc) peers [])
   in
   let tracker =
-    match config.Config.replication with
-    | Config.Replicate { hot; window; _ } -> Balance.Tracker.create ~window hot
-    | Config.No_replication ->
+    match config.Config.balancing with
+    | Config.Replicate { hot; window; _ }
+    | Config.Replicate_and_migrate { replicate = { hot; window; _ }; _ } ->
+      Balance.Tracker.create ~window hot
+    | Config.Migrate { window; _ } ->
+      (* Nothing ever goes hot without replication, but the windowed
+         identifier scores still steer the planner's half selection. *)
+      Balance.Tracker.create ~window (Balance.Tracker.Absolute max_int)
+    | Config.No_balancing ->
       (* Still tallies per-peer load for reporting; nothing ever goes hot. *)
       Balance.Tracker.create (Balance.Tracker.Absolute max_int)
   in
   let replication =
-    match config.Config.replication with
-    | Config.No_replication -> None
-    | Config.Replicate { r; _ } ->
+    match config.Config.balancing with
+    | Config.No_balancing | Config.Migrate _ -> None
+    | Config.Replicate { r; _ }
+    | Config.Replicate_and_migrate { replicate = { r; _ }; _ } ->
       Some
         {
           r;
@@ -84,6 +92,21 @@ let create_with_peers ?(config = Config.default) ~seed names =
              replication on leaves the scheme's hash functions untouched. *)
           tie_rng = Prng.Splitmix.split rng;
         }
+  in
+  let migration =
+    (* The planner draws no randomness at all, so a [Migrate]-only system
+       consumes exactly the same PRNG stream as [No_balancing]. *)
+    match config.Config.balancing with
+    | Config.No_balancing | Config.Replicate _ -> None
+    | Config.Migrate m | Config.Replicate_and_migrate { migrate = m; _ } ->
+      Some
+        (Balance.Migration.create
+           {
+             Balance.Migration.check_every = m.Config.check_every;
+             overload = m.Config.overload;
+             cooldown = m.Config.cooldown;
+             min_share = m.Config.min_share;
+           })
   in
   let faults =
     match config.Config.faults with
@@ -106,6 +129,7 @@ let create_with_peers ?(config = Config.default) ~seed names =
     padding = Padding.create config.Config.padding;
     tracker;
     replication;
+    migration;
     dead = Hashtbl.create 8;
     faults;
   }
@@ -184,6 +208,16 @@ let replicated_buckets t =
   | None -> 0
   | Some rs -> Hashtbl.length rs.replicas
 
+let migrated_slices t =
+  match t.migration with
+  | None -> 0
+  | Some mg -> Balance.Migration.slice_count mg
+
+let migrations t =
+  match t.migration with
+  | None -> 0
+  | Some mg -> Balance.Migration.migrations mg
+
 let m_cache_hit = Obs.Metrics.counter "lsh.domain_cache.hit"
 let m_cache_miss = Obs.Metrics.counter "lsh.domain_cache.miss"
 
@@ -256,6 +290,11 @@ let m_replica_hits = Obs.Metrics.counter "balance.replica_hits"
 let m_failovers = Obs.Metrics.counter "balance.failovers"
 let m_replica_drops = Obs.Metrics.counter "balance.replica_drops"
 let g_imbalance = Obs.Metrics.gauge "balance.load_imbalance"
+let m_migrations = Obs.Metrics.counter "balance.migrations"
+let m_migrated_entries = Obs.Metrics.counter "balance.migrated_entries"
+let m_migration_redirects = Obs.Metrics.counter "balance.migration_redirects"
+let m_migration_fallbacks = Obs.Metrics.counter "balance.migration_fallbacks"
+let g_migrated_slices = Obs.Metrics.gauge "balance.migrated_slices"
 
 let insert_tracked t peer ~identifier entry =
   if not (Store.mem (Peer.store peer) ~identifier ~range:entry.Store.range)
@@ -264,11 +303,97 @@ let insert_tracked t peer ~identifier entry =
     Balance.Tracker.record_entry t.tracker ~peer:(Peer.id peer)
   end
 
+(* With migration on: the routed ring position, the peer now responsible
+   for the identifier after any slice redirect, and whether a redirect
+   happened. Redirect pointers live in the routing layer, so they apply
+   whether or not the native owner is up; a slice holder that is itself
+   unresponsive falls back to the native owner (whose bucket moved away,
+   so the lookup degrades into an empty answer instead of raising) and
+   the slice stays put for when the holder recovers. *)
+let resolve_home t ~identifier ~owner =
+  match t.migration with
+  | None -> (owner, false, -1)
+  | Some mg -> (
+    let position = Chord.Ring.owner t.ring identifier in
+    match Balance.Migration.holder mg ~position ~identifier with
+    | None -> (owner, false, position)
+    | Some target ->
+      let holder = peer_by_id t target in
+      if responsive t holder then (holder, true, position)
+      else begin
+        Obs.Metrics.incr m_migration_fallbacks;
+        Obs.Trace.event_ii "balance.migration_fallback" "identifier" identifier
+          "holder" target;
+        (owner, false, position)
+      end)
+
+(* Execute a planned migration: move every bucket of the slice from the
+   source to the target, preserving bucket order (oldest first, as replica
+   copies do) so [Matching.best] tie-breaks survive the move. Background
+   maintenance traffic — not charged to any query's message count, see
+   DESIGN decision 16. *)
+let apply_move t (mv : Balance.Migration.move) =
+  Obs.Trace.with_span "balance.migrate" (fun () ->
+      Obs.Trace.set_int "position" mv.Balance.Migration.position;
+      Obs.Trace.set_int "source" mv.Balance.Migration.source;
+      Obs.Trace.set_int "target" mv.Balance.Migration.target;
+      Obs.Trace.set_int "lo" mv.Balance.Migration.lo;
+      Obs.Trace.set_int "hi" mv.Balance.Migration.hi;
+      let source = peer_by_id t mv.Balance.Migration.source in
+      let target = peer_by_id t mv.Balance.Migration.target in
+      let moved = ref 0 in
+      List.iter
+        (fun identifier ->
+          if
+            Chord.Id.in_interval_oc identifier ~lo:mv.Balance.Migration.lo
+              ~hi:mv.Balance.Migration.hi
+          then begin
+            let entries =
+              List.rev (Store.peek_bucket (Peer.store source) ~identifier)
+            in
+            List.iter
+              (fun (entry : Store.entry) ->
+                insert_tracked t target ~identifier entry;
+                incr moved)
+              entries;
+            ignore (Store.remove_bucket (Peer.store source) ~identifier : int)
+          end)
+        (Store.identifiers (Peer.store source));
+      Obs.Metrics.incr m_migrations;
+      Obs.Metrics.add m_migrated_entries !moved;
+      Obs.Trace.set_int "entries" !moved)
+
+(* One planner tick per query on the logical clock. Runs right after the
+   fault plane ticks, so liveness judgements match what this query will
+   see. *)
+let migrate_tick t =
+  match t.migration with
+  | None -> ()
+  | Some mg -> (
+    match
+      Balance.Migration.tick mg
+        ~peers:(Array.to_list (Array.map Peer.id t.peer_list))
+        ~responsive:(fun pid -> responsive t (peer_by_id t pid))
+        ~positions:(fun pid ->
+          Balance.Virtual_nodes.positions
+            ~name:(Peer.name (peer_by_id t pid))
+            ~v:t.config.Config.virtual_nodes)
+        ~predecessor:(Chord.Ring.predecessor t.ring)
+        ~scores:(fun () -> Balance.Tracker.windowed_scores t.tracker)
+    with
+    | None -> ()
+    | Some mv ->
+      apply_move t mv;
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.set_gauge g_migrated_slices
+          (float_of_int (Balance.Migration.slice_count mg)))
+
 let store_at_owners t routes ~range ~partition =
   let entry = { Store.range; partition } in
   List.iter
     (fun (identifier, owner, _) ->
-      if responsive t owner then insert_tracked t owner ~identifier entry;
+      let home, _, _ = resolve_home t ~identifier ~owner in
+      if responsive t home then insert_tracked t home ~identifier entry;
       match t.replication with
       | None -> ()
       | Some rs -> (
@@ -396,8 +521,19 @@ let serve_routes t ~contact ~effective ~batched routes =
           Obs.Trace.set_int "identifier" identifier;
           Obs.Trace.set_int "owner" (Peer.id owner);
           Obs.Trace.set_int "route_hops" hops;
+          (* Migrated slices pull the lookup's home off the native owner
+             before replica selection even starts. *)
+          let home, redirected, position =
+            resolve_home t ~identifier ~owner
+          in
+          if redirected then begin
+            Obs.Metrics.incr m_migration_redirects;
+            Obs.Trace.set_int "home" (Peer.id home);
+            Obs.Trace.event_ii "balance.migration_redirect" "identifier"
+              identifier "holder" (Peer.id home)
+          end;
           let result =
-            match serving_peer t ~identifier ~owner with
+            match serving_peer t ~identifier ~owner:home with
             | None ->
               Obs.Trace.set_bool "responded" false;
               (identifier, hops, None, false)
@@ -419,24 +555,40 @@ let serve_routes t ~contact ~effective ~batched routes =
                 in
                 Balance.Tracker.record_query t.tracker ~peer:(Peer.id peer)
                   ~identifier;
+                (match t.migration with
+                | Some mg ->
+                  (* The planner's round loads: the actual server for
+                     overload detection, the served segment for choosing
+                     what an overloaded holder sheds. *)
+                  Balance.Migration.note_serve mg ~position ~identifier
+                    ~peer:(Peer.id peer)
+                | None -> ());
                 (match t.replication with
-                | Some rs -> maintain_replicas t rs ~identifier ~owner
+                | Some rs -> maintain_replicas t rs ~identifier ~owner:home
                 | None -> ());
                 let hops =
-                  if Peer.id peer = Peer.id owner then hops
+                  (* One extra overlay hop per forward: native owner to
+                     slice holder, and holder to a replica serving in its
+                     stead. *)
+                  let forward =
+                    (if redirected then 1 else 0)
+                    + if Peer.id peer = Peer.id home then 0 else 1
+                  in
+                  if forward = 0 then hops
                   else begin
-                    (if responsive t owner then begin
-                       Obs.Metrics.incr m_replica_hits;
-                       Obs.Trace.event_ii "balance.replica_hit" "owner"
-                         (Peer.id owner) "serving" (Peer.id peer)
-                     end
-                     else begin
-                       Obs.Metrics.incr m_failovers;
-                       Obs.Trace.event_ii "balance.failover" "owner"
-                         (Peer.id owner) "serving" (Peer.id peer)
-                     end);
+                    (if Peer.id peer <> Peer.id home then
+                       if responsive t home then begin
+                         Obs.Metrics.incr m_replica_hits;
+                         Obs.Trace.event_ii "balance.replica_hit" "owner"
+                           (Peer.id home) "serving" (Peer.id peer)
+                       end
+                       else begin
+                         Obs.Metrics.incr m_failovers;
+                         Obs.Trace.event_ii "balance.failover" "owner"
+                           (Peer.id home) "serving" (Peer.id peer)
+                       end);
                     Obs.Trace.set_bool "forwarded" true;
-                    hops + 1
+                    hops + forward
                   end
                 in
                 Obs.Trace.set_bool "responded" true;
@@ -475,8 +627,9 @@ let publish t ~from ?partition range =
         | None -> routes
         | Some _ ->
           List.filter
-            (fun (_, owner, hops) ->
-              contact_peer t ~from ~peer:owner ~legs:(hops + 1))
+            (fun (identifier, owner, hops) ->
+              let home, _, _ = resolve_home t ~identifier ~owner in
+              contact_peer t ~from ~peer:home ~legs:(hops + 1))
             routes
       in
       store_at_owners t reached ~range ~partition;
@@ -583,6 +736,7 @@ let query t ~from range =
       Obs.Trace.set_int "lo" (Range.lo range);
       Obs.Trace.set_int "hi" (Range.hi range);
       tick_faults t;
+      migrate_tick t;
       let effective =
         Padding.apply t.padding range ~domain:t.config.Config.domain
       in
@@ -632,6 +786,7 @@ let query_batch t ~from ranges =
                 Obs.Trace.set_int "hi" (Range.hi range);
                 Obs.Trace.set_int "batch_index" index;
                 tick_faults t;
+                migrate_tick t;
                 Obs.Metrics.incr m_batch_queries;
                 let effective =
                   Padding.apply t.padding range ~domain:t.config.Config.domain

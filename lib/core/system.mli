@@ -10,13 +10,16 @@
     + the querying peer keeps the best reply; if no reply matches the range
       exactly, the queried range is cached at all [l] owners.
 
-    Two optional load-balancing extensions ride on top (see
-    {!Config.replication} and {!Config.t.virtual_nodes}): hot buckets are
+    Optional load-balancing extensions ride on top (see
+    {!Config.balancing} and {!Config.t.virtual_nodes}): hot buckets are
     replicated onto the owner's ring successors and lookups served by the
     least-loaded live holder (failing over when the owner is down, see
-    {!fail}), and each peer may occupy several virtual ring positions. Both
-    are off by default, in which case query results are bit-identical to
-    builds without them.
+    {!fail_peer}); overloaded peers migrate contiguous slices of their
+    ring segment to the least-loaded live peer, after which lookups and
+    publishes for the slice redirect to its holder (falling back to the
+    native owner while the holder is unresponsive); and each peer may
+    occupy several virtual ring positions. All are off by default, in
+    which case query results are bit-identical to builds without them.
 
     Everything is deterministic given the seed. *)
 
@@ -130,6 +133,13 @@ val load_imbalance : t -> float
 val replicated_buckets : t -> int
 (** How many identifiers currently have live replica sets (0 when
     replication is off). *)
+
+val migrated_slices : t -> int
+(** Live migrated range slices across all ring positions (0 when
+    migration is off). *)
+
+val migrations : t -> int
+(** Migrations executed so far (0 when migration is off). *)
 
 val total_entries : t -> int
 (** Sum of all peers' stored entries. *)

@@ -4,25 +4,41 @@ type t = {
   bins : int;
   counts : int array;
   mutable total : int;
+  mutable dropped : int;
 }
 
 let create ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
   if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
-  { lo; hi; bins; counts = Array.make bins 0; total = 0 }
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Histogram.create: bounds must be finite";
+  { lo; hi; bins; counts = Array.make bins 0; total = 0; dropped = 0 }
 
+(* Buckets are [lo, hi) slices of equal width, except the last which is
+   closed at hi. Finite values outside [lo, hi] clamp into the boundary
+   buckets; this used to be an accident of int_of_float truncating
+   scaled values in (-1, 0) toward zero, now it is spelled out. *)
 let bucket_of_value t v =
-  let scaled = (v -. t.lo) /. (t.hi -. t.lo) *. float_of_int t.bins in
-  let i = int_of_float scaled in
-  Stdlib.max 0 (Stdlib.min (t.bins - 1) i)
+  if not (Float.is_finite v) then
+    invalid_arg "Histogram.bucket_of_value: non-finite value";
+  if v <= t.lo then 0
+  else if v >= t.hi then t.bins - 1
+  else
+    let scaled = (v -. t.lo) /. (t.hi -. t.lo) *. float_of_int t.bins in
+    Stdlib.min (t.bins - 1) (int_of_float scaled)
 
 let add t v =
-  t.counts.(bucket_of_value t v) <- t.counts.(bucket_of_value t v) + 1;
-  t.total <- t.total + 1
+  if Float.is_finite v then begin
+    let i = bucket_of_value t v in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1
+  end
+  else t.dropped <- t.dropped + 1
 
 let add_many t vs = List.iter (add t) vs
 
 let total t = t.total
+let dropped t = t.dropped
 let counts t = Array.copy t.counts
 
 let fractions t =

@@ -8,15 +8,25 @@ type t
 
 val create : lo:float -> hi:float -> bins:int -> t
 (** [create ~lo ~hi ~bins] covers [\[lo, hi\]] with [bins] equal-width
-    buckets. Values equal to [hi] land in the last bucket; values outside
-    the interval are clamped into the boundary buckets.
-    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+    buckets. Each bucket is a half-open [\[a, b)] slice except the last,
+    which is closed at [hi] so that [hi] itself lands in it. Finite values
+    outside [\[lo, hi\]] are clamped into the boundary buckets.
+    @raise Invalid_argument if [bins <= 0], [hi <= lo], or a bound is
+    non-finite. *)
 
 val add : t -> float -> unit
+(** Adds a value. Non-finite values (NaN, infinities) are dropped rather
+    than binned — they increment [dropped] and leave [total] and the
+    bucket counts untouched, matching the null-for-non-finite discipline
+    used elsewhere in the stats layer. *)
+
 val add_many : t -> float list -> unit
 
 val total : t -> int
-(** Number of values added so far. *)
+(** Number of finite values added so far. *)
+
+val dropped : t -> int
+(** Number of non-finite values rejected by {!add} so far. *)
 
 val counts : t -> int array
 (** Raw per-bucket counts, length [bins]. The returned array is a copy. *)
@@ -32,7 +42,10 @@ val bucket_bounds : t -> int -> float * float
 (** [bucket_bounds t i] is the [\[lo, hi)] interval of bucket [i]. *)
 
 val bucket_of_value : t -> float -> int
-(** Index of the bucket a value would be added to. *)
+(** Index of the bucket a finite value would be added to: 0 for values at
+    or below [lo], [bins - 1] for values at or above [hi], otherwise the
+    [\[a, b)] slice containing the value.
+    @raise Invalid_argument on non-finite input. *)
 
 val pp_ascii : ?width:int -> Format.formatter -> t -> unit
 (** Renders the histogram as rows of ["[lo, hi)  count  pct  bar"], with the

@@ -90,6 +90,87 @@ let tracker_validation () =
     (Invalid_argument "Tracker.create: top-k must be >= 1") (fun () ->
       ignore (Tracker.create (Tracker.Top_k 0)))
 
+(* Regression for the hot-cache thrash bug: [record_query] used to bump
+   [revision] unconditionally, so the lazily-built Top_k set was rebuilt
+   on every [is_hot] check. The fix invalidates only when window contents
+   can actually change the set (a rotation, or a recorded non-member
+   outranking the weakest member). Pin (a) answers identical to a
+   from-scratch reference across a mixed stream, and (b) zero rebuilds
+   under member-only traffic. *)
+let tracker_cache_invalidation () =
+  let window = 32 and k = 3 in
+  let t = Tracker.create ~window (Tracker.Top_k k) in
+  (* Reference model: replay the stream into explicit windows and rank
+     from scratch on every probe. *)
+  let current = Hashtbl.create 16 and previous = Hashtbl.create 16 in
+  let in_window = ref 0 in
+  let ref_record id =
+    Hashtbl.replace current id
+      (1 + Option.value (Hashtbl.find_opt current id) ~default:0);
+    incr in_window;
+    if !in_window >= window then begin
+      Hashtbl.reset previous;
+      Hashtbl.iter (Hashtbl.replace previous) current;
+      Hashtbl.reset current;
+      in_window := 0
+    end
+  in
+  let ref_score id =
+    Option.value (Hashtbl.find_opt current id) ~default:0
+    + Option.value (Hashtbl.find_opt previous id) ~default:0
+  in
+  let ref_is_hot id =
+    let ids = Hashtbl.create 16 in
+    Hashtbl.iter (fun i _ -> Hashtbl.replace ids i ()) current;
+    Hashtbl.iter (fun i _ -> Hashtbl.replace ids i ()) previous;
+    let ranked =
+      Hashtbl.fold (fun i () acc -> (i, ref_score i) :: acc) ids []
+      |> List.sort (fun (ia, sa) (ib, sb) ->
+             if sa <> sb then Int.compare sb sa else Int.compare ia ib)
+      |> List.filteri (fun i _ -> i < k)
+    in
+    List.exists (fun (i, s) -> i = id && s > 0) ranked
+  in
+  let probes = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let rng = Prng.Splitmix.create 99L in
+  for _ = 1 to 500 do
+    let id = 1 + Prng.Splitmix.int rng 8 in
+    Tracker.record_query t ~peer:0 ~identifier:id;
+    ref_record id;
+    List.iter
+      (fun id ->
+        Alcotest.(check bool)
+          (Printf.sprintf "is_hot %d agrees with reference" id)
+          (ref_is_hot id) (Tracker.is_hot t id))
+      probes
+  done;
+  Alcotest.(check bool) "cache was exercised" true (Tracker.recomputations t > 0);
+  (* Stability: three clear leaders in one huge window (no rotations).
+     Member traffic cannot change the set, so the cache must not rebuild. *)
+  let t2 = Tracker.create ~window:100_000 (Tracker.Top_k 3) in
+  List.iter
+    (fun id ->
+      for _ = 1 to 10 do
+        Tracker.record_query t2 ~peer:0 ~identifier:id
+      done)
+    [ 1; 2; 3 ];
+  Tracker.record_query t2 ~peer:0 ~identifier:9;
+  ignore (Tracker.is_hot t2 1);
+  let baseline = Tracker.recomputations t2 in
+  for _ = 1 to 200 do
+    Tracker.record_query t2 ~peer:0 ~identifier:2;
+    Alcotest.(check bool) "leader stays hot" true (Tracker.is_hot t2 2);
+    Alcotest.(check bool) "cold stays cold" false (Tracker.is_hot t2 9)
+  done;
+  Alcotest.(check int) "member traffic never rebuilds" baseline
+    (Tracker.recomputations t2);
+  (* A newcomer that outranks the weakest member does invalidate. *)
+  for _ = 1 to 11 do
+    Tracker.record_query t2 ~peer:0 ~identifier:9
+  done;
+  Alcotest.(check bool) "newcomer enters the set" true (Tracker.is_hot t2 9);
+  Alcotest.(check bool) "weakest member evicted" false (Tracker.is_hot t2 3)
+
 (* --- Replicas ------------------------------------------------------ *)
 
 let five_node_view () =
@@ -176,7 +257,7 @@ let system_virtual_nodes () =
 
 let replicate_config =
   { Config.default with
-    Config.replication =
+    Config.balancing =
       Config.Replicate { r = 2; hot = Tracker.Absolute 3; window = 64 };
   }
 
@@ -231,7 +312,7 @@ let failover_serves_from_replica () =
   let config =
     { Config.default with
       Config.l = 1;
-      replication =
+      balancing =
         Config.Replicate { r = 2; hot = Tracker.Absolute 3; window = 64 };
     }
   in
@@ -254,7 +335,7 @@ let failover_serves_from_replica () =
   Alcotest.(check (float 1e-9)) "exact recall from the replica" 1.0
     r.Query_result.recall;
   (* Control: without replication the same failure loses the bucket. *)
-  let bare = Sys_.create ~config:{ config with Config.replication = Config.No_replication }
+  let bare = Sys_.create ~config:{ config with Config.balancing = Config.No_balancing }
       ~seed:7L ~n_peers:16 () in
   let _ = Sys_.publish bare ~from:(Sys_.peer_by_name bare (Peer.name other)) range in
   Sys_.fail_peer bare (Sys_.peer_by_name bare (Peer.name owner));
@@ -279,7 +360,7 @@ let zipf_imbalance_and_failed_recall () =
   in
   let on_config =
     { base with
-      Config.replication =
+      Config.balancing =
         Config.Replicate { r = 2; hot = Tracker.Absolute 8; window = 1024 };
     }
   in
@@ -337,6 +418,8 @@ let suite =
     Alcotest.test_case "tracker top-k policy" `Quick tracker_top_k;
     Alcotest.test_case "imbalance ratio" `Quick tracker_imbalance;
     Alcotest.test_case "tracker validation" `Quick tracker_validation;
+    Alcotest.test_case "tracker hot-cache invalidation" `Quick
+      tracker_cache_invalidation;
     Alcotest.test_case "replica placement on a ring" `Quick replicas_on_ring;
     Alcotest.test_case "replica placement skips the dead" `Quick
       replicas_alive_filter;

@@ -242,7 +242,7 @@ let network_find_successors () =
 let batch_faults_replication_compose () =
   let config =
     Config.default
-    |> Config.with_replication
+    |> Config.with_balancing
          (Config.Replicate
             { r = 2; hot = Balance.Tracker.Absolute 3; window = 64 })
     |> Config.with_faults

@@ -74,6 +74,52 @@ let histogram_bounds () =
     (Invalid_argument "Histogram.create: bins must be positive") (fun () ->
       ignore (Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0))
 
+let histogram_drops_non_finite () =
+  (* Regression: [int_of_float nan = 0], so NaN used to be silently binned
+     into bucket 0 (and infinities clamped into the edge buckets). All
+     three are now dropped and counted instead. *)
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Stats.Histogram.add_many h [ Float.nan; Float.infinity; Float.neg_infinity ];
+  Alcotest.(check int) "nothing binned" 0 (Stats.Histogram.total h);
+  Alcotest.(check int) "all three dropped" 3 (Stats.Histogram.dropped h);
+  Array.iter
+    (fun c -> Alcotest.(check int) "empty bucket" 0 c)
+    (Stats.Histogram.counts h);
+  Stats.Histogram.add h 0.5;
+  Alcotest.(check int) "finite values still count" 1 (Stats.Histogram.total h);
+  Alcotest.(check int) "dropped tally unchanged" 3 (Stats.Histogram.dropped h);
+  Alcotest.check_raises "bucket_of_value rejects NaN"
+    (Invalid_argument "Histogram.bucket_of_value: non-finite value") (fun () ->
+      ignore (Stats.Histogram.bucket_of_value h Float.nan))
+
+let histogram_boundary_semantics () =
+  (* Buckets are [lo, hi) except the last, which closes at hi. *)
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Alcotest.(check int) "lo itself" 0 (Stats.Histogram.bucket_of_value h 0.0);
+  Alcotest.(check int) "interior boundary goes right" 1
+    (Stats.Histogram.bucket_of_value h 0.25);
+  Alcotest.(check int) "just below an interior boundary" 0
+    (Stats.Histogram.bucket_of_value h 0.2499);
+  Alcotest.(check int) "hi exactly lands in the last bucket" 3
+    (Stats.Histogram.bucket_of_value h 1.0);
+  Alcotest.(check int) "just below hi" 3
+    (Stats.Histogram.bucket_of_value h 0.999);
+  (* Sub-lo values clamp to bucket 0 — previously an accident of
+     truncation toward zero for scaled values in (-1, 0), now explicit
+     (and no longer dependent on how far below lo the value sits). *)
+  Alcotest.(check int) "just below lo" 0
+    (Stats.Histogram.bucket_of_value h (-0.001));
+  Alcotest.(check int) "far below lo" 0
+    (Stats.Histogram.bucket_of_value h (-123.0));
+  Alcotest.(check int) "above hi clamps to last" 3
+    (Stats.Histogram.bucket_of_value h 42.0);
+  (* Same on a ring not anchored at zero. *)
+  let h2 = Stats.Histogram.create ~lo:(-2.0) ~hi:2.0 ~bins:4 in
+  Alcotest.(check int) "negative lo" 0 (Stats.Histogram.bucket_of_value h2 (-2.0));
+  Alcotest.(check int) "negative interior" 1
+    (Stats.Histogram.bucket_of_value h2 (-0.5));
+  Alcotest.(check int) "negative hi" 3 (Stats.Histogram.bucket_of_value h2 2.0)
+
 let cdf_directions () =
   let c = Stats.Cdf.of_samples [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
   Alcotest.(check (float 1e-9)) "at least 0" 1.0 (Stats.Cdf.fraction_at_least c 0.0);
@@ -177,6 +223,10 @@ let suite =
     Alcotest.test_case "empty histogram has zero fractions" `Quick
       histogram_empty_fractions;
     Alcotest.test_case "bucket bounds and validation" `Quick histogram_bounds;
+    Alcotest.test_case "histogram drops non-finite values" `Quick
+      histogram_drops_non_finite;
+    Alcotest.test_case "histogram boundary semantics" `Quick
+      histogram_boundary_semantics;
     Alcotest.test_case "cdf both directions" `Quick cdf_directions;
     Alcotest.test_case "cdf with ties" `Quick cdf_with_ties;
     Alcotest.test_case "cdf series" `Quick cdf_series;
