@@ -1612,6 +1612,175 @@ let baseline_unstructured () =
     [ 1; 2 ];
   Format.printf "%a" Stats.Table.pp table
 
+(* ------------------------------------------------------------------ *)
+(* Routing substrates: Chord fingers vs the learned index              *)
+(* ------------------------------------------------------------------ *)
+
+let g_sub_hops_chord = Obs.Metrics.gauge "substrate.bench.hops_chord"
+let g_sub_hops_learned = Obs.Metrics.gauge "substrate.bench.hops_learned"
+let g_sub_msgs_chord = Obs.Metrics.gauge "substrate.bench.msgs_per_query_chord"
+
+let g_sub_msgs_learned =
+  Obs.Metrics.gauge "substrate.bench.msgs_per_query_learned"
+
+let g_sub_recall_chord = Obs.Metrics.gauge "substrate.bench.recall_chord"
+let g_sub_recall_learned = Obs.Metrics.gauge "substrate.bench.recall_learned"
+
+let g_sub_identical_answers =
+  Obs.Metrics.gauge "substrate.bench.identical_answers"
+
+let g_sub_churn_hops_chord = Obs.Metrics.gauge "substrate.bench.churn_hops_chord"
+
+let g_sub_churn_hops_learned =
+  Obs.Metrics.gauge "substrate.bench.churn_hops_learned"
+
+let g_sub_stale_lookups = Obs.Metrics.gauge "substrate.bench.stale_lookups"
+
+let g_sub_correction_hops =
+  Obs.Metrics.gauge "substrate.bench.mean_correction_hops"
+
+let g_sub_retrains = Obs.Metrics.gauge "substrate.bench.retrains"
+let g_sub_segments = Obs.Metrics.gauge "substrate.bench.segments"
+
+let substrate_bench () =
+  (* Two identically-seeded 1000-peer systems — the paper's Figure 12
+     network size — differing only in [Config.substrate], fed the same
+     query stream. Substrate construction draws no randomness and owners
+     agree by construction, so every answer must be identical between
+     the runs (the identical-answers column, enforced at <= 0.01 recall
+     drift by check_bench); the learned index buys its mean-hops win
+     purely in routing. The second phase cycles 10% of the peers through
+     fail/recover while querying: each event staled learned segments
+     until the model's retrain epoch, and stale predictions fall back to
+     Chord correction, so this phase prices staleness in hops. *)
+  let module System = P2prange.System in
+  let module Routing = P2prange.Routing in
+  let n_peers = 1_000 and n_steady = 1_500 and n_churn = 1_000 in
+  let base = Config.default in
+  let learned_config =
+    base |> Config.with_substrate (Config.Learned Config.default_learned)
+  in
+  let mean = function
+    | [] -> 0.0
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  (* One run = steady phase, then the churn phase. Returns per-lookup
+     hop means for both phases, msgs/query, recalls, and the stripped
+     answers for the cross-substrate identity check. *)
+  let run config =
+    let sys = System.create ~config ~seed ~n_peers () in
+    let rng = Prng.Splitmix.create seed in
+    let stream =
+      Workload.Query_workload.create Workload.Query_workload.Uniform_pairs
+        ~domain:base.Config.domain ~seed
+    in
+    let peers = Array.of_list (System.peers sys) in
+    let strip (r : Query_result.t) =
+      ( r.Query_result.query,
+        Option.map
+          (fun (m : P2prange.Matching.scored) -> m.P2prange.Matching.entry)
+          r.Query_result.matched,
+        r.Query_result.recall,
+        r.Query_result.responders )
+    in
+    let one () =
+      let from = peers.(Prng.Splitmix.int rng (Array.length peers)) in
+      System.query sys ~from (Workload.Query_workload.next stream)
+    in
+    let hops_of r = List.map float_of_int r.Query_result.stats.Query_result.hops in
+    let steady = ref [] in
+    for _ = 1 to n_steady do
+      steady := one () :: !steady
+    done;
+    let steady = List.rev !steady in
+    (* Churn: every 10th query fails the next peer of the first 100 and
+       recovers the one failed 50 queries ago — a rolling 5-peer dead
+       set, 200 membership events in total. *)
+    let churn = ref [] in
+    for i = 0 to n_churn - 1 do
+      if i mod 10 = 0 then begin
+        let k = i / 10 in
+        System.fail_peer sys
+          (System.peer_by_name sys (Printf.sprintf "peer-%d" (k mod 100)));
+        if k >= 5 then
+          System.recover_peer sys
+            (System.peer_by_name sys (Printf.sprintf "peer-%d" ((k - 5) mod 100)))
+      end;
+      churn := one () :: !churn
+    done;
+    let churn = List.rev !churn in
+    let msgs r = float_of_int r.Query_result.stats.Query_result.messages in
+    ( mean (List.concat_map hops_of steady),
+      mean (List.concat_map hops_of churn),
+      mean (List.map msgs (steady @ churn)),
+      mean (List.map (fun r -> r.Query_result.recall) (steady @ churn)),
+      List.map strip (steady @ churn),
+      sys )
+  in
+  let c_hops, c_churn_hops, c_msgs, c_recall, c_answers, _ = run base in
+  let l_hops, l_churn_hops, l_msgs, l_recall, l_answers, l_sys =
+    run learned_config
+  in
+  let routing = System.routing l_sys in
+  let model = Option.get (Routing.learned_model routing) in
+  let lookups = Routing.learned_lookups routing in
+  let mean_correction =
+    if lookups = 0 then 0.0
+    else
+      float_of_int (Routing.learned_correction_hops routing)
+      /. float_of_int lookups
+  in
+  let identical = if c_answers = l_answers then 1.0 else 0.0 in
+  Obs.Metrics.set_gauge g_sub_hops_chord c_hops;
+  Obs.Metrics.set_gauge g_sub_hops_learned l_hops;
+  Obs.Metrics.set_gauge g_sub_msgs_chord c_msgs;
+  Obs.Metrics.set_gauge g_sub_msgs_learned l_msgs;
+  Obs.Metrics.set_gauge g_sub_recall_chord c_recall;
+  Obs.Metrics.set_gauge g_sub_recall_learned l_recall;
+  Obs.Metrics.set_gauge g_sub_identical_answers identical;
+  Obs.Metrics.set_gauge g_sub_churn_hops_chord c_churn_hops;
+  Obs.Metrics.set_gauge g_sub_churn_hops_learned l_churn_hops;
+  Obs.Metrics.set_gauge g_sub_stale_lookups
+    (float_of_int (Routing.learned_stale_lookups routing));
+  Obs.Metrics.set_gauge g_sub_correction_hops mean_correction;
+  Obs.Metrics.set_gauge g_sub_retrains (float_of_int (Learned.Model.retrains model));
+  Obs.Metrics.set_gauge g_sub_segments
+    (float_of_int (Learned.Model.segment_count model));
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("substrate", Stats.Table.Left);
+          ("hops/lookup", Stats.Table.Right);
+          ("churn hops/lookup", Stats.Table.Right);
+          ("msgs/query", Stats.Table.Right);
+          ("mean recall", Stats.Table.Right) ]
+  in
+  Stats.Table.add_row table
+    [
+      "chord";
+      Printf.sprintf "%.2f" c_hops;
+      Printf.sprintf "%.2f" c_churn_hops;
+      Printf.sprintf "%.2f" c_msgs;
+      Printf.sprintf "%.3f" c_recall;
+    ];
+  Stats.Table.add_row table
+    [
+      "learned";
+      Printf.sprintf "%.2f" l_hops;
+      Printf.sprintf "%.2f" l_churn_hops;
+      Printf.sprintf "%.2f" l_msgs;
+      Printf.sprintf "%.3f" l_recall;
+    ];
+  Format.printf "%a" Stats.Table.pp table;
+  Format.printf
+    "identical answers: %s   learned: %d segments, %d retrains, %d stale \
+     lookups, %.2f mean correction hops@."
+    (if identical = 1.0 then "yes" else "NO")
+    (Learned.Model.segment_count model)
+    (Learned.Model.retrains model)
+    (Routing.learned_stale_lookups routing)
+    mean_correction
+
 let () =
   let t0 = Unix.gettimeofday () in
   section "fig5" "hash family execution time vs range size (Figure 5)" fig5;
@@ -1651,6 +1820,8 @@ let () =
     faults_bench;
   section "batch" "batched query pipeline: messages/query vs batch size"
     batch_bench;
+  section "substrate" "routing substrates: Chord fingers vs learned index"
+    substrate_bench;
   section "engine-sql" "SQL-over-P2P provenance split (§2/§6)" engine_sql;
   section "baseline-can" "CAN vs Chord as the DHT substrate (§3.1)"
     baseline_can;

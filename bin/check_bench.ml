@@ -128,6 +128,39 @@ let check_migration_gauges body =
     fail "migration: migration moved recall %.3f -> %.3f (tolerance %.2f)"
       rec_off rec_migrate max_migration_recall_drift
 
+(* Acceptance bars for the routing-substrate race at 10^3 peers, seed 42:
+   the learned index must strictly beat Chord's mean hop count (in both
+   the steady and the churn phase — staleness fallbacks included), must
+   return the very same answers (recall drift within a hair, and the
+   stripped result streams literally equal), and must actually have
+   exercised the staleness machinery during the churn phase. *)
+let max_substrate_recall_drift = 0.01
+
+let check_substrate_gauges body =
+  let gauge = gauge ~section:"substrate" body in
+  let hops_chord = gauge "substrate.bench.hops_chord" in
+  let hops_learned = gauge "substrate.bench.hops_learned" in
+  if hops_learned >= hops_chord then
+    fail "substrate: learned mean hops %.2f not below chord %.2f" hops_learned
+      hops_chord;
+  let churn_chord = gauge "substrate.bench.churn_hops_chord" in
+  let churn_learned = gauge "substrate.bench.churn_hops_learned" in
+  if churn_learned >= churn_chord then
+    fail "substrate: under churn, learned mean hops %.2f not below chord %.2f"
+      churn_learned churn_chord;
+  let recall_chord = gauge "substrate.bench.recall_chord" in
+  let recall_learned = gauge "substrate.bench.recall_learned" in
+  if Float.abs (recall_learned -. recall_chord) > max_substrate_recall_drift
+  then
+    fail "substrate: substrate moved recall %.3f -> %.3f (tolerance %.2f)"
+      recall_chord recall_learned max_substrate_recall_drift;
+  if gauge "substrate.bench.identical_answers" <> 1.0 then
+    fail "substrate: the two substrates returned different answers";
+  if gauge "substrate.bench.stale_lookups" < 1.0 then
+    fail "substrate: churn phase never took the stale-fallback path";
+  if gauge "substrate.bench.retrains" < 1.0 then
+    fail "substrate: churn phase never retrained the model"
+
 (* --- baseline bit-identity (the tracing-disabled overhead gate) --- *)
 
 let contains_qps name =
@@ -249,6 +282,7 @@ let () =
         if name = "faults" then check_faults_gauges body;
         if name = "batch" then check_batch_gauges body;
         if name = "migration" then check_migration_gauges body;
+        if name = "substrate" then check_substrate_gauges body;
         match baseline with
         | None -> ()
         | Some base -> (

@@ -185,19 +185,31 @@ let load_cmd =
 let run_paths json trace seed nodes lookups histogram =
   with_json json trace "paths" @@ fun () ->
   let workload = Scalability.make_workload ~unique_partitions:2000 ~seed () in
-  let p =
-    Scalability.path_lengths workload ~n_lookups:lookups ~n_nodes:nodes ~seed ()
-  in
-  let s = p.Scalability.hops in
   Format.printf "nodes=%d lookups=%d (x l identifier routes)@." nodes lookups;
-  Format.printf "mean=%.2f p1=%.0f median=%.0f p99=%.0f  (1/2 log2 N = %.2f)@."
-    (Stats.Summary.mean s) (Stats.Summary.p1 s) (Stats.Summary.median s)
-    (Stats.Summary.p99 s)
-    (0.5 *. (log (float_of_int nodes) /. log 2.0));
-  if histogram then begin
-    Format.printf "@.path-length PDF:@.";
-    Format.printf "%a" (Stats.Histogram.pp_ascii ~width:40) p.Scalability.distribution
-  end
+  (* Same ring, same lookup stream, once per routing substrate: figure 12
+     for Chord, and the learned index's flat profile next to it. *)
+  List.iter
+    (fun (label, substrate) ->
+      let p =
+        Scalability.path_lengths workload ~n_lookups:lookups ~substrate
+          ~n_nodes:nodes ~seed ()
+      in
+      let s = p.Scalability.hops in
+      Format.printf
+        "%-8s mean=%.2f p1=%.0f median=%.0f p99=%.0f  (1/2 log2 N = %.2f)@."
+        label (Stats.Summary.mean s) (Stats.Summary.p1 s)
+        (Stats.Summary.median s) (Stats.Summary.p99 s)
+        (0.5 *. (log (float_of_int nodes) /. log 2.0));
+      if histogram then begin
+        Format.printf "@.%s path-length PDF:@." label;
+        Format.printf "%a"
+          (Stats.Histogram.pp_ascii ~width:40)
+          p.Scalability.distribution
+      end)
+    [
+      ("chord", Config.Chord);
+      ("learned", Config.Learned Config.default_learned);
+    ]
 
 let paths_cmd =
   let lookups_t =

@@ -26,6 +26,12 @@ let default_migrate =
 
 type faults = { spec : Faults.Plane.spec; retry : Faults.Retry.policy }
 
+type learned = { max_error : int; retrain_after : int }
+
+type substrate = Chord | Learned of learned
+
+let default_learned = { max_error = 8; retrain_after = 4 }
+
 type t = {
   family : Lsh.Family.kind;
   k : int;
@@ -42,6 +48,7 @@ type t = {
   virtual_nodes : int;
   faults : faults option;
   signature_cache : int;
+  substrate : substrate;
 }
 
 let default =
@@ -61,6 +68,7 @@ let default =
     virtual_nodes = 1;
     faults = None;
     signature_cache = 1024;
+    substrate = Chord;
   }
 
 let paper_quality ~family = { default with family }
@@ -83,40 +91,74 @@ let with_virtual_nodes virtual_nodes t = { t with virtual_nodes }
 let with_faults faults t = { t with faults = Some faults }
 let without_faults t = { t with faults = None }
 let with_signature_cache signature_cache t = { t with signature_cache }
+let with_substrate substrate t = { t with substrate }
+
+(* Validation reports through [Error]: code [Invalid_config], the field
+   (and offending value where it reads well) in the context. *)
+let reject ~field ?value message =
+  let context =
+    ("field", field) :: (match value with None -> [] | Some v -> [ ("value", v) ])
+  in
+  Error.raise_error ~context Error.Invalid_config message
 
 let validate_replicate { r; hot; window } =
-  if r < 1 then invalid_arg "Config: replication factor must be >= 1";
-  if window < 1 then invalid_arg "Config: hotness window must be >= 1";
+  if r < 1 then
+    reject ~field:"balancing.r" ~value:(string_of_int r)
+      "Config: replication factor must be >= 1";
+  if window < 1 then
+    reject ~field:"balancing.window" ~value:(string_of_int window)
+      "Config: hotness window must be >= 1";
   match hot with
   | Balance.Tracker.Absolute n ->
-    if n < 1 then invalid_arg "Config: absolute hotness threshold must be >= 1"
+    if n < 1 then
+      reject ~field:"balancing.hot" ~value:(string_of_int n)
+        "Config: absolute hotness threshold must be >= 1"
   | Balance.Tracker.Top_k k ->
-    if k < 1 then invalid_arg "Config: top-k hotness count must be >= 1"
+    if k < 1 then
+      reject ~field:"balancing.hot" ~value:(string_of_int k)
+        "Config: top-k hotness count must be >= 1"
 
 let validate_migrate { check_every; overload; cooldown; min_share; window } =
-  if check_every < 1 then invalid_arg "Config: migration check_every must be >= 1";
+  if check_every < 1 then
+    reject ~field:"balancing.check_every" ~value:(string_of_int check_every)
+      "Config: migration check_every must be >= 1";
   if not (Float.is_finite overload) || overload <= 1.0 then
-    invalid_arg "Config: migration overload factor must exceed 1.0";
-  if cooldown < 0 then invalid_arg "Config: migration cooldown must be >= 0";
-  if min_share < 1 then invalid_arg "Config: migration min_share must be >= 1";
-  if window < 1 then invalid_arg "Config: migration window must be >= 1"
+    reject ~field:"balancing.overload" ~value:(string_of_float overload)
+      "Config: migration overload factor must exceed 1.0";
+  if cooldown < 0 then
+    reject ~field:"balancing.cooldown" ~value:(string_of_int cooldown)
+      "Config: migration cooldown must be >= 0";
+  if min_share < 1 then
+    reject ~field:"balancing.min_share" ~value:(string_of_int min_share)
+      "Config: migration min_share must be >= 1";
+  if window < 1 then
+    reject ~field:"balancing.window" ~value:(string_of_int window)
+      "Config: migration window must be >= 1"
 
 let validate t =
-  if t.k < 1 then invalid_arg "Config: k must be >= 1";
-  if t.l < 1 then invalid_arg "Config: l must be >= 1";
+  if t.k < 1 then
+    reject ~field:"k" ~value:(string_of_int t.k) "Config: k must be >= 1";
+  if t.l < 1 then
+    reject ~field:"l" ~value:(string_of_int t.l) "Config: l must be >= 1";
   (match t.store_policy with
   | Store.Unbounded -> ()
   | Store.Lru n | Store.Fifo n ->
-    if n < 1 then invalid_arg "Config: store capacity must be >= 1");
+    if n < 1 then
+      reject ~field:"store_policy" ~value:(string_of_int n)
+        "Config: store capacity must be >= 1");
   if Rangeset.Range.lo t.domain < 0 then
-    invalid_arg "Config: domain must be non-negative (values are hashed raw)";
+    reject ~field:"domain"
+      ~value:(string_of_int (Rangeset.Range.lo t.domain))
+      "Config: domain must be non-negative (values are hashed raw)";
   (match t.padding with
   | No_padding -> ()
   | Fixed_padding f ->
-    if f < 0.0 then invalid_arg "Config: negative padding fraction"
+    if f < 0.0 then
+      reject ~field:"padding" ~value:(string_of_float f)
+        "Config: negative padding fraction"
   | Adaptive_padding { initial; step; target_recall } ->
     if initial < 0.0 || step <= 0.0 || target_recall < 0.0 || target_recall > 1.0
-    then invalid_arg "Config: bad adaptive padding parameters");
+    then reject ~field:"padding" "Config: bad adaptive padding parameters");
   (match t.balancing with
   | No_balancing -> ()
   | Replicate r -> validate_replicate r
@@ -124,11 +166,30 @@ let validate t =
   | Replicate_and_migrate { replicate; migrate } ->
     validate_replicate replicate;
     validate_migrate migrate);
-  if t.virtual_nodes < 1 then invalid_arg "Config: virtual_nodes must be >= 1";
+  if t.virtual_nodes < 1 then
+    reject ~field:"virtual_nodes" ~value:(string_of_int t.virtual_nodes)
+      "Config: virtual_nodes must be >= 1";
   if t.signature_cache < 0 then
-    invalid_arg "Config: signature_cache must be >= 0 (0 disables)";
+    reject ~field:"signature_cache" ~value:(string_of_int t.signature_cache)
+      "Config: signature_cache must be >= 0 (0 disables)";
+  (match t.substrate with
+  | Chord -> ()
+  | Learned { max_error; retrain_after } ->
+    if max_error < 0 then
+      reject ~field:"substrate.max_error" ~value:(string_of_int max_error)
+        "Config: learned max_error must be >= 0";
+    if retrain_after < 1 then
+      reject ~field:"substrate.retrain_after"
+        ~value:(string_of_int retrain_after)
+        "Config: learned retrain_after must be >= 1");
   match t.faults with
   | None -> ()
-  | Some { spec; retry } ->
-    Faults.Plane.validate_spec spec;
-    Faults.Retry.validate retry
+  | Some { spec; retry } -> (
+    (* The fault plane validates its own spec with stdlib exceptions;
+       re-wrap so the public surface speaks one error type. *)
+    try
+      Faults.Plane.validate_spec spec;
+      Faults.Retry.validate retry
+    with Invalid_argument message ->
+      Error.raise_error ~context:[ ("field", "faults") ] Error.Invalid_config
+        message)

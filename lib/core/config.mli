@@ -77,6 +77,34 @@ type faults = {
     plane's seed derives from the system seed, so runs replay
     bit-identically. *)
 
+type learned = {
+  max_error : int;
+      (** fit-time bound on the index error of a fresh prediction; the
+          correction walk after the predicted-node jump never exceeds it
+          by more than 2 (rounding and between-point interpolation).
+          Smaller = fewer hops, more segments. *)
+  retrain_after : int;
+      (** churn events (peer fail/recover notices) per retrain epoch:
+          the [retrain_after]-th notice since the last epoch refits the
+          model and clears all staleness *)
+}
+(** Parameters of the learned routing substrate; see {!Learned.Model}. *)
+
+(** Which routing substrate resolves identifier lookups.
+
+    [Chord] (the default) is the paper's protocol — closest-preceding-
+    finger routing at ≈ ½·log₂ N hops — and is bit-identical to builds
+    that predate substrates. [Learned] routes through a piecewise-linear
+    model of the id→peer map (one jump to the predicted owner plus a
+    bounded correction walk, O(1) hops); both substrates place every
+    identifier on the same peer, so answers and recall are unchanged —
+    only path lengths move. *)
+type substrate = Chord | Learned of learned
+
+val default_learned : learned
+(** [max_error = 8], [retrain_after = 4] — at most 9 correction hops,
+    prompt retraining under churn. *)
+
 type t = {
   family : Lsh.Family.kind;
   k : int;  (** hash functions per group *)
@@ -118,6 +146,10 @@ type t = {
           ({!Lsh.Sig_cache}); [0] disables it. Signatures are pure
           functions of the range, so the cache never changes results —
           default [1024]. *)
+  substrate : substrate;
+      (** routing substrate for identifier lookups; [Chord] (the default)
+          reproduces the paper's path lengths bit-identically, [Learned]
+          trades model state for O(1)-hop routes *)
 }
 
 val default : t
@@ -128,10 +160,12 @@ val paper_quality : family:Lsh.Family.kind -> t
 (** [default] with the given hash family — the §5.1 comparisons. *)
 
 val validate : t -> unit
-(** @raise Invalid_argument on nonsensical settings (k, l < 1; negative
-    padding; empty domain; replication factor, hotness threshold, window or
-    virtual-node count < 1; migration period, minimum share or window < 1,
-    overload factor <= 1; negative signature-cache capacity; fault
+(** @raise Error.Error (code [Invalid_config], context naming the field)
+    on nonsensical settings (k, l < 1; negative padding; empty domain;
+    replication factor, hotness threshold, window or virtual-node count
+    < 1; migration period, minimum share or window < 1, overload factor
+    <= 1; negative signature-cache capacity; learned substrate with
+    negative error bound or non-positive retrain period; fault
     probabilities outside [0, 1] or a nonsensical retry policy). *)
 
 (** {1 Builder}
@@ -159,3 +193,4 @@ val with_faults : faults -> t -> t
 
 val without_faults : t -> t
 val with_signature_cache : int -> t -> t
+val with_substrate : substrate -> t -> t

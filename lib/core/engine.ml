@@ -113,9 +113,7 @@ let exact_key ~relation ~attribute value =
 
 let route_exact t ~from_name key_id =
   let from = System.peer_by_name t.routing from_name in
-  let _, hops =
-    Chord.Ring.lookup (System.ring t.routing) ~from:(Peer.id from) ~key:key_id
-  in
+  let _, hops = System.lookup_position t.routing ~from ~key:key_id in
   hops + 1
 
 let answer_exact t ~from_name ~relation ~attribute ~value ~allow_source msgs =

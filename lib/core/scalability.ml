@@ -109,10 +109,16 @@ type path_point = {
   distribution : Stats.Histogram.t;
 }
 
-let path_lengths w ?(n_lookups = 10_000) ~n_nodes ~seed () =
+let path_lengths w ?(n_lookups = 10_000) ?(substrate = Config.Chord) ~n_nodes
+    ~seed () =
   if n_nodes <= 0 then invalid_arg "Scalability: n_nodes must be positive";
   let rng = Prng.Splitmix.create seed in
   let ring = Chord.Ring.random rng ~n:n_nodes in
+  (* Substrate construction draws no randomness, so the sampled lookups
+     below are the same keys from the same sources for every substrate —
+     the hop distributions compare like for like, and the Chord default
+     replays the pre-substrate figure bit-identically. *)
+  let routing = Routing.create ~substrate ring in
   let nodes = Chord.Ring.node_ids ring in
   let n_partitions = Array.length w.identifiers in
   let samples = ref [] in
@@ -121,7 +127,7 @@ let path_lengths w ?(n_lookups = 10_000) ~n_nodes ~seed () =
     let from = nodes.(Prng.Splitmix.int rng (Array.length nodes)) in
     List.iter
       (fun identifier ->
-        let _, hops = Chord.Ring.lookup ring ~from ~key:identifier in
+        let _, hops = Routing.lookup routing ~from ~key:identifier in
         samples := float_of_int hops :: !samples)
       ids
   done;

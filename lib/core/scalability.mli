@@ -59,7 +59,17 @@ type path_point = {
 }
 
 val path_lengths :
-  workload -> ?n_lookups:int -> n_nodes:int -> seed:int64 -> unit -> path_point
+  workload ->
+  ?n_lookups:int ->
+  ?substrate:Config.substrate ->
+  n_nodes:int ->
+  seed:int64 ->
+  unit ->
+  path_point
 (** Figure 12 datapoint: [n_lookups] (default 10,000) queries, each drawn
     from the workload and issued from a uniformly random source node; every
-    one of its [l] identifier routes contributes a hop-count sample. *)
+    one of its [l] identifier routes contributes a hop-count sample.
+    [substrate] (default [Chord], which replays the paper's figure
+    bit-identically) selects who routes: the same ring, sources and keys
+    are measured under the chosen substrate, so hop distributions are
+    directly comparable. *)

@@ -12,7 +12,7 @@ type t = {
   scheme : Lsh.Scheme.t;
   cache : Lsh.Domain_cache.t option;
   sig_cache : Lsh.Sig_cache.t option;
-  ring : Chord.Ring.t;
+  routing : Routing.t; (* the substrate wrapping the ring *)
   peers : (int, Peer.t) Hashtbl.t; (* keyed by ring position *)
   by_name : (string, Peer.t) Hashtbl.t;
   peer_list : Peer.t array;
@@ -26,7 +26,8 @@ type t = {
 
 let create_with_peers ?(config = Config.default) ~seed names =
   Config.validate config;
-  if names = [] then invalid_arg "System: need at least one peer";
+  if names = [] then
+    Error.raise_error Error.Invalid_topology "System: need at least one peer";
   let rng = Prng.Splitmix.create seed in
   let scheme =
     Lsh.Scheme.create
@@ -57,7 +58,10 @@ let create_with_peers ?(config = Config.default) ~seed names =
       List.iter
         (fun position ->
           if Hashtbl.mem peers position then
-            invalid_arg "System: ring position collision (rename a peer)";
+            Error.raise_error
+              ~context:[ ("peer", Peer.name p) ]
+              Error.Invalid_topology
+              "System: ring position collision (rename a peer)";
           Hashtbl.replace peers position p)
         (Balance.Virtual_nodes.positions ~name:(Peer.name p) ~v);
       Hashtbl.replace by_name (Peer.name p) p)
@@ -65,6 +69,10 @@ let create_with_peers ?(config = Config.default) ~seed names =
   let ring =
     Chord.Ring.create ~ids:(Hashtbl.fold (fun id _ acc -> id :: acc) peers [])
   in
+  (* Substrate construction (including the learned fit) is deterministic
+     and draws nothing from [rng], so the streams below are identical
+     whichever substrate is selected. *)
+  let routing = Routing.create ~substrate:config.Config.substrate ring in
   let tracker =
     match config.Config.balancing with
     | Config.Replicate { hot; window; _ }
@@ -122,7 +130,7 @@ let create_with_peers ?(config = Config.default) ~seed names =
     scheme;
     cache;
     sig_cache;
-    ring;
+    routing;
     peers;
     by_name;
     peer_list;
@@ -135,12 +143,16 @@ let create_with_peers ?(config = Config.default) ~seed names =
   }
 
 let create ?config ~seed ~n_peers () =
-  if n_peers <= 0 then invalid_arg "System.create: n_peers must be positive";
+  if n_peers <= 0 then
+    Error.raise_error
+      ~context:[ ("n_peers", string_of_int n_peers) ]
+      Error.Invalid_topology "System.create: n_peers must be positive";
   create_with_peers ?config ~seed
     (List.init n_peers (Printf.sprintf "peer-%d"))
 
 let config t = t.config
-let ring t = t.ring
+let routing t = t.routing
+let ring t = Routing.ring t.routing
 let peers t = Array.to_list t.peer_list
 let peer_count t = Array.length t.peer_list
 
@@ -150,8 +162,12 @@ let peer_by_name t name = Hashtbl.find t.by_name name
 let random_peer t rng =
   t.peer_list.(Prng.Splitmix.int rng (Array.length t.peer_list))
 
-let owner_of_identifier t identifier =
-  peer_by_id t (Chord.Ring.owner t.ring identifier)
+(* The one owner-resolution call in the system. Placement, migration
+   redirects and external owner queries all come through here, so the
+   first-at-or-after rule cannot drift between call sites and every
+   substrate answers it the same way. *)
+let position_of t identifier = Routing.owner t.routing identifier
+let owner_of_identifier t identifier = peer_by_id t (position_of t identifier)
 
 let tracker t = t.tracker
 
@@ -185,15 +201,30 @@ let tick_faults t =
   | None -> ()
   | Some (plane, _) -> Faults.Plane.tick plane
 
+(* Membership churn reaches the substrate per virtual position: Chord's
+   static fingers ignore it, the learned model invalidates the covering
+   segments (and eventually retrains). *)
+let note_churn t peer =
+  List.iter
+    (fun position -> Routing.note_churn t.routing ~position)
+    (Balance.Virtual_nodes.positions ~name:(Peer.name peer)
+       ~v:t.config.Config.virtual_nodes)
+
 let fail_peer t peer =
   if not (Hashtbl.mem t.by_name (Peer.name peer)) then
-    invalid_arg "System.fail_peer: unknown peer";
-  Hashtbl.replace t.dead (Peer.id peer) ()
+    Error.raise_error
+      ~context:[ ("peer", Peer.name peer) ]
+      Error.Unknown_peer "System.fail_peer: unknown peer";
+  Hashtbl.replace t.dead (Peer.id peer) ();
+  note_churn t peer
 
 let recover_peer t peer =
   if not (Hashtbl.mem t.by_name (Peer.name peer)) then
-    invalid_arg "System.recover_peer: unknown peer";
-  Hashtbl.remove t.dead (Peer.id peer)
+    Error.raise_error
+      ~context:[ ("peer", Peer.name peer) ]
+      Error.Unknown_peer "System.recover_peer: unknown peer";
+  Hashtbl.remove t.dead (Peer.id peer);
+  note_churn t peer
 
 (* Deprecated spellings kept for one release; see the interface. *)
 let fail = fail_peer
@@ -268,9 +299,16 @@ type query_result = Query_result.t
 let route_all t ~from ids =
   List.map
     (fun identifier ->
-      let owner, hops = Chord.Ring.lookup t.ring ~from:(Peer.id from) ~key:identifier in
+      let owner, hops =
+        Routing.lookup t.routing ~from:(Peer.id from) ~key:identifier
+      in
       (identifier, peer_by_id t owner, hops))
     ids
+
+(* One substrate lookup from a peer — the routed position and its hop
+   count, for callers (Engine) that price their own messages. *)
+let lookup_position t ~from ~key =
+  Routing.lookup t.routing ~from:(Peer.id from) ~key
 
 let stats_of_hops ids hops =
   {
@@ -314,7 +352,7 @@ let resolve_home t ~identifier ~owner =
   match t.migration with
   | None -> (owner, false, -1)
   | Some mg -> (
-    let position = Chord.Ring.owner t.ring identifier in
+    let position = position_of t identifier in
     match Balance.Migration.holder mg ~position ~identifier with
     | None -> (owner, false, position)
     | Some target ->
@@ -378,7 +416,7 @@ let migrate_tick t =
           Balance.Virtual_nodes.positions
             ~name:(Peer.name (peer_by_id t pid))
             ~v:t.config.Config.virtual_nodes)
-        ~predecessor:(Chord.Ring.predecessor t.ring)
+        ~predecessor:(Chord.Ring.predecessor (ring t))
         ~scores:(fun () -> Balance.Tracker.windowed_scores t.tracker)
     with
     | None -> ()
@@ -774,7 +812,7 @@ let query_batch t ~from ranges =
            request/reply pair for free). Memos remember the span that paid
            for the shared work, so later queries' trace events can point
            back at it instead of re-recording the cost. *)
-        let route_cache = Chord.Ring.Route_cache.create () in
+        let route_cache = Routing.new_cache t.routing in
         let id_memo = Hashtbl.create 32 in
         let contact_memo = Hashtbl.create 32 in
         let here () = Option.value (Obs.Trace.current_id ()) ~default:0 in
@@ -806,7 +844,7 @@ let query_batch t ~from ranges =
                         Obs.Trace.with_span "route" (fun () ->
                             Obs.Trace.set_int "identifier" identifier;
                             let owner_pos, hops =
-                              Chord.Ring.lookup_via t.ring route_cache
+                              Routing.lookup_via t.routing route_cache
                                 ~from:(Peer.id from) ~key:identifier
                             in
                             let owner = peer_by_id t owner_pos in

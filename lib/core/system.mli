@@ -27,14 +27,26 @@ type t
 
 val create : ?config:Config.t -> seed:int64 -> n_peers:int -> unit -> t
 (** Builds a system of [n_peers] peers named ["peer-0" …] (ring positions
-    from SHA-1 of the names). @raise Invalid_argument on a bad config or
-    [n_peers <= 0]. *)
+    from SHA-1 of the names). @raise Error.Error on a bad config
+    ([Invalid_config]) or a ring that cannot be built ([Invalid_topology]:
+    [n_peers <= 0], no names, position collision). *)
 
 val create_with_peers : ?config:Config.t -> seed:int64 -> string list -> t
 (** Same with explicit peer names. *)
 
 val config : t -> Config.t
+
+val routing : t -> Routing.t
+(** The system's routing substrate ({!Config.t.substrate} made
+    first-class): Chord fingers or the learned index. *)
+
 val ring : t -> Chord.Ring.t
+(** The converged ring underlying whichever substrate is selected. *)
+
+val lookup_position : t -> from:Peer.t -> key:Chord.Id.t -> Chord.Id.t * int
+(** One substrate lookup from [from] to the owner of [key]: the routed
+    ring position and the overlay hops it took. *)
+
 val peers : t -> Peer.t list
 val peer_count : t -> int
 
@@ -104,12 +116,15 @@ val fail_peer : t -> Peer.t -> unit
     positions at once). Routing still reaches its ring segment — the static
     ring models converged fingers — but the data there is only served if
     replication placed a copy on a live successor. Reversible with
-    {!recover_peer}. @raise Invalid_argument for peers of another system. *)
+    {!recover_peer}. The substrate is notified (the learned model marks
+    the covering segments stale). @raise Error.Error ([Unknown_peer])
+    for peers of another system. *)
 
 val recover_peer : t -> Peer.t -> unit
 (** Brings a {!fail_peer}ed peer back: it resumes answering lookups with
-    whatever its store held when it failed (a no-op for live peers).
-    @raise Invalid_argument for peers of another system. *)
+    whatever its store held when it failed (the substrate counts the
+    recovery as churn too). @raise Error.Error ([Unknown_peer]) for
+    peers of another system. *)
 
 val alive : t -> Peer.t -> bool
 

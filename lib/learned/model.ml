@@ -1,0 +1,153 @@
+type segment = { first_key : int; base : int; slope : float }
+
+type t = {
+  keys : int array; (* sorted distinct ring positions *)
+  max_error : int;
+  retrain_after : int;
+  mutable segs : segment array;
+  mutable stale : bool array; (* parallel to [segs] *)
+  mutable epoch_ : int;
+  mutable pending : int;
+}
+
+(* Shrinking-cone segmentation: keep the interval of slopes under which
+   every point of the open segment predicts within [max_error]; when a
+   point empties the interval, close the segment at the previous point
+   and start a new one there. One pass, no arithmetic on randomness —
+   the same keys always produce the same segments. *)
+let fit_segments keys ~max_error =
+  let n = Array.length keys in
+  let err = float_of_int max_error in
+  let segs = ref [] in
+  let start = ref 0 in
+  let lo = ref neg_infinity and hi = ref infinity in
+  let close () =
+    let slope =
+      (* Mid-cone, clamped monotone. The ring function is nondecreasing
+         and every point constraint has a positive upper slope, so 0 is
+         in the cone whenever the midpoint is negative — clamping keeps
+         the training-point guarantee and makes predictions between
+         training points interpolate instead of wander. A single-point
+         segment constrains nothing; 0 pins it to the base index. *)
+      if Float.is_finite !lo && Float.is_finite !hi then
+        Float.max 0.0 (0.5 *. (!lo +. !hi))
+      else 0.0
+    in
+    segs := { first_key = keys.(!start); base = !start; slope } :: !segs;
+    lo := neg_infinity;
+    hi := infinity
+  in
+  for i = 1 to n - 1 do
+    let dx = float_of_int (keys.(i) - keys.(!start)) in
+    let dy = float_of_int (i - !start) in
+    let point_lo = (dy -. err) /. dx and point_hi = (dy +. err) /. dx in
+    let lo' = Float.max !lo point_lo and hi' = Float.min !hi point_hi in
+    if lo' > hi' then begin
+      close ();
+      start := i
+    end
+    else begin
+      lo := lo';
+      hi := hi'
+    end
+  done;
+  close ();
+  Array.of_list (List.rev !segs)
+
+let fit ~keys ~max_error ~retrain_after =
+  let n = Array.length keys in
+  if n = 0 then invalid_arg "Learned.Model.fit: empty key array";
+  for i = 1 to n - 1 do
+    if keys.(i) <= keys.(i - 1) then
+      invalid_arg "Learned.Model.fit: keys must be sorted and distinct"
+  done;
+  if max_error < 0 then invalid_arg "Learned.Model.fit: max_error must be >= 0";
+  if retrain_after < 1 then
+    invalid_arg "Learned.Model.fit: retrain_after must be >= 1";
+  let segs = fit_segments keys ~max_error in
+  {
+    keys = Array.copy keys;
+    max_error;
+    retrain_after;
+    segs;
+    stale = Array.make (Array.length segs) false;
+    epoch_ = 0;
+    pending = 0;
+  }
+
+let size t = Array.length t.keys
+let position_at t i = t.keys.(i)
+
+(* First index whose key is >= [key], wrapping to 0 past the last key —
+   the same rule as [Chord.Ring.owner], re-derived here so the model can
+   answer owner questions without holding a ring. *)
+let owner_index t ~key =
+  let n = Array.length t.keys in
+  if key > t.keys.(n - 1) then 0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.keys.(mid) >= key then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let owner_position t ~key = t.keys.(owner_index t ~key)
+
+(* Segment covering [key]: the last one whose [first_key] is <= key
+   (keys below the first segment clamp onto it). *)
+let segment_index t key =
+  let n = Array.length t.segs in
+  if key < t.segs.(0).first_key then 0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.segs.(mid).first_key <= key then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let predict t ~key =
+  let n = Array.length t.keys in
+  let owner = owner_index t ~key in
+  let si = segment_index t key in
+  let s = t.segs.(si) in
+  let raw =
+    s.base + int_of_float (Float.round (s.slope *. float_of_int (key - s.first_key)))
+  in
+  (* Clamp into the segment's index range (one past its last point: the
+     owner of a key in the trailing gap before the next segment). With
+     the monotone slope this bounds the error of {e any} probe key, not
+     just training points, by max_error + 2. *)
+  let top = if si < Array.length t.segs - 1 then t.segs.(si + 1).base else n - 1 in
+  let predicted = if raw < s.base then s.base else if raw > top then top else raw in
+  (owner, predicted, t.stale.(si))
+
+let retrain t =
+  (* Membership is static in the converged-ring model, so retraining
+     refits the same keys: the payoff is the epoch boundary — every
+     segment trusted again — not new coefficients. A dynamic ring would
+     refit over its current membership here. *)
+  t.segs <- fit_segments t.keys ~max_error:t.max_error;
+  t.stale <- Array.make (Array.length t.segs) false;
+  t.epoch_ <- t.epoch_ + 1;
+  t.pending <- 0
+
+let note_churn t ~position =
+  let si = segment_index t position in
+  t.stale.(si) <- true;
+  t.pending <- t.pending + 1;
+  if t.pending >= t.retrain_after then retrain t
+
+let epoch t = t.epoch_
+let retrains t = t.epoch_
+let pending_churn t = t.pending
+let segment_count t = Array.length t.segs
+
+let stale_segment_count t =
+  Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 t.stale
+
+let segments t =
+  Array.to_list (Array.map (fun s -> (s.first_key, s.base, s.slope)) t.segs)

@@ -1,0 +1,77 @@
+(** A learned index over a converged identifier ring.
+
+    The model fits the id→peer map of a static ring — the monotone
+    function from a 32-bit key to the index of its owner in the sorted
+    node array — with a sequence of linear segments (the "distributed
+    learned hash table" construction, arXiv:2508.14239). A lookup
+    predicts the owner's index from the covering segment, jumps there in
+    one overlay hop, and corrects the bounded residual error by walking
+    neighbour pointers; with the error capped at fit time the whole route
+    is O(1) hops regardless of ring size, versus Chord's ½·log₂ N.
+
+    The fit is deterministic segmented regression (the shrinking-cone
+    pass used by PGM/FITing-tree style indexes): no PRNG is consumed at
+    fit or lookup time, so adding the model to a seeded system never
+    perturbs its random streams.
+
+    Churn makes predictions stale. Following the ART-style staleness
+    discipline (arXiv:1201.2766) the model never refuses a lookup:
+    {!note_churn} marks the segment covering a joined/failed/recovered
+    position stale, lookups through a stale segment surrender their
+    neighbour-walk shortcut (the caller falls back to plain Chord routing
+    from the predicted node), and once enough churn accumulates the model
+    retrains — a new epoch with every segment fresh again. *)
+
+type t
+
+val fit : keys:int array -> max_error:int -> retrain_after:int -> t
+(** Fits segments over [keys], the sorted distinct ring positions.
+    Every fresh prediction is within [max_error] of the true index.
+    After [retrain_after] churn notices the model retrains itself.
+    @raise Invalid_argument on an empty or unsorted key array,
+    [max_error < 0], or [retrain_after < 1]. *)
+
+val size : t -> int
+(** Number of ring positions the model was fit over. *)
+
+val position_at : t -> int -> int
+(** The ring position at a sorted index (inverse of prediction). *)
+
+val owner_index : t -> key:int -> int
+(** Index of the owner of [key]: the first position at or clockwise
+    after it, wrapping to 0 — exactly [Chord.Ring.owner]'s rule, so both
+    substrates place every identifier on the same peer. *)
+
+val owner_position : t -> key:int -> int
+(** [position_at t (owner_index t ~key)]. *)
+
+val predict : t -> key:int -> int * int * bool
+(** [predict t ~key] is [(owner, predicted, stale)]: the true owner
+    index, the index the covering segment predicts (clamped to the
+    segment's index range), and whether that segment has seen
+    unretrained churn. Fresh segments guarantee the circular distance
+    owner↔predicted is at most [max_error + 2] for any probe key
+    (the fit error, plus rounding and between-training-point
+    interpolation); stale segments guarantee nothing. *)
+
+val note_churn : t -> position:int -> unit
+(** A peer at [position] joined, failed or recovered: the covering
+    segment goes stale. The [retrain_after]-th notice since the last
+    epoch triggers a retrain (all segments fresh, epoch + 1). *)
+
+val epoch : t -> int
+(** Retrain epochs completed so far (0 for a freshly fit model). *)
+
+val retrains : t -> int
+(** Same as {!epoch}; kept separate so a future incremental refit can
+    advance epochs without full retrains. *)
+
+val pending_churn : t -> int
+(** Churn notices since the last epoch boundary. *)
+
+val segment_count : t -> int
+val stale_segment_count : t -> int
+
+val segments : t -> (int * int * float) list
+(** [(first_key, base_index, slope)] per segment in ring order — the
+    whole learned state, for determinism tests and debugging. *)

@@ -271,8 +271,13 @@ let fail_and_alive () =
     (Sys_.replicated_buckets s);
   let other = Sys_.create_with_peers ~seed:7L [ "alpha"; "beta" ] in
   Alcotest.check_raises "unknown peer"
-    (Invalid_argument "System.fail_peer: unknown peer") (fun () ->
-      Sys_.fail_peer s (Sys_.peer_by_name other "alpha"))
+    (P2prange.Error.Error
+       {
+         P2prange.Error.code = P2prange.Error.Unknown_peer;
+         message = "System.fail_peer: unknown peer";
+         context = [ ("peer", "alpha") ];
+       })
+    (fun () -> Sys_.fail_peer s (Sys_.peer_by_name other "alpha"))
 
 (* With everyone alive, replication must be invisible in results: the two
    systems differ only in the [replication] knob and must answer every

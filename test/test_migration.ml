@@ -38,7 +38,12 @@ let spec_validation () =
     }
   in
   Alcotest.check_raises "config overload"
-    (Invalid_argument "Config: migration overload factor must exceed 1.0")
+    (P2prange.Error.Error
+       {
+         P2prange.Error.code = P2prange.Error.Invalid_config;
+         message = "Config: migration overload factor must exceed 1.0";
+         context = [ ("field", "balancing.overload"); ("value", "0.5") ];
+       })
     (fun () -> Config.validate bad)
 
 (* Drive the planner directly on a synthetic three-node ring:

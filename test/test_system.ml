@@ -16,8 +16,13 @@ let construction () =
   Alcotest.(check int) "ring size matches" 20 (Chord.Ring.size (Sys_.ring s));
   Alcotest.(check int) "starts empty" 0 (Sys_.total_entries s);
   Alcotest.check_raises "bad peer count"
-    (Invalid_argument "System.create: n_peers must be positive") (fun () ->
-      ignore (Sys_.create ~seed:1L ~n_peers:0 ()))
+    (P2prange.Error.Error
+       {
+         P2prange.Error.code = P2prange.Error.Invalid_topology;
+         message = "System.create: n_peers must be positive";
+         context = [ ("n_peers", "0") ];
+       })
+    (fun () -> ignore (Sys_.create ~seed:1L ~n_peers:0 ()))
 
 let peer_lookup () =
   let s = default_system () in
