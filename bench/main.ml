@@ -1781,6 +1781,187 @@ let substrate_bench () =
     (Routing.learned_stale_lookups routing)
     mean_correction
 
+(* ------------------------------------------------------------------ *)
+(* Chaos: partition -> heal -> crash -> recover soak, repair in between *)
+(* ------------------------------------------------------------------ *)
+
+(* Acceptance gauges for the robustness PR: recall must dip while the
+   island is cut off, hinted handoff + repair must actually fire, the
+   invariant checker must stay silent at every phase boundary, and the
+   post-repair system must land within 0.01 recall of its fault-free
+   twin on the same stream. *)
+let g_chaos_recall_partition = Obs.Metrics.gauge "chaos.bench.recall_partition"
+
+let g_chaos_recall_twin_partition =
+  Obs.Metrics.gauge "chaos.bench.recall_twin_partition"
+
+let g_chaos_recall_final = Obs.Metrics.gauge "chaos.bench.recall_final"
+let g_chaos_recall_twin_final = Obs.Metrics.gauge "chaos.bench.recall_twin_final"
+let g_chaos_recall_gap_final = Obs.Metrics.gauge "chaos.bench.recall_gap_final"
+let g_chaos_partitioned = Obs.Metrics.gauge "chaos.bench.partitioned_sends"
+let g_chaos_hints_parked = Obs.Metrics.gauge "chaos.bench.hints_parked"
+let g_chaos_hint_serves = Obs.Metrics.gauge "chaos.bench.hint_serves"
+let g_chaos_hints_replayed = Obs.Metrics.gauge "chaos.bench.hints_replayed"
+let g_chaos_repairs = Obs.Metrics.gauge "chaos.bench.repairs"
+
+let g_chaos_invariant_violations =
+  Obs.Metrics.gauge "chaos.bench.invariant_violations"
+
+let chaos_bench () =
+  (* Two identically-seeded 64-peer systems fed the same interleaved
+     publish/query stream (1 publish per 3 queries, one shared 256-range
+     pool so queries hit published data). The chaos system runs with a
+     fault plane (no ambient faults — only the injected ones), hinted
+     handoff, and retry; the twin runs fault-free. Phases: seed stores,
+     warm, partition an 8-peer island, heal + repair, crash 6 peers,
+     recover + repair, final soak. Recall is compared phase-by-phase;
+     [System.check_invariants] runs on both systems at every boundary
+     where the chaos system is nominally whole again. The plane's seed
+     is drawn after the replication tie-break split, so the twins share
+     scheme and tie-break streams exactly; cache-on-inexact stays off in
+     both because its writes depend on fault outcomes and would let the
+     stores drift apart. *)
+  let module System = P2prange.System in
+  let module Peer = P2prange.Peer in
+  let n_peers = 64 in
+  let base =
+    Config.default
+    |> Config.with_matching Config.Containment_match
+    |> Config.with_spread_identifiers true
+    |> Config.with_kl ~k:Config.default.Config.k ~l:1
+    |> Config.with_cache_on_inexact false
+    |> Config.with_balancing
+         (Config.Replicate
+            { r = 2; hot = Balance.Tracker.Absolute 8; window = 512 })
+  in
+  let chaos_config =
+    base
+    |> Config.with_faults
+         { Config.spec = Faults.Plane.no_faults; retry = Faults.Retry.default }
+    |> Config.with_hinted_handoff true
+  in
+  let chaos = System.create ~config:chaos_config ~seed ~n_peers () in
+  let twin = System.create ~config:base ~seed ~n_peers () in
+  let plane = Option.get (System.fault_plane chaos) in
+  let peers = Array.of_list (System.peers chaos) in
+  let twin_peers = Array.of_list (System.peers twin) in
+  (* Fault targets by creation order: the partitioned island is peers
+     0-7, crash victims are peers 20-25. Queries and publishes always
+     originate from the untouched back half (32-63) so the same origin
+     index is responsive in both systems throughout. *)
+  let island = List.map Peer.id (Array.to_list (Array.sub peers 0 8)) in
+  let victims = List.map Peer.id (Array.to_list (Array.sub peers 20 6)) in
+  let mean = function
+    | [] -> 0.0
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let publishes =
+    Workload.Query_workload.create
+      (Workload.Query_workload.Repeating { unique = 256 })
+      ~domain:base.Config.domain ~seed
+  in
+  let queries =
+    Workload.Query_workload.create
+      (Workload.Query_workload.Repeating { unique = 256 })
+      ~domain:base.Config.domain ~seed
+  in
+  let rng = Prng.Splitmix.create seed in
+  let origin () = 32 + Prng.Splitmix.int rng 32 in
+  let publish_both () =
+    let range = Workload.Query_workload.next publishes in
+    let o = origin () in
+    ignore
+      (System.publish chaos ~from:peers.(o) range : Query_result.lookup_stats);
+    ignore
+      (System.publish twin ~from:twin_peers.(o) range
+        : Query_result.lookup_stats)
+  in
+  let soak n =
+    let rc = ref [] and rt = ref [] in
+    for i = 1 to n do
+      if i mod 4 = 0 then publish_both ()
+      else begin
+        let range = Workload.Query_workload.next queries in
+        let o = origin () in
+        let a = System.query chaos ~from:peers.(o) range in
+        let b = System.query twin ~from:twin_peers.(o) range in
+        rc := a.Query_result.recall :: !rc;
+        rt := b.Query_result.recall :: !rt
+      end
+    done;
+    (mean !rc, mean !rt)
+  in
+  let violations = ref 0 in
+  let boundary label =
+    let v = System.check_invariants chaos @ System.check_invariants twin in
+    violations := !violations + List.length v;
+    List.iter
+      (fun line -> Format.printf "invariant violation (%s): %s@." label line)
+      v
+  in
+  for _ = 1 to 400 do
+    publish_both ()
+  done;
+  boundary "seeded";
+  let warm = soak 200 in
+  Faults.Plane.partition plane [ island ];
+  let partition = soak 400 in
+  Faults.Plane.heal plane;
+  System.repair chaos;
+  boundary "healed+repaired";
+  ignore (soak 200 : float * float);
+  List.iter (fun id -> Faults.Plane.crash plane id) victims;
+  let crash = soak 400 in
+  List.iter (fun id -> Faults.Plane.recover plane id) victims;
+  System.repair chaos;
+  boundary "recovered+repaired";
+  let final = soak 400 in
+  boundary "final";
+  let cv name =
+    float_of_int (Obs.Metrics.counter_value (Obs.Metrics.counter name))
+  in
+  Obs.Metrics.set_gauge g_chaos_recall_partition (fst partition);
+  Obs.Metrics.set_gauge g_chaos_recall_twin_partition (snd partition);
+  Obs.Metrics.set_gauge g_chaos_recall_final (fst final);
+  Obs.Metrics.set_gauge g_chaos_recall_twin_final (snd final);
+  Obs.Metrics.set_gauge g_chaos_recall_gap_final
+    (Float.abs (fst final -. snd final));
+  Obs.Metrics.set_gauge g_chaos_partitioned (cv "faults.partitioned");
+  Obs.Metrics.set_gauge g_chaos_hints_parked (cv "system.hints_parked");
+  Obs.Metrics.set_gauge g_chaos_hint_serves (cv "system.hint_serves");
+  Obs.Metrics.set_gauge g_chaos_hints_replayed (cv "system.hints_replayed");
+  Obs.Metrics.set_gauge g_chaos_repairs (cv "system.repairs");
+  Obs.Metrics.set_gauge g_chaos_invariant_violations
+    (float_of_int !violations);
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ ("phase", Stats.Table.Left);
+          ("chaos recall", Stats.Table.Right);
+          ("twin recall", Stats.Table.Right);
+          ("gap", Stats.Table.Right) ]
+  in
+  List.iter
+    (fun (label, (c, t)) ->
+      Stats.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.3f" c;
+          Printf.sprintf "%.3f" t;
+          Printf.sprintf "%+.3f" (c -. t);
+        ])
+    [
+      ("warm", warm); ("partition (8/64 cut)", partition);
+      ("crash (6 peers down)", crash); ("recovered + repaired", final);
+    ];
+  Format.printf "%a" Stats.Table.pp table;
+  Format.printf
+    "parked %d hints, still parked %d; %d invariant violations; final gap \
+     %.4f@."
+    (int_of_float (cv "system.hints_parked"))
+    (System.parked_hints chaos) !violations
+    (Float.abs (fst final -. snd final))
+
 let () =
   let t0 = Unix.gettimeofday () in
   section "fig5" "hash family execution time vs range size (Figure 5)" fig5;
@@ -1822,6 +2003,8 @@ let () =
     batch_bench;
   section "substrate" "routing substrates: Chord fingers vs learned index"
     substrate_bench;
+  section "chaos" "partition/heal/crash/recover soak with repair + invariants"
+    chaos_bench;
   section "engine-sql" "SQL-over-P2P provenance split (§2/§6)" engine_sql;
   section "baseline-can" "CAN vs Chord as the DHT substrate (§3.1)"
     baseline_can;

@@ -161,6 +161,45 @@ let check_substrate_gauges body =
   if gauge "substrate.bench.retrains" < 1.0 then
     fail "substrate: churn phase never retrained the model"
 
+(* Acceptance bars for the chaos soak (partition -> heal -> crash ->
+   recover, seed 42): cutting an 8/64-peer island must visibly dent
+   recall against the fault-free twin on the same stream; hinted handoff
+   and anti-entropy must actually fire (partitioned sends, parked hints,
+   degraded hint serves, replays, repair passes all nonzero); the
+   invariant checker must stay silent at every phase boundary; and after
+   the last repair the chaos system must land within a hair of its
+   twin's recall. *)
+let min_chaos_partition_dip = 0.05
+let max_chaos_final_gap = 0.01
+
+let check_chaos_gauges body =
+  let gauge = gauge ~section:"chaos" body in
+  let dip =
+    gauge "chaos.bench.recall_twin_partition"
+    -. gauge "chaos.bench.recall_partition"
+  in
+  if dip < min_chaos_partition_dip then
+    fail
+      "chaos: partitioning the island dented recall by only %.3f against the \
+       fault-free twin; floor is %.2f"
+      dip min_chaos_partition_dip;
+  let gap = gauge "chaos.bench.recall_gap_final" in
+  if gap > max_chaos_final_gap then
+    fail
+      "chaos: post-repair recall still %.4f away from the fault-free twin \
+       (tolerance %.2f)"
+      gap max_chaos_final_gap;
+  if gauge "chaos.bench.invariant_violations" <> 0.0 then
+    fail "chaos: check_invariants reported violations at a phase boundary";
+  List.iter
+    (fun name ->
+      if gauge name < 1.0 then fail "chaos: %s never moved" name)
+    [
+      "chaos.bench.partitioned_sends"; "chaos.bench.hints_parked";
+      "chaos.bench.hint_serves"; "chaos.bench.hints_replayed";
+      "chaos.bench.repairs";
+    ]
+
 (* --- baseline bit-identity (the tracing-disabled overhead gate) --- *)
 
 let contains_qps name =
@@ -283,6 +322,7 @@ let () =
         if name = "batch" then check_batch_gauges body;
         if name = "migration" then check_migration_gauges body;
         if name = "substrate" then check_substrate_gauges body;
+        if name = "chaos" then check_chaos_gauges body;
         match baseline with
         | None -> ()
         | Some base -> (

@@ -70,6 +70,15 @@ let slice_count t =
       + List.length (List.filter (fun s -> s.holder <> state.native) state.segs))
     t.states 0
 
+let split_positions t =
+  Hashtbl.fold (fun position _ acc -> position :: acc) t.states []
+  |> List.sort Int.compare
+
+let segments t ~position =
+  match Hashtbl.find_opt t.states position with
+  | None -> []
+  | Some state -> List.map (fun (s : seg) -> (s.lo, s.hi, s.holder)) state.segs
+
 let seg_of state identifier =
   List.find_opt
     (fun (s : seg) -> Chord.Id.in_interval_oc identifier ~lo:s.lo ~hi:s.hi)

@@ -95,3 +95,13 @@ val rounds : t -> int
 
 val slice_count : t -> int
 (** Live migrated slices across all positions. *)
+
+val split_positions : t -> Chord.Id.t list
+(** Ring positions whose interval has been split at least once, sorted
+    ascending — the positions {!segments} is non-empty for. *)
+
+val segments : t -> position:Chord.Id.t -> (Chord.Id.t * Chord.Id.t * int) list
+(** The [(lo, hi, holder)] segments of a split position, in the planner's
+    internal order; they always tile the position's circular
+    [(predecessor, position]] interval exactly (the invariant
+    [System.check_invariants] verifies). [[]] for untouched positions. *)

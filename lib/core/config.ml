@@ -47,6 +47,7 @@ type t = {
   balancing : balancing;
   virtual_nodes : int;
   faults : faults option;
+  hinted_handoff : bool;
   signature_cache : int;
   substrate : substrate;
 }
@@ -67,6 +68,7 @@ let default =
     balancing = No_balancing;
     virtual_nodes = 1;
     faults = None;
+    hinted_handoff = false;
     signature_cache = 1024;
     substrate = Chord;
   }
@@ -90,6 +92,7 @@ let with_balancing balancing t = { t with balancing }
 let with_virtual_nodes virtual_nodes t = { t with virtual_nodes }
 let with_faults faults t = { t with faults = Some faults }
 let without_faults t = { t with faults = None }
+let with_hinted_handoff hinted_handoff t = { t with hinted_handoff }
 let with_signature_cache signature_cache t = { t with signature_cache }
 let with_substrate substrate t = { t with substrate }
 
@@ -184,12 +187,9 @@ let validate t =
         "Config: learned retrain_after must be >= 1");
   match t.faults with
   | None -> ()
-  | Some { spec; retry } -> (
-    (* The fault plane validates its own spec with stdlib exceptions;
-       re-wrap so the public surface speaks one error type. *)
-    try
-      Faults.Plane.validate_spec spec;
-      Faults.Retry.validate retry
-    with Invalid_argument message ->
-      Error.raise_error ~context:[ ("field", "faults") ] Error.Invalid_config
-        message)
+  | Some { spec; retry } ->
+    (* The fault plane raises the same structured [Error] (its validation
+       lives in the shared error library), already naming the offending
+       [faults.*] / [retry.*] field — nothing to re-wrap. *)
+    Faults.Plane.validate_spec spec;
+    Faults.Retry.validate retry

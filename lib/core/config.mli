@@ -141,6 +141,12 @@ type t = {
       (** fault plane over all message boundaries; [None] (the default)
           is the fault-free protocol, bit-identical to builds that predate
           the plane *)
+  hinted_handoff : bool;
+      (** park publishes whose home peer is dead or unreachable after
+          retries as hints at the first live ring successor, serve them
+          degraded from there, and replay them home on
+          {!System.recover_peer} / {!System.repair}. Default [false] —
+          unset runs are bit-identical to builds without hints. *)
   signature_cache : int;
       (** capacity of the per-system LRU memo of range signatures
           ({!Lsh.Sig_cache}); [0] disables it. Signatures are pure
@@ -166,7 +172,9 @@ val validate : t -> unit
     < 1; migration period, minimum share or window < 1, overload factor
     <= 1; negative signature-cache capacity; learned substrate with
     negative error bound or non-positive retrain period; fault
-    probabilities outside [0, 1] or a nonsensical retry policy). *)
+    probabilities outside [0, 1], malformed partition events, or a
+    nonsensical retry policy — the fault-plane checks raise the same
+    [Error.Error] directly, naming the [faults.*] / [retry.*] field). *)
 
 (** {1 Builder}
 
@@ -192,5 +200,6 @@ val with_faults : faults -> t -> t
 (** Sets the fault plane; see {!without_faults} to clear it. *)
 
 val without_faults : t -> t
+val with_hinted_handoff : bool -> t -> t
 val with_signature_cache : int -> t -> t
 val with_substrate : substrate -> t -> t

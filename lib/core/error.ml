@@ -1,34 +1,4 @@
-type code = Invalid_config | Invalid_topology | Unknown_peer
-
-type t = { code : code; message : string; context : (string * string) list }
-
-exception Error of t
-
-let code_name = function
-  | Invalid_config -> "invalid-config"
-  | Invalid_topology -> "invalid-topology"
-  | Unknown_peer -> "unknown-peer"
-
-let to_string e =
-  let context =
-    match e.context with
-    | [] -> ""
-    | kvs ->
-      " ("
-      ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
-      ^ ")"
-  in
-  Printf.sprintf "[%s] %s%s" (code_name e.code) e.message context
-
-let pp ppf e = Format.pp_print_string ppf (to_string e)
-
-let raise_error ?(context = []) code message =
-  raise (Error { code; message; context })
-
-let failf ?context code fmt =
-  Printf.ksprintf (fun message -> raise_error ?context code message) fmt
-
-let () =
-  Printexc.register_printer (function
-    | Error e -> Some ("P2prange.Error.Error " ^ to_string e)
-    | _ -> None)
+(* The implementation lives in [lib/error] so layers below core (the
+   fault plane) can raise the same structured exception; this module is
+   the public face and adds nothing. *)
+include P2perror

@@ -22,6 +22,9 @@ type t = {
   migration : Balance.Migration.t option;
   dead : (int, unit) Hashtbl.t; (* physical ids of failed peers *)
   faults : (Faults.Plane.t * Faults.Retry.policy) option;
+  (* identifier -> ring positions holding parked hints for it, oldest
+     first. Only ever populated when [Config.hinted_handoff] is on. *)
+  hints : (int, int list) Hashtbl.t;
 }
 
 let create_with_peers ?(config = Config.default) ~seed names =
@@ -140,6 +143,7 @@ let create_with_peers ?(config = Config.default) ~seed names =
     migration;
     dead = Hashtbl.create 8;
     faults;
+    hints = Hashtbl.create 8;
   }
 
 let create ?config ~seed ~n_peers () =
@@ -218,17 +222,8 @@ let fail_peer t peer =
   Hashtbl.replace t.dead (Peer.id peer) ();
   note_churn t peer
 
-let recover_peer t peer =
-  if not (Hashtbl.mem t.by_name (Peer.name peer)) then
-    Error.raise_error
-      ~context:[ ("peer", Peer.name peer) ]
-      Error.Unknown_peer "System.recover_peer: unknown peer";
-  Hashtbl.remove t.dead (Peer.id peer);
-  note_churn t peer
-
-(* Deprecated spellings kept for one release; see the interface. *)
-let fail = fail_peer
-let recover = recover_peer
+(* [recover_peer] and the deprecated shims are defined below [repair],
+   which recovery triggers when hinted handoff is on. *)
 
 let load_imbalance t =
   Balance.Tracker.load_imbalance t.tracker
@@ -333,6 +328,12 @@ let m_migrated_entries = Obs.Metrics.counter "balance.migrated_entries"
 let m_migration_redirects = Obs.Metrics.counter "balance.migration_redirects"
 let m_migration_fallbacks = Obs.Metrics.counter "balance.migration_fallbacks"
 let g_migrated_slices = Obs.Metrics.gauge "balance.migrated_slices"
+let m_hints_parked = Obs.Metrics.counter "system.hints_parked"
+let m_hint_failures = Obs.Metrics.counter "system.hint_failures"
+let m_hint_serves = Obs.Metrics.counter "system.hint_serves"
+let m_hints_replayed = Obs.Metrics.counter "system.hints_replayed"
+let m_replica_resyncs = Obs.Metrics.counter "balance.replica_resyncs"
+let m_repairs = Obs.Metrics.counter "system.repairs"
 
 let insert_tracked t peer ~identifier entry =
   if not (Store.mem (Peer.store peer) ~identifier ~range:entry.Store.range)
@@ -446,6 +447,177 @@ let store_at_owners t routes ~range ~partition =
             positions))
     routes
 
+(* Hinted handoff (only with [Config.hinted_handoff]): a publish whose
+   home peer is dead or unreachable after retries parks the tuple at the
+   first live successor of the owner's ring position instead of losing
+   it. The hint is stored physically in the holder's bucket (so it can be
+   served degraded from there) and recorded in the registry for replay by
+   [repair]. Walking [successors] skips every virtual position of the
+   dead owner automatically — they all fail [responsive]. *)
+let park_hint t ~from ~identifier ~hops entry =
+  Obs.Trace.with_span "hint.park" (fun () ->
+      Obs.Trace.set_int "identifier" identifier;
+      let position = position_of t identifier in
+      let r = ring t in
+      let candidates =
+        Chord.Ring.successors r position (Chord.Ring.size r - 1)
+      in
+      let rec try_park = function
+        | [] ->
+          Obs.Metrics.incr m_hint_failures;
+          Obs.Trace.set_bool "parked" false
+        | cpos :: rest ->
+          let cp = peer_by_id t cpos in
+          if responsive t cp && contact_peer t ~from ~peer:cp ~legs:(hops + 2)
+          then begin
+            insert_tracked t cp ~identifier entry;
+            let holders =
+              Option.value (Hashtbl.find_opt t.hints identifier) ~default:[]
+            in
+            if not (List.mem cpos holders) then
+              Hashtbl.replace t.hints identifier (holders @ [ cpos ]);
+            Obs.Metrics.incr m_hints_parked;
+            Obs.Trace.set_bool "parked" true;
+            Obs.Trace.set_int "holder" cpos;
+            Obs.Trace.event_ii "system.hint_parked" "identifier" identifier
+              "holder" cpos
+          end
+          else try_park rest
+      in
+      try_park candidates)
+
+let parked_hints t = Hashtbl.length t.hints
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+(* Anti-entropy reconciliation after faults heal. Two deterministic
+   passes with zero PRNG draws — identifiers in sorted order, bucket
+   entries oldest-first ([Store.identifiers] / reversed [peek_bucket]),
+   exactly like replica copies and migrations:
+
+   + every parked hint whose home peer is responsive again replays into
+     the home bucket and leaves the holder (unless the holder doubles as
+     a registered replica of the identifier);
+   + every registered replica set re-syncs from its responsive home, so
+     replicas that missed inserts while crashed stop serving stale
+     buckets.
+
+   Triggered by {!recover_peer} when hinted handoff is on; after a
+   partition heal the caller runs it explicitly ([Plane.heal] cannot see
+   the system). A no-op when [Config.hinted_handoff] is unset. *)
+let repair t =
+  if t.config.Config.hinted_handoff then
+    Obs.Trace.with_span "repair" (fun () ->
+        let replayed = ref 0 and resynced = ref 0 in
+        List.iter
+          (fun identifier ->
+            let owner = owner_of_identifier t identifier in
+            let home, _, _ = resolve_home t ~identifier ~owner in
+            if responsive t home then begin
+              let holders =
+                Option.value (Hashtbl.find_opt t.hints identifier) ~default:[]
+              in
+              let remaining =
+                List.filter
+                  (fun hpos ->
+                    let hp = peer_by_id t hpos in
+                    if not (responsive t hp) then true (* replay later *)
+                    else begin
+                      let entries =
+                        List.rev (Store.peek_bucket (Peer.store hp) ~identifier)
+                      in
+                      List.iter
+                        (fun (entry : Store.entry) ->
+                          if
+                            not
+                              (Store.mem (Peer.store home) ~identifier
+                                 ~range:entry.Store.range)
+                          then begin
+                            insert_tracked t home ~identifier entry;
+                            incr replayed
+                          end)
+                        entries;
+                      let holder_is_replica =
+                        match t.replication with
+                        | None -> false
+                        | Some rs -> (
+                          match Hashtbl.find_opt rs.replicas identifier with
+                          | None -> false
+                          | Some positions -> List.mem hpos positions)
+                      in
+                      if Peer.id hp <> Peer.id home && not holder_is_replica
+                      then
+                        ignore
+                          (Store.remove_bucket (Peer.store hp) ~identifier
+                            : int);
+                      Obs.Trace.event_ii "system.hint_replayed" "identifier"
+                        identifier "holder" hpos;
+                      false
+                    end)
+                  holders
+              in
+              if remaining = [] then Hashtbl.remove t.hints identifier
+              else Hashtbl.replace t.hints identifier remaining
+            end)
+          (sorted_keys t.hints);
+        (match t.replication with
+        | None -> ()
+        | Some rs ->
+          List.iter
+            (fun identifier ->
+              let owner = owner_of_identifier t identifier in
+              let home, _, _ = resolve_home t ~identifier ~owner in
+              if responsive t home then begin
+                let entries =
+                  List.rev (Store.peek_bucket (Peer.store home) ~identifier)
+                in
+                List.iter
+                  (fun position ->
+                    let rp = peer_by_id t position in
+                    if Peer.id rp <> Peer.id home && responsive t rp then
+                      List.iter
+                        (fun (entry : Store.entry) ->
+                          if
+                            not
+                              (Store.mem (Peer.store rp) ~identifier
+                                 ~range:entry.Store.range)
+                          then begin
+                            Store.insert (Peer.store rp) ~identifier entry;
+                            Balance.Tracker.record_entry t.tracker
+                              ~peer:(Peer.id rp);
+                            incr resynced
+                          end)
+                        entries
+                  )
+                  (Option.value
+                     (Hashtbl.find_opt rs.replicas identifier)
+                     ~default:[])
+              end)
+            (sorted_keys rs.replicas));
+        Obs.Metrics.incr m_repairs;
+        Obs.Metrics.add m_hints_replayed !replayed;
+        Obs.Metrics.add m_replica_resyncs !resynced;
+        Obs.Trace.set_int "hints_replayed" !replayed;
+        Obs.Trace.set_int "replicas_resynced" !resynced)
+
+let recover_peer t peer =
+  if not (Hashtbl.mem t.by_name (Peer.name peer)) then
+    Error.raise_error
+      ~context:[ ("peer", Peer.name peer) ]
+      Error.Unknown_peer "System.recover_peer: unknown peer";
+  Hashtbl.remove t.dead (Peer.id peer);
+  note_churn t peer;
+  (* The recovered peer comes back with whatever its store held; the
+     repair pass then replays what it missed (hints parked for its
+     buckets) and re-syncs its replica copies. Gated, so recovery is
+     bit-identical to older builds when hints are off. *)
+  if t.config.Config.hinted_handoff then repair t
+
+(* Deprecated spellings kept for one release; see the interface. *)
+let fail = fail_peer
+let recover = recover_peer
+
 (* Create or refresh the replica set of a hot identifier, or lazily drop
    the replicas of one that has cooled since its last lookup. Copies are
    pull-style: whatever the owner's bucket currently holds is mirrored to
@@ -540,6 +712,34 @@ let serving_peer t ~identifier ~owner =
           (snd
              (List.nth minima (Prng.Splitmix.int rs.tie_rng (List.length minima))))))
 
+(* Degraded fallback when nobody in the owner/replica set answered: the
+   first responsive hint holder of the identifier (oldest hint first)
+   serves its parked bucket, at one forward hop past the owner's
+   segment. Consumes plane draws only when hints are on, so unset runs
+   replay bit-identically. *)
+let hint_serve t ~contact ~effective ~identifier ~hops =
+  if not t.config.Config.hinted_handoff then None
+  else
+    match Hashtbl.find_opt t.hints identifier with
+    | None | Some [] -> None
+    | Some holders ->
+      let rec try_holders = function
+        | [] -> None
+        | hpos :: rest ->
+          let hp = peer_by_id t hpos in
+          if responsive t hp && contact hp ~hops:(hops + 1) then begin
+            let reply =
+              Matching.best t.config.Config.matching ~query:effective
+                (Store.bucket (Peer.store hp) ~identifier)
+            in
+            Balance.Tracker.record_query t.tracker ~peer:(Peer.id hp)
+              ~identifier;
+            Some (reply, hpos)
+          end
+          else try_holders rest
+      in
+      try_holders holders
+
 (* One serve per routed identifier: pick the serving peer, contact it
    across the fault plane (one retried RPC spanning the route's hops),
    then read its reply {e before} charging the lookup and letting hotness
@@ -570,17 +770,27 @@ let serve_routes t ~contact ~effective ~batched routes =
             Obs.Trace.event_ii "balance.migration_redirect" "identifier"
               identifier "holder" (Peer.id home)
           end;
-          let result =
-            match serving_peer t ~identifier ~owner:home with
+          (* Nobody in the owner/replica set answered: fall back to a
+             parked hint before giving the lookup up. *)
+          let unanswered () =
+            match hint_serve t ~contact ~effective ~identifier ~hops with
+            | Some (reply, hpos) ->
+              Obs.Metrics.incr m_hint_serves;
+              Obs.Trace.set_bool "responded" true;
+              Obs.Trace.set_bool "hinted" true;
+              Obs.Trace.event_ii "system.hint_serve" "identifier" identifier
+                "holder" hpos;
+              (identifier, hops + 1, reply, true)
             | None ->
               Obs.Trace.set_bool "responded" false;
               (identifier, hops, None, false)
+          in
+          let result =
+            match serving_peer t ~identifier ~owner:home with
+            | None -> unanswered ()
             | Some peer ->
               Obs.Trace.set_int "peer" (Peer.id peer);
-              if not (contact peer ~hops) then begin
-                Obs.Trace.set_bool "responded" false;
-                (identifier, hops, None, false)
-              end
+              if not (contact peer ~hops) then unanswered ()
               else begin
                 let reply =
                   let candidates =
@@ -659,15 +869,33 @@ let publish t ~from ?partition range =
       let ids = traced_identifiers t range in
       let routes = route_all t ~from ids in
       (* Each owner store is one retried contact across the plane; an owner
-         that never answers simply misses this publication. *)
+         that never answers simply misses this publication — unless hinted
+         handoff is on, in which case the tuple parks at the first live
+         successor instead. *)
       let reached =
-        match t.faults with
-        | None -> routes
-        | Some _ ->
+        match (t.faults, t.config.Config.hinted_handoff) with
+        | None, false -> routes
+        | Some _, false ->
           List.filter
             (fun (identifier, owner, hops) ->
               let home, _, _ = resolve_home t ~identifier ~owner in
               contact_peer t ~from ~peer:home ~legs:(hops + 1))
+            routes
+        | _, true ->
+          List.filter
+            (fun (identifier, owner, hops) ->
+              let home, _, _ = resolve_home t ~identifier ~owner in
+              (* Retries first (dead peers under a plane still cost their
+                 timeout), then liveness: a fail_peer'ed home answers the
+                 plane but must not keep the only copy. *)
+              let ok =
+                contact_peer t ~from ~peer:home ~legs:(hops + 1)
+                && responsive t home
+              in
+              if not ok then
+                park_hint t ~from ~identifier ~hops
+                  { Store.range; partition };
+              ok)
             routes
       in
       store_at_owners t reached ~range ~partition;
@@ -878,6 +1106,139 @@ let query_batch t ~from ranges =
                 finish_query t ~range ~effective ~ids ~routes ~served
                   ~messages:!new_msgs))
           ranges)
+
+(* Whole-system consistency audit, read-only and PRNG-free. Returns one
+   human-readable line per violation (empty = healthy); bin/doctor.exe
+   surfaces it as a CLI and the chaos bench asserts it at every phase
+   boundary. *)
+let check_invariants t =
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let r = ring t in
+  let ids = Chord.Ring.node_ids r in
+  let n = Array.length ids in
+  (* 1. Ring structure: sorted distinct positions, a consistent successor
+     chain, self-ownership, and a peer behind every position. *)
+  Array.iteri
+    (fun i id ->
+      if i > 0 && ids.(i - 1) >= id then
+        fail "ring: node ids not strictly ascending at %d" id;
+      let succ = Chord.Ring.successor r id in
+      let expected = ids.((i + 1) mod n) in
+      if succ <> expected then
+        fail "ring: successor(%d) = %d, expected %d" id succ expected;
+      if Chord.Ring.owner r id <> id then
+        fail "ring: position %d does not own itself" id;
+      if not (Hashtbl.mem t.peers id) then
+        fail "ring: position %d has no peer behind it" id)
+    ids;
+  Hashtbl.iter
+    (fun position _ ->
+      if not (Chord.Ring.contains r position) then
+        fail "ring: peer position %d is not on the ring" position)
+    t.peers;
+  (* 2. Data reachability: every bucket stored anywhere must be servable
+     from its home (owner or migration holder), a responsive registered
+     replica, or a responsive hint holder. *)
+  let checked = Hashtbl.create 64 in
+  let reachable identifier =
+    let owner = owner_of_identifier t identifier in
+    let home, _, _ = resolve_home t ~identifier ~owner in
+    let has peer = Store.peek_bucket (Peer.store peer) ~identifier <> [] in
+    (responsive t home && has home)
+    || (match t.replication with
+       | None -> false
+       | Some rs -> (
+         match Hashtbl.find_opt rs.replicas identifier with
+         | None -> false
+         | Some positions ->
+           List.exists
+             (fun pos ->
+               let rp = peer_by_id t pos in
+               responsive t rp && has rp)
+             positions))
+    ||
+    match Hashtbl.find_opt t.hints identifier with
+    | None -> false
+    | Some holders ->
+      List.exists
+        (fun hpos ->
+          let hp = peer_by_id t hpos in
+          responsive t hp && has hp)
+        holders
+  in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun identifier ->
+          if not (Hashtbl.mem checked identifier) then begin
+            Hashtbl.replace checked identifier ();
+            if not (reachable identifier) then
+              fail
+                "data: bucket %d (stored at %s) unreachable from its home, \
+                 replicas and hints"
+                identifier (Peer.name p)
+          end)
+        (Store.identifiers (Peer.store p)))
+    t.peer_list;
+  (* 3. Replica sets: known distinct positions, on alive peers, never the
+     identifier's own home peer. *)
+  (match t.replication with
+  | None -> ()
+  | Some rs ->
+    List.iter
+      (fun identifier ->
+        let positions = Hashtbl.find rs.replicas identifier in
+        let owner = owner_of_identifier t identifier in
+        if
+          List.length (List.sort_uniq Int.compare positions)
+          <> List.length positions
+        then fail "replicas: identifier %d has duplicate positions" identifier;
+        List.iter
+          (fun pos ->
+            match Hashtbl.find_opt t.peers pos with
+            | None ->
+              fail "replicas: identifier %d names unknown position %d"
+                identifier pos
+            | Some rp ->
+              if not (alive t rp) then
+                fail "replicas: identifier %d kept on dead peer %s" identifier
+                  (Peer.name rp);
+              if Peer.id rp = Peer.id owner then
+                fail "replicas: identifier %d replicated onto its own owner %s"
+                  identifier (Peer.name rp))
+          positions)
+      (sorted_keys rs.replicas));
+  (* 4. Migration segments tile each split position's circular
+     (predecessor, position] interval exactly: chained lo->hi with no
+     gap, overlap, or leftover. *)
+  (match t.migration with
+  | None -> ()
+  | Some mg ->
+    List.iter
+      (fun position ->
+        let segs = Balance.Migration.segments mg ~position in
+        let pred = Chord.Ring.predecessor r position in
+        let rec chain cursor remaining =
+          match remaining with
+          | [] ->
+            if cursor <> position then
+              fail "migration: position %d segments stop at %d" position cursor
+          | _ -> (
+            match
+              List.partition (fun (lo, _, _) -> lo = cursor) remaining
+            with
+            | [ (_, hi, _) ], rest -> chain hi rest
+            | [], _ ->
+              fail "migration: position %d segments leave a gap at %d" position
+                cursor
+            | _ :: _ :: _, _ ->
+              fail "migration: position %d segments overlap at %d" position
+                cursor)
+        in
+        chain pred segs)
+      (Balance.Migration.split_positions mg));
+  List.rev !violations
 
 let total_entries t =
   Array.fold_left (fun acc p -> acc + Peer.load p) 0 t.peer_list

@@ -123,8 +123,47 @@ val fail_peer : t -> Peer.t -> unit
 val recover_peer : t -> Peer.t -> unit
 (** Brings a {!fail_peer}ed peer back: it resumes answering lookups with
     whatever its store held when it failed (the substrate counts the
-    recovery as churn too). @raise Error.Error ([Unknown_peer]) for
-    peers of another system. *)
+    recovery as churn too). With {!Config.t.hinted_handoff} on, recovery
+    also runs {!repair}, so publishes the peer missed while down replay
+    home. @raise Error.Error ([Unknown_peer]) for peers of another
+    system. *)
+
+val repair : t -> unit
+(** Anti-entropy reconciliation after faults heal: replays every parked
+    hint whose home peer is responsive again into the home bucket
+    (clearing the holder unless it doubles as a registered replica), then
+    re-syncs every registered replica set from its responsive home peer —
+    so replicas that missed inserts while crashed stop serving stale
+    buckets and recall returns to its fault-free level. Deterministic and
+    PRNG-free: identifiers in sorted order, bucket entries oldest-first.
+    Run it explicitly after healing a fault-plane partition
+    ({!Faults.Plane.heal} cannot see the system); {!recover_peer} runs it
+    automatically. A no-op unless {!Config.t.hinted_handoff} is on.
+    Counted on [system.repairs] / [system.hints_replayed] /
+    [balance.replica_resyncs]. *)
+
+val parked_hints : t -> int
+(** Identifiers with at least one hint currently parked at a successor
+    (0 unless {!Config.t.hinted_handoff} is on). *)
+
+val check_invariants : t -> string list
+(** Whole-system consistency audit, read-only and PRNG-free; one
+    human-readable line per violation, [[]] when healthy. Verifies:
+
+    + {b ring structure} — node positions strictly ascending and
+      distinct, the successor chain consistent, every position
+      self-owned with a peer behind it;
+    + {b data reachability} — every bucket stored anywhere is servable
+      from its home (owner or migration holder), a responsive registered
+      replica, or a responsive hint holder;
+    + {b replica sets} — known, duplicate-free positions on alive peers,
+      never the identifier's own home peer;
+    + {b migration segments} — each split position's segments tile its
+      circular [(predecessor, position]] interval exactly (no gap,
+      overlap, or leftover).
+
+    Surfaced as a CLI by [bin/doctor.exe]; the [chaos] bench asserts it
+    at every phase boundary. *)
 
 val alive : t -> Peer.t -> bool
 

@@ -1,5 +1,7 @@
 type crash = { node : int; at : int; recover_at : int option }
 
+type partition_event = { groups : int list list; at : int; heal_at : int option }
+
 type spec = {
   drop : float;
   delay : float;
@@ -8,6 +10,7 @@ type spec = {
   laggard_ms : float;
   base_ms : float;
   crashes : crash list;
+  partitions : partition_event list;
 }
 
 let no_faults =
@@ -19,26 +22,78 @@ let no_faults =
     laggard_ms = 100.0;
     base_ms = 1.0;
     crashes = [];
+    partitions = [];
   }
+
+(* Validation speaks the structured error type of the public surface
+   ([P2prange.Error] re-exports it), with the offending field in the
+   context — same convention as [Config.validate]. *)
+let reject ~field ~value message =
+  P2perror.raise_error
+    ~context:[ ("field", field); ("value", value) ]
+    P2perror.Invalid_config message
 
 let probability name p =
   if not (p >= 0.0 && p <= 1.0) then
-    invalid_arg (Printf.sprintf "Faults: %s must be in [0, 1]" name)
+    reject
+      ~field:("faults." ^ name)
+      ~value:(string_of_float p)
+      (Printf.sprintf "Faults: %s must be in [0, 1]" name)
+
+let latency name v =
+  if v < 0.0 then
+    reject
+      ~field:("faults." ^ name)
+      ~value:(string_of_float v)
+      "Faults: latencies must be non-negative"
+
+let validate_groups groups =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun group ->
+      if group = [] then
+        reject ~field:"faults.partitions.groups" ~value:"[]"
+          "Faults: partition groups must be non-empty";
+      List.iter
+        (fun node ->
+          if Hashtbl.mem seen node then
+            reject ~field:"faults.partitions.groups"
+              ~value:(string_of_int node)
+              "Faults: a node may appear in at most one partition group";
+          Hashtbl.replace seen node ())
+        group)
+    groups
 
 let validate_spec s =
   probability "drop" s.drop;
   probability "delay" s.delay;
   probability "laggard_fraction" s.laggard_fraction;
-  if s.delay_ms < 0.0 || s.laggard_ms < 0.0 || s.base_ms < 0.0 then
-    invalid_arg "Faults: latencies must be non-negative";
+  latency "delay_ms" s.delay_ms;
+  latency "laggard_ms" s.laggard_ms;
+  latency "base_ms" s.base_ms;
   List.iter
-    (fun c ->
-      if c.at < 0 then invalid_arg "Faults: crash time must be non-negative";
+    (fun (c : crash) ->
+      if c.at < 0 then
+        reject ~field:"faults.crashes.at" ~value:(string_of_int c.at)
+          "Faults: crash time must be non-negative";
       match c.recover_at with
       | Some r when r <= c.at ->
-        invalid_arg "Faults: recover_at must be after the crash time"
+        reject ~field:"faults.crashes.recover_at" ~value:(string_of_int r)
+          "Faults: recover_at must be after the crash time"
       | Some _ | None -> ())
-    s.crashes
+    s.crashes;
+  List.iter
+    (fun p ->
+      validate_groups p.groups;
+      if p.at < 0 then
+        reject ~field:"faults.partitions.at" ~value:(string_of_int p.at)
+          "Faults: partition time must be non-negative";
+      match p.heal_at with
+      | Some h when h <= p.at ->
+        reject ~field:"faults.partitions.heal_at" ~value:(string_of_int h)
+          "Faults: heal_at must be after the partition time"
+      | Some _ | None -> ())
+    s.partitions
 
 type t = {
   spec : spec;
@@ -49,6 +104,11 @@ type t = {
      head is the most recently added window, consulted first so dynamic
      [recover] can close it. *)
   crashes : (int, (int * int option) list) Hashtbl.t;
+  (* Partition cuts as windows [at, heal_at) over the same clock, each
+     with a node -> group-index membership table (nodes listed in no
+     group share the implicit "rest" group). Head = most recently
+     added. *)
+  mutable cuts : (int * int option * (int, int) Hashtbl.t) list;
   mutable now : int;
 }
 
@@ -56,8 +116,16 @@ let m_sends = Obs.Metrics.counter "faults.sends"
 let m_drops = Obs.Metrics.counter "faults.drops"
 let m_delayed = Obs.Metrics.counter "faults.delayed"
 let m_unreachable = Obs.Metrics.counter "faults.unreachable"
+let m_partitioned = Obs.Metrics.counter "faults.partitioned"
 let m_retries = Obs.Metrics.counter "faults.retries"
 let m_timeouts = Obs.Metrics.counter "faults.timeouts"
+
+let membership groups =
+  let m = Hashtbl.create 16 in
+  List.iteri
+    (fun gi group -> List.iter (fun node -> Hashtbl.replace m node gi) group)
+    groups;
+  m
 
 let create ?(spec = no_faults) ~seed () =
   validate_spec spec;
@@ -74,6 +142,10 @@ let create ?(spec = no_faults) ~seed () =
     laggard_salt = Prng.Splitmix.next_int64 (Prng.Splitmix.create seed);
     laggards = Hashtbl.create 16;
     crashes;
+    cuts =
+      List.map
+        (fun p -> (p.at, p.heal_at, membership p.groups))
+        spec.partitions;
     now = 0;
   }
 
@@ -98,6 +170,32 @@ let crash t ?recover_at node =
   | Some _ | None -> ());
   let existing = Option.value (Hashtbl.find_opt t.crashes node) ~default:[] in
   Hashtbl.replace t.crashes node ((t.now, recover_at) :: existing)
+
+let window_active t (at, heal_at) =
+  t.now >= at && match heal_at with None -> true | Some h -> t.now < h
+
+let group m node = Option.value (Hashtbl.find_opt m node) ~default:(-1)
+
+(* Reachability is a pure function of the clock and the cut tables — no
+   PRNG — so with no partitions configured nothing changes: zero draws,
+   zero counters, bit-identical streams. *)
+let partitioned t ~src ~dst =
+  List.exists
+    (fun (at, heal_at, m) ->
+      window_active t (at, heal_at) && group m src <> group m dst)
+    t.cuts
+
+let partition t groups =
+  validate_groups groups;
+  t.cuts <- (t.now, None, membership groups) :: t.cuts
+
+let heal t =
+  t.cuts <-
+    List.map
+      (fun (at, heal_at, m) ->
+        if window_active t (at, heal_at) then (at, Some t.now, m)
+        else (at, heal_at, m))
+      t.cuts
 
 let recover t node =
   match Hashtbl.find_opt t.crashes node with
@@ -135,10 +233,16 @@ let laggard t node =
 
 type outcome = Delivered of float | Dropped | Unreachable
 
-let send t ~src:_ ~dst =
+let send t ~src ~dst =
   Obs.Metrics.incr m_sends;
   if crashed t dst then begin
     Obs.Metrics.incr m_unreachable;
+    Unreachable
+  end
+  else if partitioned t ~src ~dst then begin
+    (* Checked before any draw, like the crash check: an unreachable
+       destination consumes nothing from the per-message stream. *)
+    Obs.Metrics.incr m_partitioned;
     Unreachable
   end
   else if Prng.Splitmix.float t.rng < t.spec.drop then begin

@@ -11,13 +11,21 @@
 
     Everything is observable through [Obs] counters ([faults.sends],
     [faults.drops], [faults.delayed], [faults.unreachable],
-    [faults.retries], [faults.timeouts]). With {!no_faults} the plane
-    delivers every message at [base_ms]. *)
+    [faults.partitioned], [faults.retries], [faults.timeouts]). With
+    {!no_faults} the plane delivers every message at [base_ms]. *)
 
 type crash = {
   node : int;  (** the node (Chord id or physical peer id) that crashes *)
   at : int;  (** logical time the node stops responding *)
   recover_at : int option;  (** when it answers again; [None] = never *)
+}
+
+type partition_event = {
+  groups : int list list;
+      (** disjoint reachability groups; nodes listed in no group form one
+          implicit "rest" group together *)
+  at : int;  (** logical time the network splits *)
+  heal_at : int option;  (** when it heals; [None] = until {!heal} *)
 }
 
 type spec = {
@@ -28,19 +36,24 @@ type spec = {
   laggard_ms : float;  (** extra latency of every message to a laggard *)
   base_ms : float;  (** latency of a normal delivery *)
   crashes : crash list;  (** scheduled crash/recover windows *)
+  partitions : partition_event list;  (** scheduled network partitions *)
 }
 
 val no_faults : spec
-(** Nothing injected: no drops, no delays, no laggards, no crashes. *)
+(** Nothing injected: no drops, no delays, no laggards, no crashes, no
+    partitions. *)
 
 val validate_spec : spec -> unit
-(** @raise Invalid_argument on probabilities outside [0, 1], negative
-    latencies, or crash windows that recover before they start. *)
+(** @raise P2perror.Error ([Invalid_config], context naming the offending
+    [faults.*] field) on probabilities outside [0, 1], negative latencies,
+    crash windows that recover before they start, empty partition groups,
+    a node in two groups of one event, or partition windows that heal
+    before they start. *)
 
 type t
 
 val create : ?spec:spec -> seed:int64 -> unit -> t
-(** A fresh plane at logical time 0. @raise Invalid_argument on a bad
+(** A fresh plane at logical time 0. @raise P2perror.Error on a bad
     spec. *)
 
 val spec : t -> spec
@@ -63,6 +76,27 @@ val recover : t -> int -> unit
 (** Close every crash window the node is currently inside (no-op if it is
     not crashed). *)
 
+(** {1 Network partitions}
+
+    A partition splits the node id space into reachability groups on the
+    same logical clock: while a cut is active, a message whose endpoints
+    sit in different groups is [Unreachable] — before any PRNG draw, so
+    planes without partitions replay bit-identically. Several cuts may
+    overlap; endpoints must share a group under every active cut to
+    communicate. Blocked sends count on [faults.partitioned]. *)
+
+val partition : t -> int list list -> unit
+(** Open a cut now with the given reachability groups (unlisted nodes
+    form one implicit "rest" group), healing only via {!heal}.
+    @raise P2perror.Error on empty groups or a node in two groups. *)
+
+val heal : t -> unit
+(** Close every cut active at the current time, whether scheduled in the
+    spec or opened dynamically (no-op when none is active). *)
+
+val partitioned : t -> src:int -> dst:int -> bool
+(** Whether an active cut separates the two nodes right now. *)
+
 val laggard : t -> int -> bool
 (** Whether the node is persistently slow under this seed. *)
 
@@ -71,12 +105,12 @@ val laggard : t -> int -> bool
 type outcome =
   | Delivered of float  (** delivered after this many simulated ms *)
   | Dropped  (** lost in flight *)
-  | Unreachable  (** destination is crashed *)
+  | Unreachable  (** destination crashed or across a partition cut *)
 
 val send : t -> src:int -> dst:int -> outcome
 (** One message. Draws drop (and, when configured, delay) decisions from
-    the plane's stream; a crashed destination is [Unreachable] without
-    consuming a draw. *)
+    the plane's stream; a crashed or partitioned-away destination is
+    [Unreachable] without consuming a draw. *)
 
 val send_route : t -> src:int -> dst:int -> legs:int -> outcome
 (** A request that crosses [legs] overlay hops: [legs] independent [send]

@@ -21,14 +21,31 @@ let default =
     budget_ms = 500.0;
   }
 
+(* Validation speaks the structured error type of the public surface
+   ([P2prange.Error] re-exports it), with the offending field in the
+   context — same convention as [Config.validate]. *)
+let reject ~field ~value message =
+  P2perror.raise_error
+    ~context:[ ("field", field); ("value", value) ]
+    P2perror.Invalid_config message
+
 let validate p =
-  if p.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
+  if p.max_attempts < 1 then
+    reject ~field:"retry.max_attempts"
+      ~value:(string_of_int p.max_attempts)
+      "Retry: max_attempts must be >= 1";
   if p.base_backoff_ms < 0.0 then
-    invalid_arg "Retry: base_backoff_ms must be non-negative";
+    reject ~field:"retry.base_backoff_ms"
+      ~value:(string_of_float p.base_backoff_ms)
+      "Retry: base_backoff_ms must be non-negative";
   if p.max_backoff_ms < p.base_backoff_ms then
-    invalid_arg "Retry: max_backoff_ms must be >= base_backoff_ms";
+    reject ~field:"retry.max_backoff_ms"
+      ~value:(string_of_float p.max_backoff_ms)
+      "Retry: max_backoff_ms must be >= base_backoff_ms";
   if not (p.budget_ms > 0.0) then
-    invalid_arg "Retry: budget_ms must be positive"
+    reject ~field:"retry.budget_ms"
+      ~value:(string_of_float p.budget_ms)
+      "Retry: budget_ms must be positive"
 
 (* Capped exponential with deterministic jitter: the caller supplies the
    jitter draw (uniform in [0, 1)) so backoff consumes no hidden

@@ -22,7 +22,8 @@ val default : policy
 (** 4 attempts, 5 ms base doubling to an 80 ms cap, 500 ms budget. *)
 
 val validate : policy -> unit
-(** @raise Invalid_argument on a nonsensical policy. *)
+(** @raise P2perror.Error ([Invalid_config], context naming the
+    offending [retry.*] field) on a nonsensical policy. *)
 
 val backoff_ms : policy -> attempt:int -> jitter:float -> float
 (** [backoff_ms p ~attempt ~jitter] is the wait before retry number

@@ -4,6 +4,7 @@
 
 module Plane = Faults.Plane
 module Retry = Faults.Retry
+module Err = P2prange.Error
 
 let outcome_label = function
   | Plane.Delivered _ -> "delivered"
@@ -186,24 +187,220 @@ let backoff_arithmetic () =
     (Invalid_argument "Retry.backoff_ms: attempt must be >= 1") (fun () ->
       ignore (Retry.backoff_ms p ~attempt:0 ~jitter:0.5 : float))
 
+let crashes_interleave_scheduled_and_dynamic () =
+  (* Dynamic crash/recover composes with spec-scheduled windows on one
+     clock: windows stack independently, and [recover] closes whatever is
+     open right now — scheduled or not — without touching the future. *)
+  let spec =
+    {
+      Plane.no_faults with
+      crashes = [ { Plane.node = 4; at = 3; recover_at = Some 6 } ];
+    }
+  in
+  let p = Plane.create ~spec ~seed:19L () in
+  Alcotest.(check bool) "up before both windows" false (Plane.crashed p 4);
+  (* Dynamic window [0, 2) ahead of the scheduled [3, 6). *)
+  Plane.crash p ~recover_at:2 4;
+  Alcotest.(check bool) "down in the dynamic window" true (Plane.crashed p 4);
+  Plane.tick p;
+  Plane.tick p;
+  Alcotest.(check bool) "up in the gap between windows" false
+    (Plane.crashed p 4);
+  Plane.tick p;
+  Alcotest.(check bool) "scheduled window opens at t=3" true
+    (Plane.crashed p 4);
+  (* Dynamic recover closes the scheduled window early… *)
+  Plane.recover p 4;
+  Alcotest.(check bool) "recover overrides the schedule" false
+    (Plane.crashed p 4);
+  Plane.tick p;
+  Alcotest.(check bool) "stays closed inside the original window" false
+    (Plane.crashed p 4);
+  (* …and a fresh open-ended dynamic crash outlives the schedule. *)
+  Plane.crash p 4;
+  Plane.tick p;
+  Plane.tick p;
+  Plane.tick p;
+  Alcotest.(check bool) "open-ended dynamic crash persists at t=7" true
+    (Plane.crashed p 4);
+  Plane.recover p 4;
+  Alcotest.(check bool) "final recover brings it back" false
+    (Plane.crashed p 4)
+
+let scheduled_partitions_follow_the_clock () =
+  let spec =
+    {
+      Plane.no_faults with
+      partitions =
+        [ { Plane.groups = [ [ 1; 2 ]; [ 3 ] ]; at = 2; heal_at = Some 5 } ];
+    }
+  in
+  let p = Plane.create ~spec ~seed:17L () in
+  let deliverable src dst =
+    match Plane.send p ~src ~dst with
+    | Plane.Delivered _ -> true
+    | Plane.Dropped | Plane.Unreachable -> false
+  in
+  Alcotest.(check bool) "whole before the cut" true (deliverable 1 3);
+  Plane.tick p;
+  Plane.tick p;
+  Alcotest.(check bool) "cut active at t=2" true
+    (Plane.partitioned p ~src:1 ~dst:3);
+  Alcotest.(check bool) "cross-group send blocked" false (deliverable 1 3);
+  Alcotest.(check bool) "symmetric" false (deliverable 3 1);
+  Alcotest.(check bool) "same group still talks" true (deliverable 1 2);
+  (* Unlisted nodes share one implicit "rest" group. *)
+  Alcotest.(check bool) "rest group is coherent" true (deliverable 7 9);
+  Alcotest.(check bool) "rest cannot reach a listed group" false
+    (deliverable 7 1);
+  Plane.tick p;
+  Plane.tick p;
+  Plane.tick p;
+  Alcotest.(check bool) "healed on schedule at t=5" false
+    (Plane.partitioned p ~src:1 ~dst:3);
+  Alcotest.(check bool) "whole again" true (deliverable 1 3)
+
+let dynamic_partition_and_heal () =
+  let p = Plane.create ~seed:18L () in
+  Alcotest.(check bool) "whole initially" false
+    (Plane.partitioned p ~src:0 ~dst:2);
+  Plane.partition p [ [ 0; 1 ]; [ 2; 3 ] ];
+  Alcotest.(check bool) "cut separates groups" true
+    (Plane.partitioned p ~src:0 ~dst:2);
+  Alcotest.(check bool) "same group unaffected" false
+    (Plane.partitioned p ~src:0 ~dst:1);
+  (* Overlapping cuts: endpoints must share a group under EVERY active
+     cut. The second cut isolates 0 from the rest, splitting 0 from 1
+     even though the first cut kept them together. *)
+  Plane.partition p [ [ 0 ] ];
+  Alcotest.(check bool) "second cut splits a former group" true
+    (Plane.partitioned p ~src:0 ~dst:1);
+  (match Plane.send p ~src:0 ~dst:1 with
+  | Plane.Unreachable -> ()
+  | o -> Alcotest.failf "partitioned send got through (%s)" (outcome_label o));
+  Plane.heal p;
+  Alcotest.(check bool) "heal closes every active cut" false
+    (Plane.partitioned p ~src:0 ~dst:1
+    || Plane.partitioned p ~src:0 ~dst:2);
+  (match Plane.send p ~src:0 ~dst:1 with
+  | Plane.Delivered _ -> ()
+  | o -> Alcotest.failf "healed send failed (%s)" (outcome_label o));
+  Alcotest.check_raises "dynamic cuts are validated too"
+    (Err.Error
+       {
+         Err.code = Err.Invalid_config;
+         message = "Faults: partition groups must be non-empty";
+         context = [ ("field", "faults.partitions.groups"); ("value", "[]") ];
+       })
+    (fun () -> Plane.partition p [ [] ])
+
+let partitions_consume_no_prng_draws () =
+  (* A blocked send is decided before any draw, so a plane with an active
+     cut replays the same drop/delay stream as one without — interleaving
+     cross-cut sends must not shift subsequent outcomes. *)
+  let spec = { Plane.no_faults with drop = 0.4; delay = 0.3; delay_ms = 5.0 } in
+  let a = Plane.create ~spec ~seed:23L () in
+  let b = Plane.create ~spec ~seed:23L () in
+  Plane.partition b [ [ 5 ] ];
+  let m_partitioned = Obs.Metrics.counter "faults.partitioned" in
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.enable ();
+  let before = Obs.Metrics.counter_value m_partitioned in
+  for i = 0 to 199 do
+    (match Plane.send b ~src:0 ~dst:5 with
+    | Plane.Unreachable -> ()
+    | o -> Alcotest.failf "cut send %d got through (%s)" i (outcome_label o));
+    let oa = Plane.send a ~src:0 ~dst:1 in
+    let ob = Plane.send b ~src:0 ~dst:1 in
+    if oa <> ob then
+      Alcotest.failf "stream diverged at %d: %s vs %s" i (outcome_label oa)
+        (outcome_label ob)
+  done;
+  Alcotest.(check int) "every blocked send counted" 200
+    (Obs.Metrics.counter_value m_partitioned - before);
+  if not was_enabled then Obs.Metrics.disable ()
+
+(* Exact message + context regression: the fault plane speaks the same
+   structured error as the rest of the public surface now ([P2perror] is
+   re-exported as [P2prange.Error]), naming the offending field. *)
 let validation_rejects_nonsense () =
-  Alcotest.check_raises "drop > 1"
-    (Invalid_argument "Faults: drop must be in [0, 1]") (fun () ->
-      Plane.validate_spec { Plane.no_faults with drop = 1.5 });
-  Alcotest.check_raises "negative latency"
-    (Invalid_argument "Faults: latencies must be non-negative") (fun () ->
-      Plane.validate_spec { Plane.no_faults with base_ms = -1.0 });
-  Alcotest.check_raises "inverted crash window"
-    (Invalid_argument "Faults: recover_at must be after the crash time")
+  let expect name message context bad =
+    Alcotest.check_raises name
+      (Err.Error
+         { Err.code = Err.Invalid_config; message; context })
+      bad
+  in
+  expect "drop > 1" "Faults: drop must be in [0, 1]"
+    [ ("field", "faults.drop"); ("value", "1.5") ]
+    (fun () -> Plane.validate_spec { Plane.no_faults with drop = 1.5 });
+  expect "negative latency" "Faults: latencies must be non-negative"
+    [ ("field", "faults.base_ms"); ("value", "-1.") ]
+    (fun () -> Plane.validate_spec { Plane.no_faults with base_ms = -1.0 });
+  expect "inverted crash window" "Faults: recover_at must be after the crash time"
+    [ ("field", "faults.crashes.recover_at"); ("value", "5") ]
     (fun () ->
       Plane.validate_spec
         {
           Plane.no_faults with
           crashes = [ { Plane.node = 1; at = 5; recover_at = Some 5 } ];
         });
-  Alcotest.check_raises "zero attempts"
-    (Invalid_argument "Retry: max_attempts must be >= 1") (fun () ->
-      Retry.validate { Retry.default with max_attempts = 0 })
+  expect "negative crash time" "Faults: crash time must be non-negative"
+    [ ("field", "faults.crashes.at"); ("value", "-1") ]
+    (fun () ->
+      Plane.validate_spec
+        {
+          Plane.no_faults with
+          crashes = [ { Plane.node = 1; at = -1; recover_at = None } ];
+        });
+  expect "empty partition group" "Faults: partition groups must be non-empty"
+    [ ("field", "faults.partitions.groups"); ("value", "[]") ]
+    (fun () ->
+      Plane.validate_spec
+        {
+          Plane.no_faults with
+          partitions = [ { Plane.groups = [ [ 1 ]; [] ]; at = 0; heal_at = None } ];
+        });
+  expect "node in two groups"
+    "Faults: a node may appear in at most one partition group"
+    [ ("field", "faults.partitions.groups"); ("value", "2") ]
+    (fun () ->
+      Plane.validate_spec
+        {
+          Plane.no_faults with
+          partitions =
+            [ { Plane.groups = [ [ 1; 2 ]; [ 2; 3 ] ]; at = 0; heal_at = None } ];
+        });
+  expect "inverted partition window"
+    "Faults: heal_at must be after the partition time"
+    [ ("field", "faults.partitions.heal_at"); ("value", "3") ]
+    (fun () ->
+      Plane.validate_spec
+        {
+          Plane.no_faults with
+          partitions = [ { Plane.groups = [ [ 1 ] ]; at = 3; heal_at = Some 3 } ];
+        });
+  expect "zero attempts" "Retry: max_attempts must be >= 1"
+    [ ("field", "retry.max_attempts"); ("value", "0") ]
+    (fun () -> Retry.validate { Retry.default with max_attempts = 0 });
+  expect "negative backoff" "Retry: base_backoff_ms must be non-negative"
+    [ ("field", "retry.base_backoff_ms"); ("value", "-1.") ]
+    (fun () -> Retry.validate { Retry.default with base_backoff_ms = -1.0 });
+  (* Config.validate forwards the plane's error untouched — no re-wrap. *)
+  Alcotest.check_raises "through Config.validate"
+    (Err.Error
+       {
+         Err.code = Err.Invalid_config;
+         message = "Faults: drop must be in [0, 1]";
+         context = [ ("field", "faults.drop"); ("value", "2.") ];
+       })
+    (fun () ->
+      P2prange.Config.validate
+        (P2prange.Config.default
+        |> P2prange.Config.with_faults
+             {
+               P2prange.Config.spec = { Plane.no_faults with drop = 2.0 };
+               retry = Retry.default;
+             }))
 
 (* ---- integration with the dynamic Chord network ---- *)
 
@@ -320,6 +517,14 @@ let suite =
       crash_windows_follow_the_clock;
     Alcotest.test_case "dynamic crash and recover" `Quick
       dynamic_crash_and_recover;
+    Alcotest.test_case "crashes interleave scheduled and dynamic windows"
+      `Quick crashes_interleave_scheduled_and_dynamic;
+    Alcotest.test_case "scheduled partitions follow the logical clock" `Quick
+      scheduled_partitions_follow_the_clock;
+    Alcotest.test_case "dynamic partition and heal" `Quick
+      dynamic_partition_and_heal;
+    Alcotest.test_case "partitions consume no PRNG draws" `Quick
+      partitions_consume_no_prng_draws;
     Alcotest.test_case "laggards are a pure function of the seed" `Quick
       laggards_are_a_pure_function_of_seed;
     Alcotest.test_case "rpc retries recover drops" `Quick

@@ -209,6 +209,67 @@ let correction_under_crashes () =
     "lookups were made" true
     (Routing.learned_lookups routing > 0)
 
+(* A failed peer's buckets fail over to replicas under the learned
+   substrate; after [recover_peer] the peer serves lookups itself again —
+   proven by killing every replica holder and asking once more — with the
+   model counting both churn events. *)
+let recovered_peer_serves_under_learned_failback () =
+  let config =
+    {
+      Config.default with
+      Config.l = 1;
+      balancing =
+        Config.Replicate
+          { r = 2; hot = Balance.Tracker.Absolute 3; window = 64 };
+    }
+    |> Config.with_substrate
+         (Config.Learned { Config.max_error = 8; retrain_after = 1_000_000 })
+  in
+  let s = Sys_.create ~config ~seed:7L ~n_peers:32 () in
+  let range = mk 30 50 in
+  let identifier = List.hd (Sys_.identifiers s range) in
+  let owner = Sys_.owner_of_identifier s identifier in
+  let owner_name = P2prange.Peer.name owner in
+  let other =
+    List.find (fun p -> P2prange.Peer.name p <> owner_name) (Sys_.peers s)
+  in
+  let _ = Sys_.publish s ~from:other range in
+  (* Hammer the range hot so its bucket replicates, then fail the owner:
+     a replica serves in its stead. *)
+  for _ = 1 to 4 do
+    ignore (Sys_.query s ~from:other range)
+  done;
+  Alcotest.(check bool) "bucket replicated" true (Sys_.replicated_buckets s > 0);
+  let model = Option.get (Routing.learned_model (Sys_.routing s)) in
+  let churn0 = Model.pending_churn model in
+  Sys_.fail_peer s owner;
+  Alcotest.(check int) "failure counted as churn" (churn0 + 1)
+    (Model.pending_churn model);
+  let r = Sys_.query s ~from:other range in
+  Alcotest.(check (float 1e-9)) "failback keeps exact recall" 1.0
+    r.Query_result.recall;
+  Sys_.recover_peer s owner;
+  Alcotest.(check int) "recovery counted as churn too" (churn0 + 2)
+    (Model.pending_churn model);
+  (* Kill every other copy: only the recovered owner can answer now. *)
+  List.iter
+    (fun p ->
+      if
+        P2prange.Peer.name p <> owner_name
+        && P2prange.Store.mem (P2prange.Peer.store p) ~identifier ~range
+      then Sys_.fail_peer s p)
+    (Sys_.peers s);
+  let asker =
+    List.find
+      (fun p -> Sys_.alive s p && P2prange.Peer.name p <> owner_name)
+      (Sys_.peers s)
+  in
+  let r = Sys_.query s ~from:asker range in
+  Alcotest.(check (float 1e-9)) "the recovered peer serves it" 1.0
+    r.Query_result.recall;
+  Alcotest.(check bool) "with a real match" true
+    (r.Query_result.matched <> None)
+
 (* Belt and braces for the acceptance bar: the default config and an
    explicit [with_substrate Chord] are the same system, query for query. *)
 let default_is_chord () =
@@ -237,6 +298,8 @@ let suite =
       answers_substrate_independent;
     Alcotest.test_case "correction fallback under 10% crashes" `Quick
       correction_under_crashes;
+    Alcotest.test_case "recovered peer serves again under learned failback"
+      `Quick recovered_peer_serves_under_learned_failback;
     Alcotest.test_case "default substrate is Chord, bit-identical" `Quick
       default_is_chord;
   ]

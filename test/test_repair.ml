@@ -1,0 +1,271 @@
+(* Partition tolerance and post-fault repair: hinted handoff parks
+   publishes whose home peer is unreachable, parked tuples serve lookups
+   degraded, anti-entropy repair replays them home (and re-syncs stale
+   replicas) after recovery or a partition heal, and the whole-system
+   invariant checker vouches for the result. *)
+
+module Range = Rangeset.Range
+module Sys_ = P2prange.System
+module Config = P2prange.Config
+module Peer = P2prange.Peer
+module Store = P2prange.Store
+module Query_result = P2prange.Query_result
+module Plane = Faults.Plane
+
+let mk lo hi = Range.make ~lo ~hi
+
+(* One identifier per range keeps the owner of a published range a single
+   deterministic peer, so tests can aim failures precisely. *)
+let hinted_config =
+  { Config.default with Config.l = 1; hinted_handoff = true }
+
+let not_named name p = Peer.name p <> name
+
+(* Turning hinted handoff on without any failure must be invisible:
+   results, stats and stores identical, and nothing ever parks. *)
+let transparent_without_failures () =
+  let off = Sys_.create ~seed:11L ~n_peers:24 () in
+  let on =
+    Sys_.create
+      ~config:{ Config.default with Config.hinted_handoff = true }
+      ~seed:11L ~n_peers:24 ()
+  in
+  let rng = Prng.Splitmix.create 5L in
+  for i = 1 to 150 do
+    let name = Printf.sprintf "peer-%d" (Prng.Splitmix.int rng 24) in
+    let lo = Prng.Splitmix.int rng 900 in
+    let range = mk lo (Stdlib.min 1000 (lo + 1 + Prng.Splitmix.int rng 60)) in
+    if i mod 3 = 0 then begin
+      let a = Sys_.publish off ~from:(Sys_.peer_by_name off name) range in
+      let b = Sys_.publish on ~from:(Sys_.peer_by_name on name) range in
+      Alcotest.(check bool) "identical publish stats" true (a = b)
+    end
+    else begin
+      let a = Sys_.query off ~from:(Sys_.peer_by_name off name) range in
+      let b = Sys_.query on ~from:(Sys_.peer_by_name on name) range in
+      Alcotest.(check bool) "identical query result" true (a = b)
+    end
+  done;
+  Alcotest.(check int) "same entries" (Sys_.total_entries off)
+    (Sys_.total_entries on);
+  Alcotest.(check int) "no hints without failures" 0 (Sys_.parked_hints on)
+
+let hints_park_and_serve_degraded () =
+  let s = Sys_.create ~config:hinted_config ~seed:7L ~n_peers:16 () in
+  let range = mk 30 50 in
+  let identifier = List.hd (Sys_.identifiers s range) in
+  let owner = Sys_.owner_of_identifier s identifier in
+  let other = List.find (not_named (Peer.name owner)) (Sys_.peers s) in
+  Sys_.fail_peer s owner;
+  let m_parked = Obs.Metrics.counter "system.hints_parked" in
+  let m_serves = Obs.Metrics.counter "system.hint_serves" in
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.enable ();
+  let parked0 = Obs.Metrics.counter_value m_parked in
+  let serves0 = Obs.Metrics.counter_value m_serves in
+  let _ = Sys_.publish s ~from:other range in
+  Alcotest.(check int) "one bucket parked" 1 (Sys_.parked_hints s);
+  Alcotest.(check bool) "parking counted" true
+    (Obs.Metrics.counter_value m_parked > parked0);
+  Alcotest.(check bool) "the dead owner holds nothing" false
+    (Store.mem (Peer.store owner) ~identifier ~range);
+  (* The parked tuple answers lookups from wherever it landed. *)
+  let r = Sys_.query s ~from:other range in
+  Alcotest.(check bool) "match found via the hint" true
+    (r.Query_result.matched <> None);
+  Alcotest.(check (float 1e-9)) "exact recall" 1.0 r.Query_result.recall;
+  Alcotest.(check bool) "the hint answered, so not degraded" false
+    r.Query_result.degraded;
+  Alcotest.(check bool) "hint serve counted" true
+    (Obs.Metrics.counter_value m_serves > serves0);
+  if not was_enabled then Obs.Metrics.disable ();
+  (* Control: the same failure without hinted handoff loses the tuple. *)
+  let bare =
+    Sys_.create
+      ~config:{ hinted_config with Config.hinted_handoff = false }
+      ~seed:7L ~n_peers:16 ()
+  in
+  Sys_.fail_peer bare (Sys_.peer_by_name bare (Peer.name owner));
+  let from = Sys_.peer_by_name bare (Peer.name other) in
+  let _ = Sys_.publish bare ~from range in
+  Alcotest.(check int) "nothing parks when the feature is off" 0
+    (Sys_.parked_hints bare);
+  let r = Sys_.query bare ~from range in
+  Alcotest.(check bool) "no hints, no answer" true
+    (r.Query_result.matched = None);
+  Alcotest.(check bool) "and the lookup degrades" true r.Query_result.degraded
+
+let recover_replays_hints_home () =
+  let s = Sys_.create ~config:hinted_config ~seed:7L ~n_peers:16 () in
+  let range = mk 30 50 in
+  let identifier = List.hd (Sys_.identifiers s range) in
+  let owner = Sys_.owner_of_identifier s identifier in
+  let other = List.find (not_named (Peer.name owner)) (Sys_.peers s) in
+  Sys_.fail_peer s owner;
+  let _ = Sys_.publish s ~from:other range in
+  Alcotest.(check int) "hint parked" 1 (Sys_.parked_hints s);
+  let holder =
+    List.find
+      (fun p ->
+        not_named (Peer.name owner) p
+        && Store.mem (Peer.store p) ~identifier ~range)
+      (Sys_.peers s)
+  in
+  let m_replayed = Obs.Metrics.counter "system.hints_replayed" in
+  let m_repairs = Obs.Metrics.counter "system.repairs" in
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.enable ();
+  let replayed0 = Obs.Metrics.counter_value m_replayed in
+  let repairs0 = Obs.Metrics.counter_value m_repairs in
+  (* Recovery triggers the repair pass on its own. *)
+  Sys_.recover_peer s owner;
+  Alcotest.(check int) "hint registry drained" 0 (Sys_.parked_hints s);
+  Alcotest.(check bool) "entry replayed home" true
+    (Store.mem (Peer.store owner) ~identifier ~range);
+  Alcotest.(check bool) "holder cleared after replay" false
+    (Store.mem (Peer.store holder) ~identifier ~range);
+  Alcotest.(check int) "exactly one copy remains" 1 (Sys_.total_entries s);
+  Alcotest.(check bool) "replay counted" true
+    (Obs.Metrics.counter_value m_replayed > replayed0);
+  Alcotest.(check bool) "repair counted" true
+    (Obs.Metrics.counter_value m_repairs > repairs0);
+  if not was_enabled then Obs.Metrics.disable ();
+  let r = Sys_.query s ~from:other range in
+  Alcotest.(check (float 1e-9)) "served by the owner again" 1.0
+    r.Query_result.recall;
+  Alcotest.(check (list string)) "invariants hold" []
+    (Sys_.check_invariants s)
+
+let repair_resyncs_stale_replicas () =
+  let config =
+    {
+      Config.default with
+      Config.l = 1;
+      hinted_handoff = true;
+      balancing =
+        Config.Replicate
+          { r = 2; hot = Balance.Tracker.Absolute 3; window = 64 };
+    }
+  in
+  let s = Sys_.create ~config ~seed:7L ~n_peers:16 () in
+  let range = mk 30 50 in
+  let identifier = List.hd (Sys_.identifiers s range) in
+  let owner = Sys_.owner_of_identifier s identifier in
+  let other = List.find (not_named (Peer.name owner)) (Sys_.peers s) in
+  let _ = Sys_.publish s ~from:other range in
+  (* Hammer the range hot so the maintenance pass replicates its bucket. *)
+  for _ = 1 to 4 do
+    ignore (Sys_.query s ~from:other range)
+  done;
+  Alcotest.(check bool) "bucket replicated" true (Sys_.replicated_buckets s > 0);
+  let replica =
+    List.find
+      (fun p ->
+        not_named (Peer.name owner) p
+        && Store.mem (Peer.store p) ~identifier ~range)
+      (Sys_.peers s)
+  in
+  (* Simulate a replica that missed inserts while it was down. *)
+  ignore (Store.remove_bucket (Peer.store replica) ~identifier : int);
+  Alcotest.(check bool) "copy gone" false
+    (Store.mem (Peer.store replica) ~identifier ~range);
+  let m_resyncs = Obs.Metrics.counter "balance.replica_resyncs" in
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.enable ();
+  let resyncs0 = Obs.Metrics.counter_value m_resyncs in
+  Sys_.repair s;
+  Alcotest.(check bool) "copy re-synced from the home peer" true
+    (Store.mem (Peer.store replica) ~identifier ~range);
+  Alcotest.(check bool) "resync counted" true
+    (Obs.Metrics.counter_value m_resyncs > resyncs0);
+  if not was_enabled then Obs.Metrics.disable ();
+  Alcotest.(check (list string)) "invariants hold" []
+    (Sys_.check_invariants s)
+
+(* The full arc under a fault plane: a network partition strands the home
+   peer, publishes park across the cut, lookups serve degraded, and after
+   [Plane.heal] an explicit [repair] (the plane cannot see the system)
+   restores the fault-free picture. *)
+let partition_heal_repair_restores_recall () =
+  let config =
+    {
+      Config.default with
+      Config.l = 1;
+      hinted_handoff = true;
+      faults =
+        Some { Config.spec = Plane.no_faults; retry = Faults.Retry.default };
+    }
+  in
+  let s = Sys_.create ~config ~seed:7L ~n_peers:16 () in
+  let plane = Option.get (Sys_.fault_plane s) in
+  let range = mk 30 50 in
+  let identifier = List.hd (Sys_.identifiers s range) in
+  let owner = Sys_.owner_of_identifier s identifier in
+  let other = List.find (not_named (Peer.name owner)) (Sys_.peers s) in
+  (* Cut the owner off on its own side; everyone else shares the rest. *)
+  Plane.partition plane [ [ Peer.id owner ] ];
+  let _ = Sys_.publish s ~from:other range in
+  Alcotest.(check int) "publish parked across the cut" 1 (Sys_.parked_hints s);
+  let r = Sys_.query s ~from:other range in
+  Alcotest.(check (float 1e-9)) "hint serves across the cut" 1.0
+    r.Query_result.recall;
+  Alcotest.(check (list string)) "invariants hold mid-partition" []
+    (Sys_.check_invariants s);
+  Plane.heal plane;
+  Sys_.repair s;
+  Alcotest.(check int) "hints drained after heal + repair" 0
+    (Sys_.parked_hints s);
+  Alcotest.(check bool) "owner holds its bucket again" true
+    (Store.mem (Peer.store owner) ~identifier ~range);
+  let r = Sys_.query s ~from:other range in
+  Alcotest.(check (float 1e-9)) "recall restored" 1.0 r.Query_result.recall;
+  Alcotest.(check (list string)) "invariants hold after repair" []
+    (Sys_.check_invariants s)
+
+let invariants_detect_unreachable_buckets () =
+  let s =
+    Sys_.create
+      ~config:{ Config.default with Config.l = 1 }
+      ~seed:7L ~n_peers:16 ()
+  in
+  Alcotest.(check (list string)) "healthy when fresh" []
+    (Sys_.check_invariants s);
+  let range = mk 30 50 in
+  let identifier = List.hd (Sys_.identifiers s range) in
+  let owner = Sys_.owner_of_identifier s identifier in
+  let other = List.find (not_named (Peer.name owner)) (Sys_.peers s) in
+  let _ = Sys_.publish s ~from:other range in
+  Alcotest.(check (list string)) "healthy after a publish" []
+    (Sys_.check_invariants s);
+  (* No hints, no replicas: killing the owner strands its bucket, and the
+     checker names it. *)
+  Sys_.fail_peer s owner;
+  let expected =
+    Printf.sprintf
+      "data: bucket %d (stored at %s) unreachable from its home, replicas \
+       and hints"
+      identifier (Peer.name owner)
+  in
+  Alcotest.(check bool)
+    ("reported: " ^ expected)
+    true
+    (List.mem expected (Sys_.check_invariants s));
+  Sys_.recover_peer s owner;
+  Alcotest.(check (list string)) "healthy again after recovery" []
+    (Sys_.check_invariants s)
+
+let suite =
+  [
+    Alcotest.test_case "hinted handoff is transparent without failures"
+      `Quick transparent_without_failures;
+    Alcotest.test_case "hints park and serve degraded" `Quick
+      hints_park_and_serve_degraded;
+    Alcotest.test_case "recovery replays hints home" `Quick
+      recover_replays_hints_home;
+    Alcotest.test_case "repair re-syncs stale replicas" `Quick
+      repair_resyncs_stale_replicas;
+    Alcotest.test_case "partition, heal, repair restores recall" `Quick
+      partition_heal_repair_restores_recall;
+    Alcotest.test_case "invariant checker flags unreachable buckets" `Quick
+      invariants_detect_unreachable_buckets;
+  ]
