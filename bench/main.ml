@@ -18,8 +18,8 @@ module Scalability = P2prange.Scalability
 
 let seed = 42L
 
-let json_path, trace_path, section_filter =
-  let json = ref None and trace = ref None in
+let json_path, trace_path, series_path, section_filter =
+  let json = ref None and trace = ref None and series = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--json" :: path :: rest ->
@@ -34,14 +34,21 @@ let json_path, trace_path, section_filter =
     | [ "--trace" ] ->
       prerr_endline "bench: --trace requires a file argument";
       exit 2
+    | "--series" :: path :: rest ->
+      series := Some path;
+      parse acc rest
+    | [ "--series" ] ->
+      prerr_endline "bench: --series requires a file argument";
+      exit 2
     | "--only" :: rest -> parse acc rest (* explicit marker; names filter *)
     | arg :: rest -> parse (arg :: acc) rest
   in
   let sections = parse [] (List.tl (Array.to_list Sys.argv)) in
-  (!json, !trace, sections)
+  (!json, !trace, !series, sections)
 
 let () = if json_path <> None then Obs.Metrics.enable ()
 let () = if trace_path <> None then Obs.Trace.enable ()
+let () = if series_path <> None then Obs.Series.enable ()
 
 (* (section name, metrics snapshot + derived rates), in run order. *)
 let json_sections : (string * Obs.Json.t) list ref = ref []
@@ -77,6 +84,9 @@ let derived_metrics () =
 let section name description f =
   if wanted name then begin
     heading "%s — %s" name description;
+    (* Section boundaries land on the metric timeline so a multi-section
+       series file stays attributable. *)
+    Obs.Series.mark_s "bench.section" "name" name;
     match json_path with
     | None -> f ()
     | Some _ ->
@@ -1251,7 +1261,7 @@ let g_reduction = Obs.Metrics.gauge "batch.bench.reduction"
 let g_recall_unbatched = Obs.Metrics.gauge "batch.bench.recall_unbatched"
 let g_recall_batch64 = Obs.Metrics.gauge "batch.bench.recall_batch64"
 let g_bit_identical = Obs.Metrics.gauge "batch.bench.bit_identical"
-let g_qps_batch64 = Obs.Metrics.gauge "batch.bench.qps_batch64_zipf"
+let g_qps_batch64 = Obs.Metrics.wall_gauge "batch.bench.qps_batch64_zipf"
 
 let batch_bench () =
   (* One client peer issues the same 512-query stream against
@@ -1876,6 +1886,11 @@ let chaos_bench () =
       (System.publish twin ~from:twin_peers.(o) range
         : Query_result.lookup_stats)
   in
+  (* Per-query recall of each twin on the metric timeline, labelled by
+     system. The chaos curve dips at the partition mark and reconverges
+     with the twin after repair — the change-point gates in check_bench
+     and timeline.exe read exactly this pair of series. *)
+  let s_chaos_recall = Obs.Series.histo ~labels:[ "sys" ] "chaos.recall" in
   let soak n =
     let rc = ref [] and rt = ref [] in
     for i = 1 to n do
@@ -1885,6 +1900,8 @@ let chaos_bench () =
         let o = origin () in
         let a = System.query chaos ~from:peers.(o) range in
         let b = System.query twin ~from:twin_peers.(o) range in
+        Obs.Series.observe1 s_chaos_recall "chaos" a.Query_result.recall;
+        Obs.Series.observe1 s_chaos_recall "twin" b.Query_result.recall;
         rc := a.Query_result.recall :: !rc;
         rt := b.Query_result.recall :: !rt
       end
@@ -2024,6 +2041,11 @@ let () =
     in
     Obs.Json.to_file path doc;
     Format.printf "metrics written to %s@." path);
+  (match series_path with
+  | None -> ()
+  | Some path ->
+    Obs.Series.write path;
+    Format.printf "series written to %s@." path);
   match trace_path with
   | None -> ()
   | Some path -> Obs.Report.write_trace path

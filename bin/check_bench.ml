@@ -6,12 +6,17 @@
 
    With --baseline BASELINE.json the gate additionally requires every
    expected section's deterministic numbers — counters, histograms,
-   gauges (except wall-clock qps gauges), and derived total_messages —
-   to be structurally identical to the committed baseline. This is the
+   gauges, and derived total_messages — to be structurally identical to
+   the committed baseline (wall-clock readings live in the snapshot's
+   separate "wall" subtree and are never compared). This is the
    tracing-overhead gate: with tracing disabled, instrumentation must
    not change a single message count or recall value.
 
-   Usage: check_bench FILE [--baseline BASELINE] SECTION [SECTION ...] *)
+   With --series SERIES.jsonl the gate additionally runs the chaos
+   change-point checks on the metric timeline (see [check_series]).
+
+   Usage: check_bench FILE [--baseline BASELINE] [--series SERIES]
+            SECTION [SECTION ...] *)
 
 module Json = Obs.Json
 
@@ -202,11 +207,6 @@ let check_chaos_gauges body =
 
 (* --- baseline bit-identity (the tracing-disabled overhead gate) --- *)
 
-let contains_qps name =
-  let n = String.length name in
-  let rec go i = i + 3 <= n && (String.sub name i 3 = "qps" || go (i + 1)) in
-  go 0
-
 let obj_fields ~ctx key j =
   match Json.member key j with
   | Some (Json.Obj fields) -> fields
@@ -247,12 +247,11 @@ let check_against_baseline ~name current baseline =
     (fields "counters" bm);
   check_identical ~section:name ~what:"histogram" (fields "histograms" cm)
     (fields "histograms" bm);
-  (* Gauges are deterministic except throughput (qps) readings, which
-     carry wall clock; timers are wall clock entirely and are skipped. *)
-  let deterministic = List.filter (fun (key, _) -> not (contains_qps key)) in
-  check_identical ~section:name ~what:"gauge"
-    (deterministic (fields "gauges" cm))
-    (deterministic (fields "gauges" bm));
+  (* Everything under "counters"/"gauges"/"histograms" is deterministic
+     by construction: wall-clock readings (timers, qps gauges) live in
+     the snapshot's separate "wall" subtree, which is never compared. *)
+  check_identical ~section:name ~what:"gauge" (fields "gauges" cm)
+    (fields "gauges" bm);
   let total body ctx =
     match Json.member "derived" body with
     | None -> fail "%s: section %s has no derived block" ctx name
@@ -265,6 +264,41 @@ let check_against_baseline ~name current baseline =
   let c = total current "current" and b = total baseline "baseline" in
   if c <> b then
     fail "section %s: total_messages %d differs from baseline %d" name c b
+
+(* --- change-point gates on the chaos series (--series FILE) ---
+
+   Shape checks on the metric timeline the chaos bench records with
+   --series: against the fault-free twin on the same stream,
+   (1) the chaos system's recall must begin dipping within 256 logical
+       ticks of the faults.partition mark (at least 0.05 below its
+       pre-partition baseline), and
+   (2) after the last system.repair mark the chaos and twin recall
+       curves must agree to within 0.01.
+   Both read the labelled chaos.recall summaries via [Obs.Timeline]. *)
+
+let series_dip_within = 256
+let series_min_dip = 0.05
+let series_converge_eps = 0.01
+
+let check_series file =
+  let t =
+    match Obs.Timeline.load file with
+    | Ok t -> t
+    | Error msg -> fail "%s" msg
+  in
+  let verdict label = function
+    | Ok msg -> Printf.printf "check_bench: series %s: %s\n" label msg
+    | Error msg -> fail "series %s: %s" label msg
+  in
+  verdict "dip"
+    (Obs.Timeline.check_dip t ~metric:"chaos.recall"
+       ~labels:[ ("sys", "chaos") ] ~mark:"faults.partition"
+       ~within:series_dip_within ~min_dip:series_min_dip);
+  verdict "converge"
+    (Obs.Timeline.check_converge t ~metric:"chaos.recall"
+       ~labels_a:[ ("sys", "chaos") ]
+       ~labels_b:[ ("sys", "twin") ]
+       ~mark:"system.repair" ~eps:series_converge_eps)
 
 let load file =
   let text =
@@ -292,6 +326,7 @@ let load file =
 
 let () =
   let baseline_file = ref None in
+  let series_file = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--baseline" :: path :: rest ->
@@ -300,6 +335,12 @@ let () =
     | [ "--baseline" ] ->
       prerr_endline "check_bench: --baseline requires a file argument";
       exit 2
+    | "--series" :: path :: rest ->
+      series_file := Some path;
+      parse acc rest
+    | [ "--series" ] ->
+      prerr_endline "check_bench: --series requires a file argument";
+      exit 2
     | arg :: rest -> parse (arg :: acc) rest
   in
   let file, expected =
@@ -307,7 +348,8 @@ let () =
     | file :: (_ :: _ as sections) -> (file, sections)
     | _ ->
       prerr_endline
-        "usage: check_bench FILE [--baseline BASELINE] SECTION [SECTION ...]";
+        "usage: check_bench FILE [--baseline BASELINE] [--series SERIES] \
+         SECTION [SECTION ...]";
       exit 2
   in
   let sections = load file in
@@ -330,8 +372,12 @@ let () =
           | None -> fail "baseline lacks section %s" name
           | Some base_body -> check_against_baseline ~name body base_body)))
     expected;
-  Printf.printf "check_bench: %s ok%s (%s)\n" file
+  Option.iter check_series !series_file;
+  Printf.printf "check_bench: %s ok%s%s (%s)\n" file
     (match !baseline_file with
     | None -> ""
     | Some b -> Printf.sprintf ", bit-identical to %s" b)
+    (match !series_file with
+    | None -> ""
+    | Some s -> Printf.sprintf ", series gates on %s" s)
     (String.concat ", " expected)

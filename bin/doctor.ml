@@ -12,7 +12,12 @@
    (publishes after the failure park at successors, hot buckets survive
    on replicas — only pre-failure cold data stays stranded).
    `doctor --drill` — partition an island, heal + repair, crash peers,
-   recover + repair, auditing at every boundary. *)
+   recover + repair, auditing at every boundary.
+   `doctor --json` — emit the audit report as one machine-readable JSON
+   document (schema p2prange.doctor v1) built from the structured
+   [System.check_invariants_detailed] findings: per audit boundary, each
+   violation's stable error code, message, and context pairs. CI parses
+   this instead of scraping the text lines. *)
 
 module Range = Rangeset.Range
 module Config = P2prange.Config
@@ -63,7 +68,15 @@ let drill_t =
   in
   Arg.(value & flag & info [ "drill" ] ~doc)
 
-let run seed peers publishes replicate hinted fail_names drill =
+let json_t =
+  let doc =
+    "Emit the report as one JSON document (schema p2prange.doctor, version \
+     1): audits with structured violations (code, message, context) plus a \
+     summary. Text output is suppressed; exit status is unchanged."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let run seed peers publishes replicate hinted fail_names drill json =
   let config =
     Config.default
     |> Config.with_matching Config.Containment_match
@@ -100,12 +113,18 @@ let run seed peers publishes replicate hinted fail_names drill =
     publish_one ()
   done;
   let violations = ref 0 in
+  let audits = ref [] in
   let audit label =
-    match System.check_invariants sys with
-    | [] -> Format.printf "%-24s ok@." label
-    | v ->
-      violations := !violations + List.length v;
-      List.iter (fun line -> Format.printf "%-24s %s@." label line) v
+    let v = System.check_invariants_detailed sys in
+    violations := !violations + List.length v;
+    audits := (label, v) :: !audits;
+    if not json then
+      match v with
+      | [] -> Format.printf "%-24s ok@." label
+      | v ->
+        List.iter
+          (fun e -> Format.printf "%-24s %s@." label e.P2prange.Error.message)
+          v
   in
   List.iter
     (fun name ->
@@ -142,17 +161,68 @@ let run seed peers publishes replicate hinted fail_names drill =
     audit "recovered+repaired"
   end;
   if fail_names = [] && not drill then audit "seeded";
-  Format.printf
-    "peers=%d entries=%d replicated=%d migrated=%d parked hints=%d@." peers
-    (System.total_entries sys)
-    (System.replicated_buckets sys)
-    (System.migrated_slices sys)
-    (System.parked_hints sys);
-  if !violations > 0 then begin
-    Format.printf "doctor: %d invariant violation(s)@." !violations;
-    exit 1
-  end;
-  Format.printf "doctor: all invariants hold@."
+  if json then begin
+    let audit_json (label, v) =
+      Obs.Json.Obj
+        [
+          ("label", Obs.Json.String label);
+          ("ok", Obs.Json.Bool (v = []));
+          ( "violations",
+            Obs.Json.List
+              (List.map
+                 (fun e ->
+                   Obs.Json.Obj
+                     [
+                       ( "code",
+                         Obs.Json.String
+                           (P2prange.Error.code_name e.P2prange.Error.code) );
+                       ("message", Obs.Json.String e.P2prange.Error.message);
+                       ( "context",
+                         Obs.Json.Obj
+                           (List.map
+                              (fun (k, value) -> (k, Obs.Json.String value))
+                              e.P2prange.Error.context) );
+                     ])
+                 v) );
+        ]
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema_version", Obs.Json.Int 1);
+          ("kind", Obs.Json.String "p2prange.doctor");
+          ("seed", Obs.Json.String (Int64.to_string seed));
+          ("peers", Obs.Json.Int peers);
+          ("audits", Obs.Json.List (List.map audit_json (List.rev !audits)));
+          ( "summary",
+            Obs.Json.Obj
+              [
+                ("audits", Obs.Json.Int (List.length !audits));
+                ("violations", Obs.Json.Int !violations);
+                ("entries", Obs.Json.Int (System.total_entries sys));
+                ("replicated", Obs.Json.Int (System.replicated_buckets sys));
+                ("migrated", Obs.Json.Int (System.migrated_slices sys));
+                ("parked_hints", Obs.Json.Int (System.parked_hints sys));
+              ] );
+          ("ok", Obs.Json.Bool (!violations = 0));
+        ]
+    in
+    print_endline (Obs.Json.to_string doc);
+    if !violations > 0 then exit 1
+  end
+  else begin
+    Format.printf
+      "peers=%d entries=%d replicated=%d migrated=%d parked hints=%d@." peers
+      (System.total_entries sys)
+      (System.replicated_buckets sys)
+      (System.migrated_slices sys)
+      (System.parked_hints sys);
+    if !violations > 0 then begin
+      Format.printf "doctor: %d invariant violation(s)@." !violations;
+      exit 1
+    end;
+    Format.printf "doctor: all invariants hold@."
+  end
 
 let cmd =
   let doc =
@@ -163,6 +233,6 @@ let cmd =
     (Cmd.info "doctor" ~version:"1.0.0" ~doc)
     Term.(
       const run $ seed_t $ peers_t $ publishes_t $ replicate_t $ hinted_t
-      $ fail_t $ drill_t)
+      $ fail_t $ drill_t $ json_t)
 
 let () = exit (Cmd.eval cmd)

@@ -37,7 +37,16 @@ let trace_t =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let with_json json trace command f = Obs.Report.with_json ~json ~trace command f
+let series_t =
+  let doc =
+    "Enable the metric-timeline plane and write the windowed series \
+     (logical-clock points and marks) to $(docv) (Prometheus text for .prom \
+     paths, JSONL otherwise; analyze with timeline.exe)."
+  in
+  Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+
+let with_json json trace series command f =
+  Obs.Report.with_json ~json ~trace ~series command f
 
 let family_t =
   let parse s =
@@ -122,9 +131,9 @@ let build_config family k l domain_hi matching padding adaptive peer_index =
 
 (* --- quality command (figures 6-10) --- *)
 
-let run_quality json trace seed family queries peers k l domain_hi matching
-    padding adaptive peer_index =
-  with_json json trace "quality" @@ fun () ->
+let run_quality json trace series seed family queries peers k l domain_hi
+    matching padding adaptive peer_index =
+  with_json json trace series "quality" @@ fun () ->
   let config = build_config family k l domain_hi matching padding adaptive peer_index in
   let run = Simulation.run ~config ~n_peers:peers ~n_queries:queries ~seed () in
   Format.printf "family=%s k=%d l=%d queries=%d peers=%d@."
@@ -147,7 +156,8 @@ let run_quality json trace seed family queries peers k l domain_hi matching
 let quality_cmd =
   let term =
     Term.(
-      const run_quality $ json_t $ trace_t $ seed_t $ family_t $ queries_t
+      const run_quality $ json_t $ trace_t $ series_t $ seed_t $ family_t
+      $ queries_t
       $ peers_t $ k_t $ l_t $ domain_hi_t $ matching_t $ padding_t
       $ adaptive_t $ peer_index_t)
   in
@@ -159,8 +169,8 @@ let quality_cmd =
 
 (* --- load command (figure 11) --- *)
 
-let run_load json trace seed nodes unique =
-  with_json json trace "load" @@ fun () ->
+let run_load json trace series seed nodes unique =
+  with_json json trace series "load" @@ fun () ->
   let workload = Scalability.make_workload ~unique_partitions:unique ~seed () in
   let p = Scalability.load_distribution workload ~n_nodes:nodes ~seed in
   let s = p.Scalability.per_node in
@@ -178,12 +188,14 @@ let load_cmd =
   Cmd.v
     (Cmd.info "load"
        ~doc:"Partition load distribution over the ring (Figure 11).")
-    Term.(const run_load $ json_t $ trace_t $ seed_t $ nodes_t $ unique_t)
+    Term.(
+      const run_load $ json_t $ trace_t $ series_t $ seed_t $ nodes_t
+      $ unique_t)
 
 (* --- paths command (figure 12) --- *)
 
-let run_paths json trace seed nodes lookups histogram =
-  with_json json trace "paths" @@ fun () ->
+let run_paths json trace series seed nodes lookups histogram =
+  with_json json trace series "paths" @@ fun () ->
   let workload = Scalability.make_workload ~unique_partitions:2000 ~seed () in
   Format.printf "nodes=%d lookups=%d (x l identifier routes)@." nodes lookups;
   (* Same ring, same lookup stream, once per routing substrate: figure 12
@@ -222,8 +234,8 @@ let paths_cmd =
   Cmd.v
     (Cmd.info "paths" ~doc:"Lookup path lengths over the Chord ring (Figure 12).")
     Term.(
-      const run_paths $ json_t $ trace_t $ seed_t $ nodes_t $ lookups_t
-      $ histogram_t)
+      const run_paths $ json_t $ trace_t $ series_t $ seed_t $ nodes_t
+      $ lookups_t $ histogram_t)
 
 (* --- hash command (figure 5) --- *)
 
@@ -268,8 +280,8 @@ let hash_cmd =
 
 (* --- latency command (timed replay) --- *)
 
-let run_latency json trace seed peers queries rate spread =
-  with_json json trace "latency" @@ fun () ->
+let run_latency json trace series seed peers queries rate spread =
+  with_json json trace series "latency" @@ fun () ->
   let config =
     Config.default
     |> Config.with_matching Config.Containment_match
@@ -321,7 +333,7 @@ let latency_cmd =
        ~doc:"Discrete-event latency replay under Poisson load (with per-peer \
              FIFO queueing).")
     Term.(
-      const run_latency $ json_t $ trace_t $ seed_t $ peers_t
+      const run_latency $ json_t $ trace_t $ series_t $ seed_t $ peers_t
       $ queries_small_t $ rate_t $ spread_t)
 
 (* --- amplify command --- *)

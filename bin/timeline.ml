@@ -1,0 +1,279 @@
+(* Timeline viewer and change-point gate for the JSONL series written by
+   [Obs.Series] (bench --series / repro --series).
+
+   With no flags, renders one ASCII sparkline per selector — a metric
+   plus its label vector, e.g. chaos.recall{sys=chaos} — over the file's
+   logical-clock range, with a shared marks row underneath so fault
+   injections, repairs and retrain epochs line up under the curves they
+   explain.
+
+   Checks (exit 1 when any fails, in file order):
+     --check-dip 'METRIC[{k=v,...}]:MARK:WITHIN:MIN_DIP'
+         the metric must fall at least MIN_DIP below its pre-MARK
+         baseline in some window ending within WITHIN ticks of the
+         first MARK (the degradation begins on time);
+     --check-converge 'SEL_A:SEL_B:MARK:EPS'
+         after the last MARK, the two selectors of one metric must
+         agree to within EPS (the recovery completes).
+
+   Usage: timeline.exe SERIES.jsonl [SELECTOR ...] [--width N]
+            [--check-dip SPEC] [--check-converge SPEC] *)
+
+module Timeline = Obs.Timeline
+
+let fail fmt =
+  Format.kasprintf
+    (fun s ->
+      prerr_endline ("timeline: " ^ s);
+      exit 2)
+    fmt
+
+let usage () =
+  fail
+    "usage: timeline.exe SERIES.jsonl [SELECTOR ...] [--width N] [--check-dip \
+     'METRIC[{k=v,...}]:MARK:WITHIN:MIN_DIP'] [--check-converge \
+     'SEL_A:SEL_B:MARK:EPS']"
+
+(* --- selector syntax: metric or metric{k=v,k2=v2} --- *)
+
+let parse_selector text =
+  match String.index_opt text '{' with
+  | None -> (text, [])
+  | Some open_ ->
+    if String.length text = 0 || text.[String.length text - 1] <> '}' then
+      fail "selector %S: expected metric{k=v,...}" text;
+    let metric = String.sub text 0 open_ in
+    let body = String.sub text (open_ + 1) (String.length text - open_ - 2) in
+    let labels =
+      if body = "" then []
+      else
+        String.split_on_char ',' body
+        |> List.map (fun pair ->
+               match String.index_opt pair '=' with
+               | None -> fail "selector %S: label %S lacks '='" text pair
+               | Some eq ->
+                 ( String.sub pair 0 eq,
+                   String.sub pair (eq + 1) (String.length pair - eq - 1) ))
+        |> List.sort compare
+    in
+    (metric, labels)
+
+let show_selector (metric, labels) =
+  match labels with
+  | [] -> metric
+  | _ ->
+    Printf.sprintf "%s{%s}" metric
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+
+(* Check specs are colon-separated with the selector first; selectors
+   never contain ':', so splitting from the right is unambiguous. *)
+let split_spec ~ctx ~n text =
+  let parts = String.split_on_char ':' text in
+  if List.length parts <> n then
+    fail "%s: expected %d colon-separated fields in %S" ctx n text;
+  parts
+
+type check =
+  | Dip of { sel : string * (string * string) list;
+             mark : string; within : int; min_dip : float }
+  | Converge of { sel_a : string * (string * string) list;
+                  sel_b : string * (string * string) list;
+                  mark : string; eps : float }
+
+let parse_dip text =
+  match split_spec ~ctx:"--check-dip" ~n:4 text with
+  | [ sel; mark; within; min_dip ] ->
+    let within =
+      match int_of_string_opt within with
+      | Some n when n > 0 -> n
+      | Some _ | None -> fail "--check-dip: WITHIN %S must be a positive int" within
+    in
+    let min_dip =
+      match float_of_string_opt min_dip with
+      | Some f when Float.is_finite f && f > 0.0 -> f
+      | Some _ | None ->
+        fail "--check-dip: MIN_DIP %S must be a positive float" min_dip
+    in
+    Dip { sel = parse_selector sel; mark; within; min_dip }
+  | _ -> assert false
+
+let parse_converge text =
+  match split_spec ~ctx:"--check-converge" ~n:4 text with
+  | [ sel_a; sel_b; mark; eps ] ->
+    let sel_a = parse_selector sel_a and sel_b = parse_selector sel_b in
+    if fst sel_a <> fst sel_b then
+      fail "--check-converge: %s and %s are different metrics"
+        (show_selector sel_a) (show_selector sel_b);
+    let eps =
+      match float_of_string_opt eps with
+      | Some f when Float.is_finite f && f >= 0.0 -> f
+      | Some _ | None ->
+        fail "--check-converge: EPS %S must be a non-negative float" eps
+    in
+    Converge { sel_a; sel_b; mark; eps }
+  | _ -> assert false
+
+(* --- sparklines --- *)
+
+(* Nine ASCII brightness levels; NaN windows and empty columns render as
+   spaces so gaps in sparse series stay visible. *)
+let levels = " .:-=+*#%"
+
+let sparkline ~width ~clock points =
+  let cols = Array.make width [] in
+  List.iter
+    (fun (at, v) ->
+      if Float.is_finite v then begin
+        let c = min (width - 1) (at * width / max 1 clock) in
+        cols.(c) <- v :: cols.(c)
+      end)
+    points;
+  let mean = function
+    | [] -> None
+    | vs ->
+      Some (List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs))
+  in
+  let cells = Array.map mean cols in
+  let lo, hi =
+    Array.fold_left
+      (fun (lo, hi) cell ->
+        match cell with
+        | None -> (lo, hi)
+        | Some v -> (Float.min lo v, Float.max hi v))
+      (infinity, neg_infinity) cells
+  in
+  let render cell =
+    match cell with
+    | None -> ' '
+    | Some v ->
+      let n = String.length levels in
+      let i =
+        if hi <= lo then n - 1
+        else
+          int_of_float ((v -. lo) /. (hi -. lo) *. float_of_int (n - 1) +. 0.5)
+      in
+      levels.[max 0 (min (n - 1) i)]
+  in
+  (String.init width (fun i -> render cells.(i)), lo, hi)
+
+let marks_row ~width ~clock marks =
+  let row = Bytes.make width ' ' in
+  List.iter
+    (fun (m : Timeline.mark) ->
+      let c = min (width - 1) (m.Timeline.at * width / max 1 clock) in
+      Bytes.set row c '|')
+    marks;
+  Bytes.to_string row
+
+let print_timeline ~width (t : Timeline.t) selectors =
+  Printf.printf
+    "clock %d ticks, window %d, %d points, %d marks%s\n\n" t.Timeline.clock
+    t.Timeline.window
+    (List.length t.Timeline.points)
+    (List.length t.Timeline.marks)
+    (if t.Timeline.dropped > 0 then
+       Printf.sprintf " (%d points dropped)" t.Timeline.dropped
+     else "");
+  let name_w =
+    List.fold_left
+      (fun acc sel -> max acc (String.length (show_selector sel)))
+      5 selectors
+  in
+  List.iter
+    (fun (metric, labels) ->
+      let points = Timeline.series t ~metric ~labels in
+      let line, lo, hi = sparkline ~width ~clock:t.Timeline.clock points in
+      Printf.printf "%-*s |%s| %g..%g\n" name_w
+        (show_selector (metric, labels))
+        line lo hi)
+    selectors;
+  if t.Timeline.marks <> [] then begin
+    Printf.printf "%-*s |%s|\n" name_w "marks"
+      (marks_row ~width ~clock:t.Timeline.clock t.Timeline.marks);
+    let names =
+      List.sort_uniq compare
+        (List.map (fun (m : Timeline.mark) -> m.Timeline.name) t.Timeline.marks)
+    in
+    List.iter
+      (fun name ->
+        Printf.printf "  %-28s at %s\n" name
+          (String.concat ", "
+             (List.map string_of_int (Timeline.mark_ticks t name))))
+      names
+  end
+
+(* --- main --- *)
+
+let () =
+  let width = ref 64 in
+  let checks = ref [] in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--width" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 8 ->
+        width := n;
+        parse acc rest
+      | Some _ | None -> fail "--width must be an int >= 8")
+    | "--check-dip" :: spec :: rest ->
+      checks := parse_dip spec :: !checks;
+      parse acc rest
+    | "--check-converge" :: spec :: rest ->
+      checks := parse_converge spec :: !checks;
+      parse acc rest
+    | ("--width" | "--check-dip" | "--check-converge") :: [] ->
+      fail "flag requires an argument"
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      fail "unknown flag %s" arg
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let file, wanted =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | file :: wanted -> (file, List.map parse_selector wanted)
+    | [] -> usage ()
+  in
+  let checks = List.rev !checks in
+  let t =
+    match Timeline.load file with
+    | Ok t -> t
+    | Error msg -> fail "%s" msg
+  in
+  let selectors =
+    match wanted with
+    | [] -> Timeline.selectors t
+    | _ ->
+      List.iter
+        (fun sel ->
+          if not (List.mem sel (Timeline.selectors t)) then
+            fail "no points for selector %s (try running without selectors)"
+              (show_selector sel))
+        wanted;
+      wanted
+  in
+  print_timeline ~width:!width t selectors;
+  let failures = ref 0 in
+  let verdict label = function
+    | Ok msg -> Printf.printf "PASS %s: %s\n" label msg
+    | Error msg ->
+      incr failures;
+      Printf.printf "FAIL %s: %s\n" label msg
+  in
+  if checks <> [] then Printf.printf "\n";
+  List.iter
+    (fun check ->
+      match check with
+      | Dip { sel = metric, labels; mark; within; min_dip } ->
+        verdict
+          (Printf.sprintf "dip %s vs %s" (show_selector (metric, labels)) mark)
+          (Timeline.check_dip t ~metric ~labels ~mark ~within ~min_dip)
+      | Converge { sel_a = metric, labels_a; sel_b = _, labels_b; mark; eps }
+        ->
+        verdict
+          (Printf.sprintf "converge %s ~ %s after %s"
+             (show_selector (metric, labels_a))
+             (show_selector (metric, labels_b))
+             mark)
+          (Timeline.check_converge t ~metric ~labels_a ~labels_b ~mark ~eps))
+    checks;
+  if !failures > 0 then exit 1

@@ -8,7 +8,12 @@
    - the top-N slowest queries with their critical path, and
    - a hop-count waterfall over each slow query's routing work.
 
-   Usage: trace.exe TRACE.jsonl [--top N] *)
+   --since TICK / --until TICK restrict the analysis to spans whose
+   root starts inside the logical-clock window [since, until]: a kept
+   root keeps its whole subtree (so message conservation still sums
+   over complete trees), a dropped root drops it.
+
+   Usage: trace.exe TRACE.jsonl [--top N] [--since TICK] [--until TICK] *)
 
 module Json = Obs.Json
 
@@ -19,7 +24,8 @@ let fail fmt =
       exit 2)
     fmt
 
-let usage () = fail "usage: trace.exe TRACE.jsonl [--top N]"
+let usage () =
+  fail "usage: trace.exe TRACE.jsonl [--top N] [--since TICK] [--until TICK]"
 
 type event = { event_name : string; event_attrs : (string * Json.t) list }
 
@@ -325,24 +331,60 @@ let print_query children q =
 
 (* --- main --- *)
 
+(* A span belongs to the window iff its root span starts inside it:
+   whole trees are kept or dropped together so the conservation check
+   never sees a query whose attributed children were filtered away. *)
+let window_filter spans ~since ~until =
+  let by_id = Hashtbl.create (List.length spans) in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
+  let rec root s =
+    match s.parent with
+    | None -> s
+    | Some p -> (
+      match Hashtbl.find_opt by_id p with None -> s | Some parent -> root parent)
+  in
+  List.filter
+    (fun s ->
+      let r = root s in
+      r.start >= since && r.start <= until)
+    spans
+
 let () =
-  let file, top =
+  let file, top, since, until =
     match Array.to_list Sys.argv with
     | _ :: file :: rest ->
-      let rec opts top = function
-        | [] -> top
+      let tick ctx n =
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> n
+        | Some _ | None -> fail "%s expects a non-negative tick, got %S" ctx n
+      in
+      let rec opts top since until = function
+        | [] -> (top, since, until)
         | "--top" :: n :: rest -> (
           match int_of_string_opt n with
-          | Some n when n > 0 -> opts n rest
+          | Some n when n > 0 -> opts n since until rest
           | Some _ | None -> usage ())
+        | "--since" :: n :: rest -> opts top (tick "--since" n) until rest
+        | "--until" :: n :: rest -> opts top since (tick "--until" n) rest
         | _ -> usage ()
       in
-      (file, opts 5 rest)
+      let top, since, until = opts 5 0 max_int rest in
+      (file, top, since, until)
     | _ -> usage ()
   in
   let spans, clock, dropped = load file in
-  Printf.printf "%s: %d spans, %d clock ticks, %d dropped\n\n" file
-    (List.length spans) clock dropped;
+  let total = List.length spans in
+  let spans =
+    if since > 0 || until < max_int then window_filter spans ~since ~until
+    else spans
+  in
+  Printf.printf "%s: %d spans, %d clock ticks, %d dropped%s\n\n" file total
+    clock dropped
+    (if List.length spans <> total then
+       Printf.sprintf " (window [%d, %s]: %d spans kept)" since
+         (if until = max_int then "end" else string_of_int until)
+         (List.length spans)
+     else "");
   let children = children_of spans in
   print_stages spans children;
   Printf.printf "\n";

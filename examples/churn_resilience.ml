@@ -15,9 +15,18 @@
    nodes crash and come back, and lookups survive (or don't) depending on
    whether retry/backoff routing is enabled.
 
-   Run with:  dune exec examples/churn_resilience.exe *)
+   Run with:  dune exec examples/churn_resilience.exe
+   Optionally `-- --series FILE` records the metric timeline (stabilize
+   rounds, fault sends/drops, crash/recover marks) for timeline.exe. *)
 
 module Network = Chord.Network
+
+let series_path =
+  match Array.to_list Sys.argv with
+  | _ :: "--series" :: path :: _ -> Some path
+  | _ -> None
+
+let () = if series_path <> None then Obs.Series.enable ()
 
 let rng = Prng.Splitmix.create 777L
 
@@ -202,4 +211,9 @@ let () =
   Network.stabilize net2 ~rounds:10;
   Format.printf "node recovered; converged again: %b@."
     (Network.is_converged net2);
-  lookup_health net2 ~label:"after crash/recover cycle"
+  lookup_health net2 ~label:"after crash/recover cycle";
+  match series_path with
+  | None -> ()
+  | Some path ->
+    Obs.Series.write path;
+    Format.printf "series written to %s@." path

@@ -200,7 +200,12 @@ let contact_peer t ~from ~peer ~legs =
       (Faults.Plane.rpc plane ~retry ~src:(Peer.id from) ~dst:(Peer.id peer)
          ~legs ())
 
+(* One tick of the logical clocks per protocol operation: the fault
+   plane's (crash windows, message fates) and the series recorder's
+   (window flushing) advance together, so timeline marks emitted by the
+   plane line up with the sampled curves. *)
 let tick_faults t =
+  Obs.Series.tick ();
   match t.faults with
   | None -> ()
   | Some (plane, _) -> Faults.Plane.tick plane
@@ -220,6 +225,7 @@ let fail_peer t peer =
       ~context:[ ("peer", Peer.name peer) ]
       Error.Unknown_peer "System.fail_peer: unknown peer";
   Hashtbl.replace t.dead (Peer.id peer) ();
+  Obs.Series.mark_s "system.fail_peer" "peer" (Peer.name peer);
   note_churn t peer
 
 (* [recover_peer] and the deprecated shims are defined below [repair],
@@ -335,6 +341,22 @@ let m_hints_replayed = Obs.Metrics.counter "system.hints_replayed"
 let m_replica_resyncs = Obs.Metrics.counter "balance.replica_resyncs"
 let m_repairs = Obs.Metrics.counter "system.repairs"
 
+(* Timeline instruments ([Obs.Series]): windowed curves of the same
+   signals, per-peer labelled where attribution matters (which successor
+   parks the hints, which holder absorbs the migrated slice). All no-ops
+   unless a driver enables the series plane. *)
+let s_queries = Obs.Series.counter "system.queries"
+let s_publishes = Obs.Series.counter "system.publishes"
+let s_degraded = Obs.Series.counter "system.degraded_queries"
+let s_recall = Obs.Series.histo "system.query.recall"
+let s_messages = Obs.Series.histo "system.query.messages"
+let s_imbalance = Obs.Series.gauge "balance.load_imbalance"
+let s_serves = Obs.Series.counter ~labels:[ "peer" ] "system.peer_serves"
+let s_hints_parked = Obs.Series.counter ~labels:[ "peer" ] "system.hints_parked"
+let s_hint_serves = Obs.Series.counter ~labels:[ "peer" ] "system.hint_serves"
+let s_hints_replayed = Obs.Series.counter "system.hints_replayed"
+let s_migrations = Obs.Series.counter ~labels:[ "peer" ] "balance.migrations"
+
 let insert_tracked t peer ~identifier entry =
   if not (Store.mem (Peer.store peer) ~identifier ~range:entry.Store.range)
   then begin
@@ -400,6 +422,8 @@ let apply_move t (mv : Balance.Migration.move) =
         (Store.identifiers (Peer.store source));
       Obs.Metrics.incr m_migrations;
       Obs.Metrics.add m_migrated_entries !moved;
+      Obs.Series.incr1 s_migrations (Peer.name target);
+      Obs.Series.mark_i "balance.migrate" "position" mv.Balance.Migration.position;
       Obs.Trace.set_int "entries" !moved)
 
 (* One planner tick per query on the logical clock. Runs right after the
@@ -477,6 +501,7 @@ let park_hint t ~from ~identifier ~hops entry =
             if not (List.mem cpos holders) then
               Hashtbl.replace t.hints identifier (holders @ [ cpos ]);
             Obs.Metrics.incr m_hints_parked;
+            Obs.Series.incr1 s_hints_parked (Peer.name cp);
             Obs.Trace.set_bool "parked" true;
             Obs.Trace.set_int "holder" cpos;
             Obs.Trace.event_ii "system.hint_parked" "identifier" identifier
@@ -509,6 +534,7 @@ let sorted_keys tbl =
 let repair t =
   if t.config.Config.hinted_handoff then
     Obs.Trace.with_span "repair" (fun () ->
+        Obs.Series.mark "system.repair";
         let replayed = ref 0 and resynced = ref 0 in
         List.iter
           (fun identifier ->
@@ -598,6 +624,7 @@ let repair t =
         Obs.Metrics.incr m_repairs;
         Obs.Metrics.add m_hints_replayed !replayed;
         Obs.Metrics.add m_replica_resyncs !resynced;
+        Obs.Series.add s_hints_replayed !replayed;
         Obs.Trace.set_int "hints_replayed" !replayed;
         Obs.Trace.set_int "replicas_resynced" !resynced)
 
@@ -607,6 +634,7 @@ let recover_peer t peer =
       ~context:[ ("peer", Peer.name peer) ]
       Error.Unknown_peer "System.recover_peer: unknown peer";
   Hashtbl.remove t.dead (Peer.id peer);
+  Obs.Series.mark_s "system.recover_peer" "peer" (Peer.name peer);
   note_churn t peer;
   (* The recovered peer comes back with whatever its store held; the
      repair pass then replays what it missed (hints parked for its
@@ -776,6 +804,8 @@ let serve_routes t ~contact ~effective ~batched routes =
             match hint_serve t ~contact ~effective ~identifier ~hops with
             | Some (reply, hpos) ->
               Obs.Metrics.incr m_hint_serves;
+              if Obs.Series.enabled () then
+                Obs.Series.incr1 s_hint_serves (Peer.name (peer_by_id t hpos));
               Obs.Trace.set_bool "responded" true;
               Obs.Trace.set_bool "hinted" true;
               Obs.Trace.event_ii "system.hint_serve" "identifier" identifier
@@ -803,6 +833,7 @@ let serve_routes t ~contact ~effective ~batched routes =
                 in
                 Balance.Tracker.record_query t.tracker ~peer:(Peer.id peer)
                   ~identifier;
+                Obs.Series.incr1 s_serves (Peer.name peer);
                 (match t.migration with
                 | Some mg ->
                   (* The planner's round loads: the actual server for
@@ -901,6 +932,7 @@ let publish t ~from ?partition range =
       store_at_owners t reached ~range ~partition;
       let stats = stats_of_hops ids (List.map (fun (_, _, h) -> h) routes) in
       Obs.Metrics.incr m_publishes;
+      Obs.Series.incr s_publishes;
       Obs.Metrics.add m_messages stats.messages;
       Obs.Trace.set_int "messages" stats.messages;
       stats)
@@ -967,6 +999,11 @@ let finish_query_untraced t ~range ~effective ~ids ~routes ~served ~messages =
   Obs.Metrics.observe_int h_query_messages stats.Query_result.messages;
   if Obs.Metrics.enabled () then
     Obs.Metrics.set_gauge g_imbalance (load_imbalance t);
+  Obs.Series.incr s_queries;
+  if degraded then Obs.Series.incr s_degraded;
+  Obs.Series.observe s_recall recall;
+  Obs.Series.observe_int s_messages stats.Query_result.messages;
+  if Obs.Series.enabled () then Obs.Series.set s_imbalance (load_imbalance t);
   {
     Query_result.query = range;
     effective;
@@ -1108,12 +1145,27 @@ let query_batch t ~from ranges =
           ranges)
 
 (* Whole-system consistency audit, read-only and PRNG-free. Returns one
-   human-readable line per violation (empty = healthy); bin/doctor.exe
-   surfaces it as a CLI and the chaos bench asserts it at every phase
-   boundary. *)
-let check_invariants t =
+   structured finding per violation (empty = healthy): an [Error.t] with
+   code [Broken_invariant], the human-readable line as its message, and
+   the invariant family plus offending identifiers as context — never
+   raised, only reported. bin/doctor.exe surfaces it as a CLI (JSON under
+   [--json]) and the chaos bench asserts it at every phase boundary. *)
+let check_invariants_detailed t =
   let violations = ref [] in
-  let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let note invariant context fmt =
+    Printf.ksprintf
+      (fun message ->
+        violations :=
+          {
+            Error.code = Error.Broken_invariant;
+            message;
+            context = ("invariant", invariant) :: context;
+          }
+          :: !violations)
+      fmt
+  in
+  let pos p = ("position", string_of_int p) in
+  let ident i = ("identifier", string_of_int i) in
   let r = ring t in
   let ids = Chord.Ring.node_ids r in
   let n = Array.length ids in
@@ -1122,20 +1174,23 @@ let check_invariants t =
   Array.iteri
     (fun i id ->
       if i > 0 && ids.(i - 1) >= id then
-        fail "ring: node ids not strictly ascending at %d" id;
+        note "ring" [ pos id ] "ring: node ids not strictly ascending at %d" id;
       let succ = Chord.Ring.successor r id in
       let expected = ids.((i + 1) mod n) in
       if succ <> expected then
-        fail "ring: successor(%d) = %d, expected %d" id succ expected;
+        note "ring"
+          [ pos id; ("successor", string_of_int succ) ]
+          "ring: successor(%d) = %d, expected %d" id succ expected;
       if Chord.Ring.owner r id <> id then
-        fail "ring: position %d does not own itself" id;
+        note "ring" [ pos id ] "ring: position %d does not own itself" id;
       if not (Hashtbl.mem t.peers id) then
-        fail "ring: position %d has no peer behind it" id)
+        note "ring" [ pos id ] "ring: position %d has no peer behind it" id)
     ids;
   Hashtbl.iter
     (fun position _ ->
       if not (Chord.Ring.contains r position) then
-        fail "ring: peer position %d is not on the ring" position)
+        note "ring" [ pos position ] "ring: peer position %d is not on the ring"
+          position)
     t.peers;
   (* 2. Data reachability: every bucket stored anywhere must be servable
      from its home (owner or migration holder), a responsive registered
@@ -1174,7 +1229,8 @@ let check_invariants t =
           if not (Hashtbl.mem checked identifier) then begin
             Hashtbl.replace checked identifier ();
             if not (reachable identifier) then
-              fail
+              note "data"
+                [ ident identifier; ("stored_at", Peer.name p) ]
                 "data: bucket %d (stored at %s) unreachable from its home, \
                  replicas and hints"
                 identifier (Peer.name p)
@@ -1193,19 +1249,27 @@ let check_invariants t =
         if
           List.length (List.sort_uniq Int.compare positions)
           <> List.length positions
-        then fail "replicas: identifier %d has duplicate positions" identifier;
+        then
+          note "replicas" [ ident identifier ]
+            "replicas: identifier %d has duplicate positions" identifier;
         List.iter
-          (fun pos ->
-            match Hashtbl.find_opt t.peers pos with
+          (fun rpos ->
+            match Hashtbl.find_opt t.peers rpos with
             | None ->
-              fail "replicas: identifier %d names unknown position %d"
-                identifier pos
+              note "replicas"
+                [ ident identifier; pos rpos ]
+                "replicas: identifier %d names unknown position %d" identifier
+                rpos
             | Some rp ->
               if not (alive t rp) then
-                fail "replicas: identifier %d kept on dead peer %s" identifier
+                note "replicas"
+                  [ ident identifier; ("peer", Peer.name rp) ]
+                  "replicas: identifier %d kept on dead peer %s" identifier
                   (Peer.name rp);
               if Peer.id rp = Peer.id owner then
-                fail "replicas: identifier %d replicated onto its own owner %s"
+                note "replicas"
+                  [ ident identifier; ("peer", Peer.name rp) ]
+                  "replicas: identifier %d replicated onto its own owner %s"
                   identifier (Peer.name rp))
           positions)
       (sorted_keys rs.replicas));
@@ -1223,22 +1287,30 @@ let check_invariants t =
           match remaining with
           | [] ->
             if cursor <> position then
-              fail "migration: position %d segments stop at %d" position cursor
+              note "migration"
+                [ pos position; ("cursor", string_of_int cursor) ]
+                "migration: position %d segments stop at %d" position cursor
           | _ -> (
             match
               List.partition (fun (lo, _, _) -> lo = cursor) remaining
             with
             | [ (_, hi, _) ], rest -> chain hi rest
             | [], _ ->
-              fail "migration: position %d segments leave a gap at %d" position
+              note "migration"
+                [ pos position; ("cursor", string_of_int cursor) ]
+                "migration: position %d segments leave a gap at %d" position
                 cursor
             | _ :: _ :: _, _ ->
-              fail "migration: position %d segments overlap at %d" position
-                cursor)
+              note "migration"
+                [ pos position; ("cursor", string_of_int cursor) ]
+                "migration: position %d segments overlap at %d" position cursor)
         in
         chain pred segs)
       (Balance.Migration.split_positions mg));
   List.rev !violations
+
+let check_invariants t =
+  List.map (fun v -> v.Error.message) (check_invariants_detailed t)
 
 let total_entries t =
   Array.fold_left (fun acc p -> acc + Peer.load p) 0 t.peer_list

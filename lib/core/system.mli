@@ -165,6 +165,15 @@ val check_invariants : t -> string list
     Surfaced as a CLI by [bin/doctor.exe]; the [chaos] bench asserts it
     at every phase boundary. *)
 
+val check_invariants_detailed : t -> Error.t list
+(** The same audit with structured findings: each violation is an
+    {!Error.t} with code [Broken_invariant], the human-readable line as
+    its message, and machine-readable context — the invariant family
+    (["invariant" = "ring"/"data"/"replicas"/"migration"]) plus the
+    offending position/identifier/peer. Never raised, only returned;
+    [bin/doctor.exe --json] renders the list as JSON.
+    {!check_invariants} is exactly the message projection of this. *)
+
 val alive : t -> Peer.t -> bool
 
 val responsive : t -> Peer.t -> bool

@@ -1,4 +1,8 @@
-type code = Invalid_config | Invalid_topology | Unknown_peer
+type code =
+  | Invalid_config
+  | Invalid_topology
+  | Unknown_peer
+  | Broken_invariant
 
 type t = { code : code; message : string; context : (string * string) list }
 
@@ -8,6 +12,7 @@ let code_name = function
   | Invalid_config -> "invalid-config"
   | Invalid_topology -> "invalid-topology"
   | Unknown_peer -> "unknown-peer"
+  | Broken_invariant -> "broken-invariant"
 
 let to_string e =
   let context =

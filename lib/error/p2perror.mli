@@ -13,6 +13,11 @@ type code =
       (** the requested ring cannot be built: no peers, non-positive
           peer count, or a SHA-1 position collision *)
   | Unknown_peer  (** a peer handle from another system *)
+  | Broken_invariant
+      (** a whole-system consistency invariant does not hold; never
+          raised by the library itself — [System.check_invariants]
+          {e returns} these as audit findings (surfaced as structured
+          JSON by [bin/doctor.exe --json]) *)
 
 type t = {
   code : code;
@@ -25,7 +30,7 @@ exception Error of t
 
 val code_name : code -> string
 (** Stable lower-kebab tag: ["invalid-config"], ["invalid-topology"],
-    ["unknown-peer"]. *)
+    ["unknown-peer"], ["broken-invariant"]. *)
 
 val to_string : t -> string
 (** ["[code] message (k=v, ...)"] — the rendering {!pp} and the

@@ -114,6 +114,13 @@ type t = {
 
 let m_sends = Obs.Metrics.counter "faults.sends"
 let m_drops = Obs.Metrics.counter "faults.drops"
+
+(* Timeline curves of message fates: how many sends each sampling window
+   lost to cuts, crashes and drops ([Obs.Series], off by default). *)
+let s_sends = Obs.Series.counter "faults.sends"
+let s_drops = Obs.Series.counter "faults.drops"
+let s_unreachable = Obs.Series.counter "faults.unreachable"
+let s_partitioned = Obs.Series.counter "faults.partitioned"
 let m_delayed = Obs.Metrics.counter "faults.delayed"
 let m_unreachable = Obs.Metrics.counter "faults.unreachable"
 let m_partitioned = Obs.Metrics.counter "faults.partitioned"
@@ -169,7 +176,8 @@ let crash t ?recover_at node =
     invalid_arg "Faults.crash: recover_at must be in the future"
   | Some _ | None -> ());
   let existing = Option.value (Hashtbl.find_opt t.crashes node) ~default:[] in
-  Hashtbl.replace t.crashes node ((t.now, recover_at) :: existing)
+  Hashtbl.replace t.crashes node ((t.now, recover_at) :: existing);
+  Obs.Series.mark_i "faults.crash" "node" node
 
 let window_active t (at, heal_at) =
   t.now >= at && match heal_at with None -> true | Some h -> t.now < h
@@ -187,7 +195,8 @@ let partitioned t ~src ~dst =
 
 let partition t groups =
   validate_groups groups;
-  t.cuts <- (t.now, None, membership groups) :: t.cuts
+  t.cuts <- (t.now, None, membership groups) :: t.cuts;
+  Obs.Series.mark_i "faults.partition" "groups" (List.length groups)
 
 let heal t =
   t.cuts <-
@@ -195,7 +204,8 @@ let heal t =
       (fun (at, heal_at, m) ->
         if window_active t (at, heal_at) then (at, Some t.now, m)
         else (at, heal_at, m))
-      t.cuts
+      t.cuts;
+  Obs.Series.mark "faults.heal"
 
 let recover t node =
   match Hashtbl.find_opt t.crashes node with
@@ -211,7 +221,8 @@ let recover t node =
           if active then (at, Some t.now) else (at, recover_at))
         windows
     in
-    Hashtbl.replace t.crashes node closed
+    Hashtbl.replace t.crashes node closed;
+    Obs.Series.mark_i "faults.recover" "node" node
 
 (* Laggard status is a pure function of (seed, node) — memoized, and drawn
    from a throwaway generator so it never perturbs the per-message
@@ -235,18 +246,22 @@ type outcome = Delivered of float | Dropped | Unreachable
 
 let send t ~src ~dst =
   Obs.Metrics.incr m_sends;
+  Obs.Series.incr s_sends;
   if crashed t dst then begin
     Obs.Metrics.incr m_unreachable;
+    Obs.Series.incr s_unreachable;
     Unreachable
   end
   else if partitioned t ~src ~dst then begin
     (* Checked before any draw, like the crash check: an unreachable
        destination consumes nothing from the per-message stream. *)
     Obs.Metrics.incr m_partitioned;
+    Obs.Series.incr s_partitioned;
     Unreachable
   end
   else if Prng.Splitmix.float t.rng < t.spec.drop then begin
     Obs.Metrics.incr m_drops;
+    Obs.Series.incr s_drops;
     Dropped
   end
   else begin

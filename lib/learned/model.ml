@@ -133,7 +133,10 @@ let retrain t =
   t.segs <- fit_segments t.keys ~max_error:t.max_error;
   t.stale <- Array.make (Array.length t.segs) false;
   t.epoch_ <- t.epoch_ + 1;
-  t.pending <- 0
+  t.pending <- 0;
+  (* Epoch boundaries land on the metric timeline so staleness build-up
+     and its reset are attributable per retrain. *)
+  Obs.Series.mark_i "learned.retrain" "epoch" t.epoch_
 
 let note_churn t ~position =
   let si = segment_index t position in

@@ -24,6 +24,11 @@ type metric =
   | Timer of timer
   | Histogram of histogram
   | Gauge of gauge
+  | Wall_gauge of gauge
+      (* Same record as [Gauge], but snapshotted under the wall-clock
+         subtree: for readings derived from real time (throughput), which
+         are not reproducible across runs and must not leak into baseline
+         comparisons. *)
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
@@ -50,7 +55,7 @@ let register name mk get =
 let counter name =
   register name
     (fun () -> Counter { count = 0 })
-    (function Counter c -> Some c | Timer _ | Histogram _ | Gauge _ -> None)
+    (function Counter c -> Some c | _ -> None)
 
 let incr c = if !on then c.count <- c.count + 1
 let add c k = if !on then c.count <- c.count + k
@@ -59,12 +64,17 @@ let counter_value c = c.count
 let timer name =
   register name
     (fun () -> Timer { calls = 0; total_s = 0.0 })
-    (function Timer t -> Some t | Counter _ | Histogram _ | Gauge _ -> None)
+    (function Timer t -> Some t | _ -> None)
 
 let gauge name =
   register name
     (fun () -> Gauge { value = Float.nan })
-    (function Gauge g -> Some g | Counter _ | Timer _ | Histogram _ -> None)
+    (function Gauge g -> Some g | _ -> None)
+
+let wall_gauge name =
+  register name
+    (fun () -> Wall_gauge { value = Float.nan })
+    (function Wall_gauge g -> Some g | _ -> None)
 
 let set_gauge g v = if !on then g.value <- v
 let gauge_value g = g.value
@@ -101,7 +111,7 @@ let histogram ?(bounds = default_bounds) name =
           lo = Float.infinity;
           hi = Float.neg_infinity;
         })
-    (function Histogram h -> Some h | Counter _ | Timer _ | Gauge _ -> None)
+    (function Histogram h -> Some h | _ -> None)
 
 (* First bucket whose upper bound covers v; the extra final slot overflows. *)
 let bucket_index bounds v =
@@ -168,7 +178,7 @@ let reset () =
         h.sum <- 0.0;
         h.lo <- Float.infinity;
         h.hi <- Float.neg_infinity
-      | Gauge g -> g.value <- Float.nan)
+      | Gauge g | Wall_gauge g -> g.value <- Float.nan)
     registry
 
 let snapshot () =
@@ -180,9 +190,7 @@ let snapshot () =
     List.filter_map (fun (name, m) -> Option.map (fun j -> (name, j)) (f m)) sorted
   in
   let counters =
-    pick (function
-      | Counter c -> Some (Json.Int c.count)
-      | Timer _ | Histogram _ | Gauge _ -> None)
+    pick (function Counter c -> Some (Json.Int c.count) | _ -> None)
   in
   let timers =
     pick (function
@@ -196,7 +204,7 @@ let snapshot () =
                  if t.calls = 0 then Json.Null
                  else Json.Float (t.total_s *. 1000.0 /. float_of_int t.calls) );
              ])
-      | Counter _ | Histogram _ | Gauge _ -> None)
+      | _ -> None)
   in
   (* Consistent null-ing of everything JSON cannot represent: NaN (the
      empty-histogram percentiles/mean/min/max) and the infinities (an
@@ -205,9 +213,10 @@ let snapshot () =
      through [Json.of_string]). *)
   let float_or_null f = if Float.is_finite f then Json.Float f else Json.Null in
   let gauges =
-    pick (function
-      | Gauge g -> Some (float_or_null g.value)
-      | Counter _ | Timer _ | Histogram _ -> None)
+    pick (function Gauge g -> Some (float_or_null g.value) | _ -> None)
+  in
+  let wall_gauges =
+    pick (function Wall_gauge g -> Some (float_or_null g.value) | _ -> None)
   in
   let histograms =
     pick (function
@@ -223,12 +232,18 @@ let snapshot () =
                ("p90", float_or_null (hist_percentile h 90.0));
                ("p99", float_or_null (hist_percentile h 99.0));
              ])
-      | Counter _ | Timer _ | Gauge _ -> None)
+      | _ -> None)
   in
+  (* Everything deterministic sits at the top level; everything derived
+     from real time — timers and wall gauges — is quarantined under
+     "wall" so baseline comparisons can skip the subtree wholesale
+     instead of filtering by name convention. *)
   Json.Obj
     [
       ("counters", Json.Obj counters);
       ("gauges", Json.Obj gauges);
-      ("timers", Json.Obj timers);
       ("histograms", Json.Obj histograms);
+      ( "wall",
+        Json.Obj
+          [ ("timers", Json.Obj timers); ("gauges", Json.Obj wall_gauges) ] );
     ]

@@ -44,6 +44,12 @@ val counter_value : counter -> int
 val gauge : string -> gauge
 (** Find-or-create the gauge registered under [name]. *)
 
+val wall_gauge : string -> gauge
+(** Find-or-create a {e wall-clock} gauge: same semantics as {!gauge},
+    but snapshotted under the ["wall"] subtree alongside timers because
+    its readings derive from real time (throughput, rates) and are not
+    reproducible across runs. Baseline comparisons skip the subtree. *)
+
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 (** [nan] until first set (or after {!reset}). *)
@@ -98,6 +104,9 @@ val reset : unit -> unit
 
 val snapshot : unit -> Json.t
 (** The whole registry as
-    [{"counters": {..}, "gauges": {..}, "timers": {..}, "histograms": {..}}],
+    [{"counters": {..}, "gauges": {..}, "histograms": {..},
+      "wall": {"timers": {..}, "gauges": {..}}}],
     with metric names sorted for deterministic output. Histograms render
-    count, mean, min, max and p50/p90/p99; unset gauges render as [null]. *)
+    count, mean, min, max and p50/p90/p99; unset gauges render as [null].
+    Everything under ["wall"] (timers, {!wall_gauge}s) carries real-time
+    readings and is excluded from baseline bit-identity comparisons. *)

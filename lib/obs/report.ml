@@ -22,7 +22,12 @@ let write_trace path =
   Format.printf "trace written to %s (%d spans, %d dropped)@." path
     (Trace.span_count ()) (Trace.dropped ())
 
-let with_json ~json ~trace command f =
+let write_series path =
+  Series.write path;
+  Format.printf "series written to %s (%d points, %d dropped)@." path
+    (Series.point_count ()) (Series.dropped ())
+
+let with_json ?(series = None) ~json ~trace command f =
   (match json with
   | None -> ()
   | Some _ ->
@@ -33,6 +38,12 @@ let with_json ~json ~trace command f =
   | Some _ ->
     Trace.enable ();
     Trace.reset ());
+  (match series with
+  | None -> ()
+  | Some _ ->
+    Series.enable ();
+    Series.reset ());
   f ();
   (match json with None -> () | Some path -> write_metrics path ~command);
-  match trace with None -> () | Some path -> write_trace path
+  (match trace with None -> () | Some path -> write_trace path);
+  match series with None -> () | Some path -> write_series path

@@ -17,8 +17,20 @@ val write_trace : string -> unit
 (** Write the recorded trace via {!Trace.write} (Chrome JSON for [.json]
     paths, JSONL otherwise), echoing where it went and the span count. *)
 
-val with_json : json:string option -> trace:string option -> string -> (unit -> unit) -> unit
-(** [with_json ~json ~trace command f] enables and resets the metrics
-    registry when [json] is given and the tracing plane when [trace] is,
-    runs [f], then writes the requested snapshot files. With both [None]
-    this is just [f ()]. *)
+val write_series : string -> unit
+(** Write the metric timeline via {!Series.write} (Prometheus text for
+    [.prom] paths, JSONL otherwise), echoing where it went and the point
+    count. *)
+
+val with_json :
+  ?series:string option ->
+  json:string option ->
+  trace:string option ->
+  string ->
+  (unit -> unit) ->
+  unit
+(** [with_json ~json ~trace ~series command f] enables and resets the
+    metrics registry when [json] is given, the tracing plane when
+    [trace] is, and the timeline plane when [series] is, runs [f], then
+    writes the requested snapshot files. With all [None] this is just
+    [f ()]. *)

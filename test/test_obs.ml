@@ -218,6 +218,43 @@ let snapshot_structure () =
   Alcotest.(check bool) "renders non-empty" true
     (String.length (J.to_string snap) > 0)
 
+let snapshot_wall_subtree () =
+  (* Wall-clock readings — timers and wall gauges — live in their own
+     "wall" subtree, so baseline comparisons over "gauges" never see
+     them: the deterministic top level must not leak a wall gauge. *)
+  let t = M.timer "test.obs.wall.timer" in
+  let wg = M.wall_gauge "test.obs.wall.gauge" in
+  let g = M.gauge "test.obs.wall.plain" in
+  ignore (M.time t (fun () -> 1));
+  M.set_gauge wg 123.0;
+  M.set_gauge g 7.0;
+  let snap = M.snapshot () in
+  (match J.member "wall" snap with
+  | Some wall ->
+    (match J.member "timers" wall with
+    | Some (J.Obj timers) ->
+      Alcotest.(check bool) "timer under wall" true
+        (List.mem_assoc "test.obs.wall.timer" timers)
+    | Some _ | None -> Alcotest.fail "wall lacks a timers object");
+    (match J.member "gauges" wall with
+    | Some (J.Obj gauges) ->
+      Alcotest.(check bool) "wall gauge under wall" true
+        (List.assoc_opt "test.obs.wall.gauge" gauges = Some (J.Float 123.0));
+      Alcotest.(check bool) "plain gauge not under wall" true
+        (not (List.mem_assoc "test.obs.wall.plain" gauges))
+    | Some _ | None -> Alcotest.fail "wall lacks a gauges object")
+  | None -> Alcotest.fail "snapshot lacks the wall subtree");
+  (match J.member "gauges" snap with
+  | Some (J.Obj gauges) ->
+    Alcotest.(check bool) "plain gauge stays top-level" true
+      (List.assoc_opt "test.obs.wall.plain" gauges = Some (J.Float 7.0));
+    Alcotest.(check bool) "wall gauge absent from top-level gauges" true
+      (not (List.mem_assoc "test.obs.wall.gauge" gauges))
+  | Some _ | None -> Alcotest.fail "snapshot lacks a gauges object");
+  match J.member "timers" snap with
+  | None -> ()
+  | Some _ -> Alcotest.fail "timers must no longer be a top-level member"
+
 (* Property: any document the emitter can produce — nested fault-section
    objects, gauge [null]s, finite floats, metric-name keys — parses back
    structurally equal, at both indentations. Generated trees mimic the
@@ -438,6 +475,8 @@ let suite =
     Alcotest.test_case "metric snapshot round-trips" `Quick
       (isolated snapshot_roundtrip);
     Alcotest.test_case "snapshot structure" `Quick (isolated snapshot_structure);
+    Alcotest.test_case "wall-clock readings live in the wall subtree" `Quick
+      (isolated snapshot_wall_subtree);
     Alcotest.test_case "empty histogram snapshot emits nulls" `Quick
       (isolated empty_histogram_snapshot_nulls);
     Alcotest.test_case "infinite observation nulls the statistics" `Quick

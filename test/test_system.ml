@@ -291,9 +291,101 @@ let crashed_peer_recovers () =
   Alcotest.(check (float 0.0)) "published range found after recovery" 1.0
     r.Query_result.recall
 
+(* --- degenerate invariant audits: report cleanly, never raise --- *)
+
+let invariants_fresh_and_single () =
+  (* A freshly built system (nothing published) and the smallest possible
+     ring must both audit clean — no invariant can misfire on emptiness. *)
+  let fresh = default_system () in
+  Alcotest.(check (list string)) "fresh system audits clean" []
+    (Sys_.check_invariants fresh);
+  let one = Sys_.create ~seed:3L ~n_peers:1 () in
+  Alcotest.(check (list string)) "single-peer system audits clean" []
+    (Sys_.check_invariants one);
+  let from = Sys_.peer_by_name one "peer-0" in
+  ignore (Sys_.publish one ~from (mk 100 200));
+  Alcotest.(check (list string)) "single peer holding data audits clean" []
+    (Sys_.check_invariants one)
+
+let invariants_all_peers_down () =
+  (* Every peer failed: the audit must enumerate stranded buckets as
+     findings — never raise — and recovery must silence it again. *)
+  let s = default_system () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  ignore (Sys_.publish s ~from (mk 300 400));
+  ignore (Sys_.publish s ~from (mk 10 40));
+  let peers = Sys_.peers s in
+  List.iter (Sys_.fail_peer s) peers;
+  let v =
+    match Sys_.check_invariants s with
+    | v -> v
+    | exception e ->
+      Alcotest.failf "audit raised on an all-down system: %s"
+        (Printexc.to_string e)
+  in
+  Alcotest.(check bool) "stranded data is reported" true (v <> []);
+  List.iter (Sys_.recover_peer s) peers;
+  Alcotest.(check (list string)) "clean again after recovery" []
+    (Sys_.check_invariants s)
+
+let invariants_all_crashed_via_plane () =
+  let config =
+    P2prange.Config.default
+    |> P2prange.Config.with_faults
+         { P2prange.Config.spec = Faults.Plane.no_faults;
+           retry = Faults.Retry.default;
+         }
+  in
+  let s = Sys_.create ~config ~seed:7L ~n_peers:8 () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  ignore (Sys_.publish s ~from (mk 300 400));
+  let plane = Option.get (Sys_.fault_plane s) in
+  List.iter
+    (fun p -> Faults.Plane.crash plane (P2prange.Peer.id p))
+    (Sys_.peers s);
+  (match Sys_.check_invariants s with
+  | _ -> ()
+  | exception e ->
+    Alcotest.failf "audit raised under an all-crashed plane: %s"
+      (Printexc.to_string e));
+  List.iter
+    (fun p -> Faults.Plane.recover plane (P2prange.Peer.id p))
+    (Sys_.peers s);
+  Alcotest.(check (list string)) "clean after plane recovery" []
+    (Sys_.check_invariants s)
+
+let invariants_detailed_structure () =
+  (* The structured audit carries the stable error code, an invariant
+     family in context, and projects to exactly the legacy strings. *)
+  let s = default_system () in
+  let from = Sys_.peer_by_name s "peer-0" in
+  ignore (Sys_.publish s ~from (mk 300 400));
+  List.iter (Sys_.fail_peer s) (Sys_.peers s);
+  let detailed = Sys_.check_invariants_detailed s in
+  Alcotest.(check bool) "findings present" true (detailed <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "code is broken-invariant" "broken-invariant"
+        (P2prange.Error.code_name e.P2prange.Error.code);
+      Alcotest.(check bool) "context names the invariant family" true
+        (List.mem_assoc "invariant" e.P2prange.Error.context))
+    detailed;
+  Alcotest.(check (list string))
+    "string audit is the message projection"
+    (List.map (fun e -> e.P2prange.Error.message) detailed)
+    (Sys_.check_invariants s)
+
 let suite =
   [
     Alcotest.test_case "construction" `Quick construction;
+    Alcotest.test_case "fresh and single-peer systems audit clean" `Quick
+      invariants_fresh_and_single;
+    Alcotest.test_case "all peers failed: audit reports, never raises" `Quick
+      invariants_all_peers_down;
+    Alcotest.test_case "all peers crashed via plane: audit survives" `Quick
+      invariants_all_crashed_via_plane;
+    Alcotest.test_case "detailed audit structure and projection" `Quick
+      invariants_detailed_structure;
     QCheck_alcotest.to_alcotest prop_published_ranges_always_found;
     Alcotest.test_case "peer lookup" `Quick peer_lookup;
     Alcotest.test_case "identifiers: count and determinism" `Quick
